@@ -1,0 +1,247 @@
+package simcloud
+
+// End-to-end test of the command-line tools: build the binaries, generate a
+// collection and a key, start a server process, and drive it with the
+// client — the deployment story the README documents.
+
+import (
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTools compiles the cmd binaries once into a shared temp dir.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, tool := range []string{"simdatagen", "simkeygen", "simserver", "simclient", "simbench"} {
+		out := filepath.Join(dir, tool)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+tool)
+		cmd.Dir = "."
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, msg)
+		}
+	}
+	return dir
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %s: %v\n%s", filepath.Base(bin), strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func waitListening(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if conn, err := net.DialTimeout("tcp", addr, 100*time.Millisecond); err == nil {
+			conn.Close()
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("server at %s never came up", addr)
+}
+
+func TestCommandLinePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped with -short")
+	}
+	bins := buildTools(t)
+	work := t.TempDir()
+	data := filepath.Join(work, "demo.simcdat")
+	keyFile := filepath.Join(work, "demo.key")
+
+	// Generate a small clustered collection and the owner's key.
+	out := run(t, filepath.Join(bins, "simdatagen"),
+		"-name", "clustered", "-n", "400", "-dim", "8", "-clusters", "5",
+		"-dist", "L2", "-seed", "3", "-out", data)
+	if !strings.Contains(out, "400") {
+		t.Fatalf("datagen output: %s", out)
+	}
+	out = run(t, filepath.Join(bins, "simkeygen"),
+		"-data", data, "-pivots", "10", "-out", keyFile)
+	if !strings.Contains(out, "10 pivots") {
+		t.Fatalf("keygen output: %s", out)
+	}
+	if fi, err := os.Stat(keyFile); err != nil || fi.Mode().Perm() != 0o600 {
+		t.Fatalf("key file mode: %v, err %v", fi.Mode(), err)
+	}
+
+	// Start the encrypted server.
+	addr := freePort(t)
+	srv := exec.Command(filepath.Join(bins, "simserver"),
+		"-mode", "encrypted", "-addr", addr, "-pivots", "10", "-max-level", "4")
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+	waitListening(t, addr)
+
+	client := filepath.Join(bins, "simclient")
+	out = run(t, client, "-addr", addr, "-key", keyFile, "-max-level", "4",
+		"-op", "insert", "-data", data)
+	if !strings.Contains(out, "inserted 400 encrypted objects") {
+		t.Fatalf("insert output: %s", out)
+	}
+
+	// Approximate k-NN: the query object itself must come back first with
+	// distance 0.
+	out = run(t, client, "-addr", addr, "-key", keyFile, "-max-level", "4",
+		"-op", "approx", "-data", data, "-query", "5", "-k", "3", "-cand", "50")
+	if !strings.Contains(out, "approx-knn: 3 results") || !strings.Contains(out, "id=5") {
+		t.Fatalf("approx output: %s", out)
+	}
+
+	// Precise k-NN and range.
+	out = run(t, client, "-addr", addr, "-key", keyFile, "-max-level", "4",
+		"-op", "knn", "-data", data, "-query", "5", "-k", "2", "-cand", "50")
+	if !strings.Contains(out, "knn: 2 results") {
+		t.Fatalf("knn output: %s", out)
+	}
+	out = run(t, client, "-addr", addr, "-key", keyFile, "-max-level", "4",
+		"-op", "range", "-data", data, "-query", "5", "-radius", "10")
+	if !strings.Contains(out, "range:") {
+		t.Fatalf("range output: %s", out)
+	}
+}
+
+func TestCommandLinePlainPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped with -short")
+	}
+	bins := buildTools(t)
+	work := t.TempDir()
+	data := filepath.Join(work, "demo.simcdat")
+	keyFile := filepath.Join(work, "demo.key")
+	run(t, filepath.Join(bins, "simdatagen"),
+		"-name", "clustered", "-n", "300", "-dim", "6", "-clusters", "4",
+		"-dist", "L1", "-seed", "9", "-out", data)
+	run(t, filepath.Join(bins, "simkeygen"),
+		"-data", data, "-pivots", "8", "-out", keyFile)
+
+	addr := freePort(t)
+	srv := exec.Command(filepath.Join(bins, "simserver"),
+		"-mode", "plain", "-addr", addr, "-key", keyFile, "-max-level", "4")
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+	waitListening(t, addr)
+
+	client := filepath.Join(bins, "simclient")
+	out := run(t, client, "-addr", addr, "-plain", "-op", "insert", "-data", data)
+	if !strings.Contains(out, "inserted 300 objects") {
+		t.Fatalf("insert output: %s", out)
+	}
+	out = run(t, client, "-addr", addr, "-plain",
+		"-op", "knn", "-data", data, "-query", "7", "-k", "4")
+	if !strings.Contains(out, "knn: 4 results") || !strings.Contains(out, "id=7") {
+		t.Fatalf("knn output: %s", out)
+	}
+}
+
+// TestCommandLineSnapshotRestart verifies the server restart story: an
+// encrypted disk-backed server saves its index on SIGTERM and restores it
+// on the next start, so clients query without re-ingesting.
+func TestCommandLineSnapshotRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped with -short")
+	}
+	bins := buildTools(t)
+	work := t.TempDir()
+	data := filepath.Join(work, "demo.simcdat")
+	keyFile := filepath.Join(work, "demo.key")
+	buckets := filepath.Join(work, "buckets")
+	snap := filepath.Join(work, "index.snap")
+
+	run(t, filepath.Join(bins, "simdatagen"),
+		"-name", "clustered", "-n", "500", "-dim", "6", "-clusters", "5",
+		"-dist", "L2", "-seed", "4", "-out", data)
+	run(t, filepath.Join(bins, "simkeygen"),
+		"-data", data, "-pivots", "10", "-out", keyFile)
+
+	startSrv := func(addr string) *exec.Cmd {
+		srv := exec.Command(filepath.Join(bins, "simserver"),
+			"-mode", "encrypted", "-addr", addr, "-pivots", "10", "-max-level", "4",
+			"-storage", "disk", "-disk-path", buckets, "-snapshot", snap)
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		waitListening(t, addr)
+		return srv
+	}
+
+	addr := freePort(t)
+	srv := startSrv(addr)
+	client := filepath.Join(bins, "simclient")
+	run(t, client, "-addr", addr, "-key", keyFile, "-max-level", "4",
+		"-op", "insert", "-data", data)
+
+	// Graceful shutdown saves the snapshot.
+	if err := srv.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Wait(); err != nil {
+		t.Fatalf("server exit: %v", err)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+
+	// Restart on a fresh port: the index must be there without re-insert.
+	addr2 := freePort(t)
+	srv2 := startSrv(addr2)
+	defer func() {
+		srv2.Process.Kill()
+		srv2.Wait()
+	}()
+	out := run(t, client, "-addr", addr2, "-key", keyFile, "-max-level", "4",
+		"-op", "approx", "-data", data, "-query", "8", "-k", "3", "-cand", "50")
+	if !strings.Contains(out, "approx-knn: 3 results") || !strings.Contains(out, "id=8") {
+		t.Fatalf("post-restart query output: %s", out)
+	}
+}
+
+func TestSimbenchTables1And2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped with -short")
+	}
+	bins := buildTools(t)
+	out := run(t, filepath.Join(bins, "simbench"), "-table", "1")
+	for _, want := range []string{"YEAST", "2882", "HUMAN", "4026", "CoPhIR"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table 1 missing %q:\n%s", want, out)
+		}
+	}
+	out = run(t, filepath.Join(bins, "simbench"), "-table", "2")
+	if !strings.Contains(out, "disk") || !strings.Contains(out, "100") {
+		t.Fatalf("table 2 output:\n%s", out)
+	}
+}

@@ -1,0 +1,80 @@
+// Command simbench regenerates the evaluation tables of "Secure
+// Metric-Based Index for Similarity Cloud" (SDM @ VLDB 2012).
+//
+// Each table runs a real client–server pair over loopback TCP and prints
+// the paper's layout: cost decomposition rows against a parameter sweep.
+//
+//	simbench -table all                  # Tables 1–9, laptop scale
+//	simbench -table 6 -scale 1000000     # Table 6 at the paper's full scale
+//	simbench -table 5 -queries 100 -v    # verbose progress
+//
+// The absolute milliseconds depend on hardware; the shapes — who wins, by
+// what factor, where recall saturates — are the reproduction target (see
+// EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"simcloud/internal/bench"
+)
+
+func main() {
+	var (
+		table   = flag.String("table", "all", "table to regenerate: 1..9 or all")
+		scale   = flag.Int("scale", 100000, "CoPhIR collection size (paper: 1000000)")
+		queries = flag.Int("queries", 100, "number of query objects to average over")
+		k       = flag.Int("k", 30, "number of nearest neighbors (Tables 5-8)")
+		seed    = flag.Uint64("seed", 2012, "seed for pivot selection and query sampling")
+		bulk    = flag.Int("bulk", 1000, "bulk insert size")
+		format  = flag.String("format", "text", "output format: text or csv")
+		verbose = flag.Bool("v", false, "print progress to stderr")
+	)
+	flag.Parse()
+	if *format != "text" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "simbench: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	opts := bench.Options{
+		CoPhIRScale: *scale,
+		Queries:     *queries,
+		K:           *k,
+		Seed:        *seed,
+		BulkSize:    *bulk,
+	}
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+
+	render := func(t *bench.Table) {
+		if *format == "csv" {
+			t.RenderCSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+	}
+	start := time.Now()
+	if *table == "all" {
+		tables, err := bench.AllTables(opts)
+		for _, t := range tables {
+			render(t)
+			fmt.Println()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		t, err := bench.Run(*table, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		render(t)
+	}
+	fmt.Fprintf(os.Stderr, "simbench: done in %s\n", bench.Elapsed(start))
+}

@@ -1,0 +1,153 @@
+// Command simclient is an authorized client of a similarity-cloud server.
+//
+//	# Build the encrypted index from a collection file:
+//	simclient -addr :4040 -key yeast.key -op insert -data yeast.simcdat
+//
+//	# Approximate 30-NN of object #5, candidate set 600:
+//	simclient -addr :4040 -key yeast.key -op approx -data yeast.simcdat -query 5 -k 30 -cand 600
+//
+//	# Precise range query:
+//	simclient -addr :4040 -key yeast.key -op range -data yeast.simcdat -query 5 -radius 120
+//
+//	# Precise k-NN (approximate pass + range ρk):
+//	simclient -addr :4040 -key yeast.key -op knn -data yeast.simcdat -query 5 -k 10
+//
+// With -plain the same operations run against a plain (non-encrypted)
+// server; no key is needed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"simcloud/internal/core"
+	"simcloud/internal/dataset"
+	"simcloud/internal/secret"
+	"simcloud/internal/stats"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:4040", "server address")
+		keyFile  = flag.String("key", "", "secret key file (encrypted mode)")
+		op       = flag.String("op", "", "operation: insert, approx, knn, range")
+		data     = flag.String("data", "", "collection file (source of objects and queries)")
+		queryIdx = flag.Int("query", 0, "index of the query object within the collection")
+		k        = flag.Int("k", 10, "number of nearest neighbors")
+		cand     = flag.Int("cand", 500, "candidate set size for approximate search")
+		radius   = flag.Float64("radius", 1, "range query radius")
+		plain    = flag.Bool("plain", false, "talk to a plain (non-encrypted) server")
+		maxLevel = flag.Int("max-level", 8, "index max level (must match the server)")
+		dists    = flag.Bool("store-dists", false, "insert with full pivot-distance vectors (precise strategy)")
+	)
+	flag.Parse()
+	if *op == "" || *data == "" {
+		fmt.Fprintln(os.Stderr, "simclient: -op and -data are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	ds, err := dataset.LoadFile(*data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simclient: loading %s: %v\n", *data, err)
+		os.Exit(1)
+	}
+	if *queryIdx < 0 || *queryIdx >= ds.Size() {
+		fmt.Fprintf(os.Stderr, "simclient: -query %d out of range [0,%d)\n", *queryIdx, ds.Size())
+		os.Exit(2)
+	}
+	q := ds.Objects[*queryIdx].Vec
+
+	report := func(name string, results []core.Result, costs stats.Costs, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simclient: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d results\n", name, len(results))
+		for i, r := range results {
+			if i >= 20 {
+				fmt.Printf("  ... %d more\n", len(results)-20)
+				break
+			}
+			fmt.Printf("  #%-3d id=%-8d dist=%.6g\n", i+1, r.ID, r.Dist)
+		}
+		fmt.Printf("costs: %s\n", costs)
+	}
+
+	if *plain {
+		client, err := core.DialPlain(*addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simclient: %v\n", err)
+			os.Exit(1)
+		}
+		defer client.Close()
+		switch *op {
+		case "insert":
+			costs, err := client.Insert(ds.Objects)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "simclient: insert: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("inserted %d objects\ncosts: %s\n", ds.Size(), costs)
+		case "approx":
+			res, costs, err := client.ApproxKNN(q, *k, *cand)
+			report("approx-knn", res, costs, err)
+		case "knn":
+			res, costs, err := client.KNN(q, *k)
+			report("knn", res, costs, err)
+		case "range":
+			res, costs, err := client.Range(q, *radius)
+			report("range", res, costs, err)
+		default:
+			fmt.Fprintf(os.Stderr, "simclient: unknown op %q\n", *op)
+			os.Exit(2)
+		}
+		return
+	}
+
+	if *keyFile == "" {
+		fmt.Fprintln(os.Stderr, "simclient: encrypted mode requires -key")
+		os.Exit(2)
+	}
+	blob, err := os.ReadFile(*keyFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simclient: reading key: %v\n", err)
+		os.Exit(1)
+	}
+	key, err := secret.Unmarshal(blob)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simclient: parsing key: %v\n", err)
+		os.Exit(1)
+	}
+	client, err := core.DialEncrypted(*addr, key, core.Options{
+		MaxLevel:   *maxLevel,
+		StoreDists: *dists,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simclient: %v\n", err)
+		os.Exit(1)
+	}
+	defer client.Close()
+
+	switch *op {
+	case "insert":
+		costs, err := client.Insert(ds.Objects)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simclient: insert: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("inserted %d encrypted objects\ncosts: %s\n", ds.Size(), costs)
+	case "approx":
+		res, costs, err := client.ApproxKNN(q, *k, *cand)
+		report("approx-knn", res, costs, err)
+	case "knn":
+		res, costs, err := client.KNN(q, *k, *cand)
+		report("knn", res, costs, err)
+	case "range":
+		res, costs, err := client.Range(q, *radius)
+		report("range", res, costs, err)
+	default:
+		fmt.Fprintf(os.Stderr, "simclient: unknown op %q\n", *op)
+		os.Exit(2)
+	}
+}

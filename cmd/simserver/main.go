@@ -1,0 +1,140 @@
+// Command simserver runs a similarity-cloud server.
+//
+// Encrypted deployment (the server never sees keys, pivots or plaintext):
+//
+//	simserver -mode encrypted -addr :4040 -pivots 30
+//
+// Plain deployment (the baseline; the server owns the pivots, supplied via
+// the key file — appropriate only for non-sensitive data):
+//
+//	simserver -mode plain -addr :4040 -key yeast.key
+//
+// The index parameters must match what clients were configured with (number
+// of pivots, max level).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"simcloud/internal/mindex"
+	"simcloud/internal/secret"
+	"simcloud/internal/server"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "encrypted", "deployment: encrypted or plain")
+		addr     = flag.String("addr", "127.0.0.1:4040", "listen address")
+		pivots   = flag.Int("pivots", 30, "number of pivots (must match the client key)")
+		maxLevel = flag.Int("max-level", 8, "maximum cell-tree depth")
+		bucket   = flag.Int("bucket", 200, "bucket capacity")
+		storage  = flag.String("storage", "memory", "bucket storage: memory or disk")
+		diskPath = flag.String("disk-path", "", "bucket directory for -storage disk")
+		ranking  = flag.String("ranking", "footrule", "cell ranking: footrule or distsum")
+		keyFile  = flag.String("key", "", "key file (plain mode only: supplies the pivots)")
+		snapshot = flag.String("snapshot", "", "snapshot file: restore on start if present, save on shutdown (encrypted mode with -storage disk)")
+	)
+	flag.Parse()
+
+	cfg := mindex.Config{
+		NumPivots:      *pivots,
+		MaxLevel:       min(*maxLevel, *pivots),
+		BucketCapacity: *bucket,
+		DiskPath:       *diskPath,
+	}
+	switch *storage {
+	case "memory":
+		cfg.Storage = mindex.StorageMemory
+	case "disk":
+		cfg.Storage = mindex.StorageDisk
+	default:
+		fmt.Fprintf(os.Stderr, "simserver: unknown storage %q\n", *storage)
+		os.Exit(2)
+	}
+	switch *ranking {
+	case "footrule":
+		cfg.Ranking = mindex.RankFootrule
+	case "distsum":
+		cfg.Ranking = mindex.RankDistSum
+	default:
+		fmt.Fprintf(os.Stderr, "simserver: unknown ranking %q\n", *ranking)
+		os.Exit(2)
+	}
+
+	if *snapshot != "" && (*mode != "encrypted" || cfg.Storage != mindex.StorageDisk) {
+		fmt.Fprintln(os.Stderr, "simserver: -snapshot requires -mode encrypted and -storage disk")
+		os.Exit(2)
+	}
+
+	var srv *server.Server
+	var err error
+	switch *mode {
+	case "encrypted":
+		if *snapshot != "" {
+			if _, statErr := os.Stat(*snapshot); statErr == nil {
+				idx, lerr := mindex.LoadSnapshot(cfg, *snapshot)
+				if lerr != nil {
+					fmt.Fprintf(os.Stderr, "simserver: restoring snapshot: %v\n", lerr)
+					os.Exit(1)
+				}
+				srv = server.NewEncryptedWithIndex(idx)
+				fmt.Printf("simserver: restored %d entries from %s\n", idx.Size(), *snapshot)
+				break
+			}
+		}
+		srv, err = server.NewEncrypted(cfg)
+	case "plain":
+		if *keyFile == "" {
+			fmt.Fprintln(os.Stderr, "simserver: plain mode requires -key to supply the pivots")
+			os.Exit(2)
+		}
+		blob, rerr := os.ReadFile(*keyFile)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "simserver: reading key: %v\n", rerr)
+			os.Exit(1)
+		}
+		key, kerr := secret.Unmarshal(blob)
+		if kerr != nil {
+			fmt.Fprintf(os.Stderr, "simserver: parsing key: %v\n", kerr)
+			os.Exit(1)
+		}
+		cfg.NumPivots = key.Pivots().N()
+		if cfg.MaxLevel > cfg.NumPivots {
+			cfg.MaxLevel = cfg.NumPivots
+		}
+		srv, err = server.NewPlain(cfg, key.Pivots())
+	default:
+		fmt.Fprintf(os.Stderr, "simserver: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simserver: %v\n", err)
+		os.Exit(1)
+	}
+	if err := srv.Start(*addr); err != nil {
+		fmt.Fprintf(os.Stderr, "simserver: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("simserver: %s deployment listening on %s (pivots=%d maxLevel=%d bucket=%d storage=%v)\n",
+		*mode, srv.Addr(), cfg.NumPivots, cfg.MaxLevel, cfg.BucketCapacity, cfg.Storage)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nsimserver: shutting down")
+	if *snapshot != "" && srv.Index() != nil {
+		if err := srv.Index().SaveSnapshot(*snapshot); err != nil {
+			fmt.Fprintf(os.Stderr, "simserver: saving snapshot: %v\n", err)
+		} else {
+			fmt.Printf("simserver: saved %d entries to %s\n", srv.Index().Size(), *snapshot)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "simserver: close: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,77 @@
+package simcloud_test
+
+import (
+	"fmt"
+	"log"
+
+	"simcloud"
+)
+
+// Example demonstrates the complete outsourced-search flow of the package
+// comment: generate a key, start an encrypted server, insert, search.
+// Everything is deterministic (seeded), so the output is stable.
+func Example() {
+	data := simcloud.ClusteredData(1, 500, 8, 5, simcloud.L2())
+	pivots := simcloud.SelectPivots(1, data.Dist, data.Objects, 12)
+	key, err := simcloud.GenerateKey(pivots)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := simcloud.NewEncryptedServer(simcloud.DefaultConfig(12))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := simcloud.DialEncrypted(srv.Addr(), key, simcloud.ClientOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	if _, err := client.Insert(data.Objects); err != nil {
+		log.Fatal(err)
+	}
+
+	// The query object is indexed, so it is its own nearest neighbor.
+	results, _, err := client.ApproxKNN(data.Objects[42].Vec, 3, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("results: %d\n", len(results))
+	fmt.Printf("nearest: id=%d dist=%.1f\n", results[0].ID, results[0].Dist)
+	// Output:
+	// results: 3
+	// nearest: id=42 dist=0.0
+}
+
+// ExampleRecall shows the recall measure of the paper's Section 4.1.
+func ExampleRecall() {
+	approximate := []uint64{1, 2, 3, 7, 9}
+	exact := []uint64{1, 2, 3, 4, 5}
+	fmt.Printf("%.0f%%\n", simcloud.Recall(approximate, exact))
+	// Output: 60%
+}
+
+// ExampleMarshalKey shows key distribution to an authorized client.
+func ExampleMarshalKey() {
+	data := simcloud.ClusteredData(2, 100, 4, 3, simcloud.L1())
+	key, err := simcloud.GenerateKey(simcloud.SelectPivots(2, data.Dist, data.Objects, 8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob, err := simcloud.MarshalKey(key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored, err := simcloud.UnmarshalKey(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(restored.Pivots().N(), "pivots under", restored.Pivots().Dist.Name())
+	// Output: 8 pivots under L1
+}

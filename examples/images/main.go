@@ -1,0 +1,103 @@
+// Images: approximate search in an outsourced image collection.
+//
+// The CoPhIR scenario of the paper: MPEG-7 visual descriptors of images
+// (here the 280-dim synthetic stand-in compared by the weighted descriptor
+// combination) are outsourced encrypted, and a client retrieves visually
+// similar images with approximate k-NN, trading candidate-set size against
+// recall — the trade-off behind Table 6.
+//
+//	go run ./examples/images [-n 20000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"simcloud"
+)
+
+func main() {
+	n := flag.Int("n", 20000, "collection size")
+	flag.Parse()
+
+	images := simcloud.CoPhIRData(*n)
+	fmt.Printf("collection: %d images, %d-dim MPEG-7 descriptors, distance %s\n",
+		images.Size(), images.Dim, images.Dist.Name())
+
+	// Paper parameters for CoPhIR: 100 pivots, bucket capacity 1,000.
+	cfg := simcloud.DefaultConfig(100)
+	cfg.BucketCapacity = 1000
+	pivots := simcloud.SelectPivots(7, images.Dist, images.Objects, 100)
+	key, err := simcloud.GenerateKey(pivots)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := simcloud.NewEncryptedServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := simcloud.DialEncrypted(srv.Addr(), key, simcloud.ClientOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	fmt.Println("uploading encrypted descriptors...")
+	if _, err := client.Insert(images.Objects); err != nil {
+		log.Fatal(err)
+	}
+
+	// Query by example: find images similar to image #4242.
+	const k = 30
+	q := images.Objects[4242%*n]
+	exact := bruteforce(images, q.Vec, k)
+
+	fmt.Printf("\nquery image %d — approximate %d-NN, growing candidate set:\n", q.ID, k)
+	fmt.Printf("  %-10s %-9s %-12s %-12s %s\n", "candSize", "recall", "overall", "decrypt", "comm cost")
+	for _, candSize := range []int{100, 500, 2000, 5000} {
+		if candSize > *n {
+			break
+		}
+		res, costs, err := client.ApproxKNN(q.Vec, k, candSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids := make([]uint64, len(res))
+		for i, r := range res {
+			ids[i] = r.ID
+		}
+		fmt.Printf("  %-10d %7.1f%%  %-12v %-12v %6.1f kB\n",
+			candSize,
+			simcloud.Recall(ids, exact),
+			costs.Overall.Round(10e3),
+			costs.DecryptTime.Round(10e3),
+			float64(costs.CommBytes())/1000)
+	}
+	fmt.Println("\nrecall rises with the candidate set while every cost component grows linearly —")
+	fmt.Println("the client picks its own point on the privacy-era efficiency curve.")
+}
+
+// bruteforce computes the exact k-NN IDs.
+func bruteforce(ds *simcloud.Dataset, q simcloud.Vector, k int) []uint64 {
+	type cand struct {
+		id uint64
+		d  float64
+	}
+	cands := make([]cand, ds.Size())
+	for i, o := range ds.Objects {
+		cands[i] = cand{id: o.ID, d: ds.Dist.Dist(q, o.Vec)}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+	ids := make([]uint64, k)
+	for i := range k {
+		ids[i] = cands[i].id
+	}
+	return ids
+}

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is one regenerated experiment table, rendered in the layout of the
+// paper (measures as rows, parameter sweep as columns).
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    []Row
+}
+
+// Row is one measure across the column sweep.
+type Row struct {
+	Label string
+	Cells []string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(label string, cells ...string) {
+	t.Rows = append(t.Rows, Row{Label: label, Cells: cells})
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns)+1)
+	widths[0] = len("Measure")
+	for _, r := range t.Rows {
+		if len(r.Label) > widths[0] {
+			widths[0] = len(r.Label)
+		}
+	}
+	for i, c := range t.Columns {
+		widths[i+1] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r.Cells {
+			if i+1 < len(widths) && len(c) > widths[i+1] {
+				widths[i+1] = len(c)
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	line := func(cells []string) {
+		parts := make([]string, len(widths))
+		for i := range widths {
+			v := ""
+			if i < len(cells) {
+				v = cells[i]
+			}
+			if i == 0 {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], v)
+			} else {
+				parts[i] = fmt.Sprintf("%*s", widths[i], v)
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(append([]string{"Measure"}, t.Columns...))
+	sep := make([]string, len(widths))
+	for i, wd := range widths {
+		sep[i] = strings.Repeat("-", wd)
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(append([]string{r.Label}, r.Cells...))
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// RenderCSV writes the table as CSV (measure column first), ready for
+// external plotting of the recall/cost series.
+func (t *Table) RenderCSV(w io.Writer) {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cols := make([]string, 0, len(t.Columns)+1)
+	cols = append(cols, "measure")
+	for _, c := range t.Columns {
+		cols = append(cols, esc(c))
+	}
+	fmt.Fprintf(w, "# %s — %s\n", t.ID, t.Title)
+	fmt.Fprintln(w, strings.Join(cols, ","))
+	for _, r := range t.Rows {
+		cells := make([]string, 0, len(r.Cells)+1)
+		cells = append(cells, esc(r.Label))
+		for _, c := range r.Cells {
+			cells = append(cells, esc(c))
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+	}
+}
+
+// Formatting helpers shared by the table builders.
+
+// secs renders a duration in seconds with adaptive precision, matching the
+// paper's second-based tables.
+func secs(d time.Duration) string {
+	s := d.Seconds()
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.1f", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2f", s)
+	default:
+		return fmt.Sprintf("%.3f", s)
+	}
+}
+
+// millis renders a duration in milliseconds (Table 9 layout).
+func millis(d time.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d.Microseconds())/1000)
+}
+
+// kb renders a byte count in kB as the paper does.
+func kb(bytes int64) string {
+	return fmt.Sprintf("%.2f", float64(bytes)/1000)
+}
+
+// pct renders a percentage.
+func pct(v float64) string {
+	return fmt.Sprintf("%.2f", v)
+}

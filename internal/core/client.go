@@ -1,0 +1,520 @@
+// Package core implements the Encrypted M-Index — the paper's contribution:
+// client-side algorithms that let an authorized client, holding the secret
+// key (pivot set + cipher key), use an untrusted similarity-cloud server as
+// an efficient metric index without ever revealing plaintext objects,
+// pivots, or the distance function.
+//
+// The division of labor follows Section 4.2:
+//
+//   - Insert (Algorithm 1): the client computes object–pivot distances,
+//     derives the pivot permutation, encrypts the object, and ships
+//     {permutation [, distances], ciphertext} to the server, which files it
+//     into the M-Index cell tree.
+//   - Search (Algorithm 2): the client computes query–pivot distances,
+//     sends only the permutation (approximate k-NN) or the distance vector
+//     (precise range) to the server, receives a pre-ranked candidate set of
+//     encrypted objects, decrypts them, and refines by computing true
+//     query–object distances.
+//   - Precise k-NN: an approximate k-NN provides an upper bound ρk on the
+//     k-th neighbor distance; the subsequent precise range query R(q, ρk)
+//     guarantees the exact answer.
+//
+// Every operation returns a stats.Costs decomposition (client, server,
+// communication time; encryption, decryption, distance-computation time;
+// bytes on the wire), which the benchmark harness aggregates into the
+// paper's tables.
+package core
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"simcloud/internal/metric"
+	"simcloud/internal/mindex"
+	"simcloud/internal/pivot"
+	"simcloud/internal/secret"
+	"simcloud/internal/stats"
+	"simcloud/internal/wire"
+)
+
+// Result is one refined similarity-search answer on the client.
+type Result struct {
+	ID     uint64
+	Dist   float64
+	Object metric.Object
+}
+
+// Options configures an encrypted client.
+type Options struct {
+	// PrefixLen is the permutation-prefix length stored with each object.
+	// It must be at least the server index's MaxLevel. Shorter prefixes
+	// shrink records and communication; the full permutation (NumPivots)
+	// maximizes future re-partitioning freedom. Default: MaxLevel.
+	PrefixLen int
+	// StoreDists ships the full object–pivot distance vector with every
+	// insert (the paper's "precise strategy", Algorithm 1 line 4). It
+	// enables server-side pivot filtering for range queries at the price of
+	// larger records. Default: permutations only (Algorithm 1 line 7).
+	StoreDists bool
+	// Ranking must match the server's configured cell-ranking strategy: it
+	// decides whether approximate queries send the query permutation
+	// (footrule) or the query distance vector (distance-sum).
+	Ranking mindex.RankStrategy
+	// MaxLevel mirrors the server index's MaxLevel (prefix floor).
+	MaxLevel int
+	// Workers parallelizes the client-side construction work (pivot
+	// distances + encryption) across goroutines during Insert. Results are
+	// identical for any value; reported EncryptTime/DistCompTime become
+	// summed CPU time across workers. Default 1 (the paper's single-client
+	// measurement setup).
+	Workers int
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.MaxLevel == 0 {
+		out.MaxLevel = 8
+	}
+	if out.PrefixLen == 0 {
+		out.PrefixLen = out.MaxLevel
+	}
+	if out.Ranking == 0 {
+		out.Ranking = mindex.RankFootrule
+	}
+	if out.Workers == 0 {
+		out.Workers = 1
+	}
+	return out
+}
+
+// EncryptedClient is an authorized client of the encrypted similarity
+// cloud. It is not safe for concurrent use; open one client per goroutine
+// (each holds its own connection, as in the paper's client–server setup).
+type EncryptedClient struct {
+	conn *wire.CountingConn
+	key  *secret.Key
+	opts Options
+}
+
+// DialEncrypted connects an authorized client holding key to the encrypted
+// server at addr.
+func DialEncrypted(addr string, key *secret.Key, opts Options) (*EncryptedClient, error) {
+	o := opts.withDefaults()
+	if o.PrefixLen < o.MaxLevel {
+		return nil, fmt.Errorf("core: PrefixLen %d below index MaxLevel %d", o.PrefixLen, o.MaxLevel)
+	}
+	if o.PrefixLen > key.Pivots().N() {
+		o.PrefixLen = key.Pivots().N()
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("core: dialing similarity cloud: %w", err)
+	}
+	return &EncryptedClient{conn: wire.NewCountingConn(conn), key: key, opts: o}, nil
+}
+
+// Close releases the connection.
+func (c *EncryptedClient) Close() error { return c.conn.Close() }
+
+// Key returns the client's secret key.
+func (c *EncryptedClient) Key() *secret.Key { return c.key }
+
+// roundTrip sends one request and reads one response, measuring the time
+// spent on the wire and the bytes in both directions.
+func (c *EncryptedClient) roundTrip(t wire.MsgType, payload []byte, costs *stats.Costs) (wire.MsgType, []byte, error) {
+	return roundTrip(c.conn, t, payload, costs)
+}
+
+func roundTrip(conn *wire.CountingConn, t wire.MsgType, payload []byte, costs *stats.Costs) (wire.MsgType, []byte, error) {
+	sentBefore, recvBefore := conn.BytesWritten(), conn.BytesRead()
+	ioStart := time.Now()
+	if err := wire.WriteFrame(conn, t, payload); err != nil {
+		return 0, nil, err
+	}
+	respType, resp, err := wire.ReadFrame(conn)
+	ioTime := time.Since(ioStart)
+	costs.CommTime += ioTime // server time is subtracted by the caller
+	costs.BytesSent += conn.BytesWritten() - sentBefore
+	costs.BytesReceived += conn.BytesRead() - recvBefore
+	costs.RoundTrips++
+	if err != nil {
+		return 0, nil, err
+	}
+	if respType == wire.MsgError {
+		m, derr := wire.DecodeErrorResp(resp)
+		if derr != nil {
+			return 0, nil, derr
+		}
+		return 0, nil, &wire.RemoteError{Msg: m.Msg}
+	}
+	return respType, resp, nil
+}
+
+// creditServer moves the server-reported processing time out of the
+// measured wire time.
+func creditServer(costs *stats.Costs, serverNanos uint64) {
+	st := time.Duration(serverNanos)
+	costs.ServerTime += st
+	costs.CommTime -= st
+	if costs.CommTime < 0 {
+		costs.CommTime = 0
+	}
+}
+
+// prepareEntry performs the per-object client work of Algorithm 1: pivot
+// distances, permutation prefix, encryption.
+func (c *EncryptedClient) prepareEntry(o metric.Object, costs *stats.Costs) (mindex.Entry, error) {
+	pv := c.key.Pivots()
+	distStart := time.Now()
+	dists := pv.Distances(o.Vec) // Alg. 1 line 1
+	costs.DistCompTime += time.Since(distStart)
+	costs.DistComps += int64(pv.N())
+
+	perm := pivot.Permutation(dists) // Alg. 1 line 6
+
+	encStart := time.Now()
+	payload, err := c.key.EncryptObject(o) // Alg. 1 line 8
+	costs.EncryptTime += time.Since(encStart)
+	if err != nil {
+		return mindex.Entry{}, fmt.Errorf("core: encrypting object %d: %w", o.ID, err)
+	}
+	e := mindex.Entry{
+		ID:      o.ID,
+		Perm:    pivot.Prefix(perm, c.opts.PrefixLen),
+		Payload: payload,
+	}
+	if c.opts.StoreDists {
+		// Alg. 1 line 4 (precise strategy). When the key carries a
+		// distribution-hiding transformation, the server receives only
+		// transformed distances (privacy level 4; see internal/transform).
+		e.Dists = c.key.TransformDists(dists)
+	}
+	return e, nil
+}
+
+// Insert performs the encrypted bulk insert of Algorithm 1: per object, the
+// client computes pivot distances, derives the permutation prefix, encrypts
+// the object, and ships the entries to the server.
+func (c *EncryptedClient) Insert(objs []metric.Object) (stats.Costs, error) {
+	var costs stats.Costs
+	start := time.Now()
+	entries := make([]mindex.Entry, len(objs))
+	if c.opts.Workers <= 1 || len(objs) < 2 {
+		for i, o := range objs {
+			e, err := c.prepareEntry(o, &costs)
+			if err != nil {
+				return costs, err
+			}
+			entries[i] = e
+		}
+	} else {
+		workers := min(c.opts.Workers, len(objs))
+		type shardResult struct {
+			costs stats.Costs
+			err   error
+		}
+		results := make([]shardResult, workers)
+		var wg sync.WaitGroup
+		for w := range workers {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r := &results[w]
+				for i := w; i < len(objs); i += workers {
+					e, err := c.prepareEntry(objs[i], &r.costs)
+					if err != nil {
+						r.err = err
+						return
+					}
+					entries[i] = e
+				}
+			}()
+		}
+		wg.Wait()
+		for _, r := range results {
+			if r.err != nil {
+				return costs, r.err
+			}
+			costs.Accumulate(r.costs)
+		}
+	}
+	respType, resp, err := c.roundTrip(wire.MsgInsertEntries, wire.InsertEntriesReq{Entries: entries}.Encode(), &costs)
+	if err != nil {
+		return costs, err
+	}
+	if respType != wire.MsgAck {
+		return costs, fmt.Errorf("core: unexpected insert response %v", respType)
+	}
+	ack, err := wire.DecodeAckResp(resp)
+	if err != nil {
+		return costs, err
+	}
+	creditServer(&costs, ack.ServerNanos)
+	finish(&costs, start)
+	return costs, nil
+}
+
+// finish completes the cost decomposition: client time is everything not
+// spent on the wire, matching the paper's "data encryption/decryption,
+// distance computations, and processing overhead".
+func finish(costs *stats.Costs, start time.Time) {
+	costs.Overall = time.Since(start)
+	costs.ClientTime = costs.Overall - costs.ServerTime - costs.CommTime
+	if costs.ClientTime < 0 {
+		costs.ClientTime = 0
+	}
+}
+
+// refine decrypts candidate entries and computes their true distances to
+// the query (Algorithm 2, lines 11–16); limit < 0 refines everything.
+func (c *EncryptedClient) refine(q metric.Vector, cands []mindex.Entry, costs *stats.Costs) ([]Result, error) {
+	dist := c.key.Pivots().Dist
+	out := make([]Result, 0, len(cands))
+	for _, e := range cands {
+		decStart := time.Now()
+		o, err := c.key.DecryptObject(e.Payload)
+		costs.DecryptTime += time.Since(decStart)
+		if err != nil {
+			return nil, fmt.Errorf("core: decrypting candidate %d: %w", e.ID, err)
+		}
+		distStart := time.Now()
+		d := dist.Dist(q, o.Vec)
+		costs.DistCompTime += time.Since(distStart)
+		costs.DistComps++
+		out = append(out, Result{ID: o.ID, Dist: d, Object: o})
+	}
+	costs.Candidates += int64(len(cands))
+	return out, nil
+}
+
+// Range evaluates the precise range query R(q, r): the client reveals only
+// the query–pivot distance vector; the server returns pivot-filtered
+// candidates that the client decrypts and refines.
+func (c *EncryptedClient) Range(q metric.Vector, r float64) ([]Result, stats.Costs, error) {
+	var costs stats.Costs
+	start := time.Now()
+	distStart := time.Now()
+	qDists := c.key.Pivots().Distances(q) // Alg. 2 line 1
+	costs.DistCompTime += time.Since(distStart)
+	costs.DistComps += int64(c.key.Pivots().N())
+
+	// Under a distribution-hiding transformation the server prunes in
+	// transformed space with a slope-scaled radius — a candidate superset,
+	// so exactness survives the client-side refinement below.
+	respType, resp, err := c.roundTrip(wire.MsgRangeDists,
+		wire.RangeDistsReq{
+			Dists:  c.key.TransformDists(qDists),
+			Radius: c.key.TransformRadius(r),
+		}.Encode(), &costs)
+	if err != nil {
+		return nil, costs, err
+	}
+	if respType != wire.MsgCandidates {
+		return nil, costs, fmt.Errorf("core: unexpected range response %v", respType)
+	}
+	m, err := wire.DecodeCandidatesResp(resp)
+	if err != nil {
+		return nil, costs, err
+	}
+	creditServer(&costs, m.ServerNanos)
+	refined, err := c.refine(q, m.Entries, &costs)
+	if err != nil {
+		return nil, costs, err
+	}
+	out := refined[:0]
+	for _, res := range refined {
+		if res.Dist <= r {
+			out = append(out, res)
+		}
+	}
+	sortByDist(out)
+	finish(&costs, start)
+	return out, costs, nil
+}
+
+// ApproxKNN evaluates the approximate k-NN query of Algorithm 2: the client
+// reveals the query permutation (footrule ranking) or distance vector
+// (distance-sum ranking) plus the requested candidate-set size, then refines
+// the returned pre-ranked candidates.
+func (c *EncryptedClient) ApproxKNN(q metric.Vector, k, candSize int) ([]Result, stats.Costs, error) {
+	var costs stats.Costs
+	start := time.Now()
+	if k <= 0 || candSize <= 0 {
+		return nil, costs, fmt.Errorf("core: k and candSize must be positive (k=%d, candSize=%d)", k, candSize)
+	}
+	distStart := time.Now()
+	qDists := c.key.Pivots().Distances(q) // Alg. 2 line 1
+	costs.DistCompTime += time.Since(distStart)
+	costs.DistComps += int64(c.key.Pivots().N())
+
+	var reqType wire.MsgType
+	var payload []byte
+	if c.opts.Ranking == mindex.RankDistSum {
+		// Transformed distances preserve the permutation and the relative
+		// cell ordering, so the distance-sum request also hides raw values.
+		reqType, payload = wire.MsgApproxDists,
+			wire.ApproxDistsReq{Dists: c.key.TransformDists(qDists), CandSize: uint32(candSize)}.Encode()
+	} else {
+		perm := pivot.Permutation(qDists) // Alg. 2 line 8
+		reqType, payload = wire.MsgApproxPerm,
+			wire.ApproxPermReq{Perm: perm, CandSize: uint32(candSize)}.Encode()
+	}
+	respType, resp, err := c.roundTrip(reqType, payload, &costs)
+	if err != nil {
+		return nil, costs, err
+	}
+	if respType != wire.MsgCandidates {
+		return nil, costs, fmt.Errorf("core: unexpected approx response %v", respType)
+	}
+	m, err := wire.DecodeCandidatesResp(resp)
+	if err != nil {
+		return nil, costs, err
+	}
+	creditServer(&costs, m.ServerNanos)
+	refined, err := c.refine(q, m.Entries, &costs)
+	if err != nil {
+		return nil, costs, err
+	}
+	sortByDist(refined)
+	if len(refined) > k {
+		refined = refined[:k]
+	}
+	finish(&costs, start)
+	return refined, costs, nil
+}
+
+// ApproxKNNPartial is ApproxKNN with client-side partial refinement: the
+// candidate set arrives pre-ranked by cell promise, so the client "can
+// choose to decrypt and compute distances only for candidates with the
+// highest rank to speed up the search process" (Section 4.2). Only the
+// first refineLimit candidates are decrypted and refined; the remainder is
+// paid for in communication but not in decryption or distance time.
+func (c *EncryptedClient) ApproxKNNPartial(q metric.Vector, k, candSize, refineLimit int) ([]Result, stats.Costs, error) {
+	var costs stats.Costs
+	start := time.Now()
+	if k <= 0 || candSize <= 0 || refineLimit <= 0 {
+		return nil, costs, fmt.Errorf("core: k, candSize and refineLimit must be positive (k=%d candSize=%d refineLimit=%d)",
+			k, candSize, refineLimit)
+	}
+	distStart := time.Now()
+	qDists := c.key.Pivots().Distances(q)
+	costs.DistCompTime += time.Since(distStart)
+	costs.DistComps += int64(c.key.Pivots().N())
+
+	perm := pivot.Permutation(qDists)
+	respType, resp, err := c.roundTrip(wire.MsgApproxPerm,
+		wire.ApproxPermReq{Perm: perm, CandSize: uint32(candSize)}.Encode(), &costs)
+	if err != nil {
+		return nil, costs, err
+	}
+	if respType != wire.MsgCandidates {
+		return nil, costs, fmt.Errorf("core: unexpected approx response %v", respType)
+	}
+	m, err := wire.DecodeCandidatesResp(resp)
+	if err != nil {
+		return nil, costs, err
+	}
+	creditServer(&costs, m.ServerNanos)
+	cands := m.Entries
+	received := len(cands)
+	if len(cands) > refineLimit {
+		cands = cands[:refineLimit] // pre-ranked: keep the most promising prefix
+	}
+	refined, err := c.refine(q, cands, &costs)
+	if err != nil {
+		return nil, costs, err
+	}
+	costs.Candidates = int64(received) // transferred, not merely refined
+	sortByDist(refined)
+	if len(refined) > k {
+		refined = refined[:k]
+	}
+	finish(&costs, start)
+	return refined, costs, nil
+}
+
+// KNN evaluates the precise k-NN query as Section 4.2 prescribes: an
+// approximate k-NN determines ρk, the distance to the k-th candidate
+// neighbor (an upper bound on the true k-th neighbor distance), and the
+// precise range query R(q, ρk) then guarantees completeness. Two round
+// trips; candSize tunes the first phase.
+func (c *EncryptedClient) KNN(q metric.Vector, k, candSize int) ([]Result, stats.Costs, error) {
+	start := time.Now()
+	approx, costs, err := c.ApproxKNN(q, k, candSize)
+	if err != nil {
+		return nil, costs, err
+	}
+	rho := maxRadius // fewer than k candidates found: fall back to everything
+	if len(approx) >= k {
+		rho = approx[len(approx)-1].Dist
+	}
+	within, rangeCosts, err := c.Range(q, rho)
+	if err != nil {
+		return nil, costs, err
+	}
+	costs.Accumulate(rangeCosts)
+	sortByDist(within)
+	if len(within) > k {
+		within = within[:k]
+	}
+	costs.Overall = time.Since(start)
+	costs.ClientTime = costs.Overall - costs.ServerTime - costs.CommTime
+	if costs.ClientTime < 0 {
+		costs.ClientTime = 0
+	}
+	return within, costs, nil
+}
+
+// FirstCellKNN evaluates the restricted 1-cell approximate k-NN of the
+// paper's Section 5.4 comparison: the server contributes exactly one
+// Voronoi cell as the candidate set.
+func (c *EncryptedClient) FirstCellKNN(q metric.Vector, k int) ([]Result, stats.Costs, error) {
+	var costs stats.Costs
+	start := time.Now()
+	if k <= 0 {
+		return nil, costs, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	distStart := time.Now()
+	qDists := c.key.Pivots().Distances(q)
+	costs.DistCompTime += time.Since(distStart)
+	costs.DistComps += int64(c.key.Pivots().N())
+
+	perm := pivot.Permutation(qDists)
+	respType, resp, err := c.roundTrip(wire.MsgFirstCell, wire.FirstCellReq{Perm: perm}.Encode(), &costs)
+	if err != nil {
+		return nil, costs, err
+	}
+	if respType != wire.MsgCandidates {
+		return nil, costs, fmt.Errorf("core: unexpected first-cell response %v", respType)
+	}
+	m, err := wire.DecodeCandidatesResp(resp)
+	if err != nil {
+		return nil, costs, err
+	}
+	creditServer(&costs, m.ServerNanos)
+	refined, err := c.refine(q, m.Entries, &costs)
+	if err != nil {
+		return nil, costs, err
+	}
+	sortByDist(refined)
+	if len(refined) > k {
+		refined = refined[:k]
+	}
+	finish(&costs, start)
+	return refined, costs, nil
+}
+
+// maxRadius is an effectively unbounded query radius.
+const maxRadius = 1e300
+
+func sortByDist(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Dist != rs[j].Dist {
+			return rs[i].Dist < rs[j].Dist
+		}
+		return rs[i].ID < rs[j].ID
+	})
+}

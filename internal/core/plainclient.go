@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"simcloud/internal/metric"
+	"simcloud/internal/stats"
+	"simcloud/internal/wire"
+)
+
+// PlainClient is the client of the basic (non-encrypted) M-Index
+// deployment, the baseline of the paper's comparison tables. It ships raw
+// objects and queries; the server does all the work and returns final
+// answers, so "the amount of work on the client is negligible".
+//
+// Like EncryptedClient it is not safe for concurrent use.
+type PlainClient struct {
+	conn *wire.CountingConn
+}
+
+// DialPlain connects to the plain server at addr.
+func DialPlain(addr string) (*PlainClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("core: dialing similarity cloud: %w", err)
+	}
+	return &PlainClient{conn: wire.NewCountingConn(conn)}, nil
+}
+
+// Close releases the connection.
+func (c *PlainClient) Close() error { return c.conn.Close() }
+
+// Insert uploads a bulk of raw objects; the server computes pivot distances
+// and builds the index.
+func (c *PlainClient) Insert(objs []metric.Object) (stats.Costs, error) {
+	var costs stats.Costs
+	start := time.Now()
+	respType, resp, err := roundTrip(c.conn, wire.MsgInsertObjects,
+		wire.InsertObjectsReq{Objects: objs}.Encode(), &costs)
+	if err != nil {
+		return costs, err
+	}
+	if respType != wire.MsgAck {
+		return costs, fmt.Errorf("core: unexpected insert response %v", respType)
+	}
+	ack, err := wire.DecodeAckResp(resp)
+	if err != nil {
+		return costs, err
+	}
+	creditServer(&costs, ack.ServerNanos)
+	costs.DistCompTime = time.Duration(ack.DistNanos) // server-side distance time
+	finish(&costs, start)
+	return costs, nil
+}
+
+// query runs one plain request returning refined results.
+func (c *PlainClient) query(reqType wire.MsgType, payload []byte) ([]Result, stats.Costs, error) {
+	var costs stats.Costs
+	start := time.Now()
+	respType, resp, err := roundTrip(c.conn, reqType, payload, &costs)
+	if err != nil {
+		return nil, costs, err
+	}
+	if respType != wire.MsgResults {
+		return nil, costs, fmt.Errorf("core: unexpected response %v to %v", respType, reqType)
+	}
+	m, err := wire.DecodeResultsResp(resp)
+	if err != nil {
+		return nil, costs, err
+	}
+	creditServer(&costs, m.ServerNanos)
+	costs.DistCompTime = time.Duration(m.DistNanos) // server-side distance time
+	out := make([]Result, len(m.Results))
+	for i, r := range m.Results {
+		out[i] = Result{ID: r.ID, Dist: r.Dist, Object: metric.Object{ID: r.ID, Vec: r.Vec}}
+	}
+	finish(&costs, start)
+	return out, costs, nil
+}
+
+// Range evaluates the precise range query R(q, r) fully server-side.
+func (c *PlainClient) Range(q metric.Vector, r float64) ([]Result, stats.Costs, error) {
+	return c.query(wire.MsgRangePlain, wire.RangePlainReq{Q: q, Radius: r}.Encode())
+}
+
+// KNN evaluates the precise k-NN query fully server-side.
+func (c *PlainClient) KNN(q metric.Vector, k int) ([]Result, stats.Costs, error) {
+	if k <= 0 {
+		return nil, stats.Costs{}, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	return c.query(wire.MsgKNNPlain, wire.KNNPlainReq{Q: q, K: uint32(k)}.Encode())
+}
+
+// ApproxKNN evaluates the approximate k-NN query fully server-side; the
+// candidate set of candSize objects is collected and refined on the server,
+// which returns only the k best answers.
+func (c *PlainClient) ApproxKNN(q metric.Vector, k, candSize int) ([]Result, stats.Costs, error) {
+	if k <= 0 || candSize <= 0 {
+		return nil, stats.Costs{}, fmt.Errorf("core: k and candSize must be positive (k=%d, candSize=%d)", k, candSize)
+	}
+	return c.query(wire.MsgApproxPlain,
+		wire.ApproxPlainReq{Q: q, K: uint32(k), CandSize: uint32(candSize)}.Encode())
+}

@@ -1,0 +1,235 @@
+// Package dataset provides the three evaluation data sets of the paper as
+// deterministic synthetic generators, plus a binary on-disk format for
+// shipping generated collections between tools.
+//
+// The original collections are not redistributable (YEAST and HUMAN are
+// gene-expression matrices from the Harvard biclustering site; CoPhIR is a
+// million-image MPEG-7 collection requiring a license). Each generator
+// reproduces the properties that drive the paper's measurements — the
+// cardinality, dimensionality, distance function, value range and, most
+// importantly, the clustered (non-uniform) distribution that recursive
+// Voronoi partitioning exploits:
+//
+//   - Yeast: 2,882 × 17-dim vectors under L1 (expression levels of one gene
+//     across 17 conditions; values cluster by co-expressed gene groups).
+//   - Human: 4,026 × 96-dim vectors under L1 (Lymphoma/Leukemia profiling).
+//   - CoPhIR: n × 280-dim vectors under the weighted MPEG-7 descriptor
+//     combination (five concatenated sub-descriptors quantized to 0..255).
+//
+// All generators are seeded and fully deterministic: the same call always
+// yields byte-identical collections, so experiments are reproducible.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"simcloud/internal/metric"
+)
+
+// Dataset bundles a generated collection with its identity and the distance
+// function the paper evaluates it under.
+type Dataset struct {
+	Name    string
+	Objects []metric.Object
+	Dim     int
+	Dist    metric.Distance
+}
+
+// Size returns the number of objects.
+func (d *Dataset) Size() int { return len(d.Objects) }
+
+// Paper cardinalities and dimensions (Table 1).
+const (
+	YeastSize  = 2882
+	YeastDim   = 17
+	HumanSize  = 4026
+	HumanDim   = 96
+	CoPhIRSize = 1000000
+	CoPhIRDim  = metric.CoPhIRDim
+)
+
+// clusteredMatrix generates n vectors of dimension dim with a two-level
+// cluster structure: k macro clusters (condition groups / visual themes),
+// each containing micro clusters (tightly co-expressed gene groups /
+// near-duplicate shots) around which the individual vectors scatter with
+// small noise. Real gene-expression matrices and photo collections both
+// show this hierarchy — many objects have a *very* close nearest neighbor
+// while the global structure stays broad — and it is what permutation
+// indexes exploit. Macro sizes follow a geometric-ish skew (real
+// collections are strongly unbalanced); values are clamped to [lo, hi].
+func clusteredMatrix(rng *rand.Rand, n, dim, k int, base, spreadCenter, microSpread, noise, lo, hi float64) []metric.Object {
+	type cluster struct {
+		center []float64
+		scale  float64
+	}
+	// Macro clusters follow a 1/(i+1) popularity skew; each macro holds as
+	// many micro clusters as its expected population divided by the target
+	// micro-group size, so that (nearly) every object has close micro-group
+	// siblings — the near-duplicate structure of real collections.
+	const targetMicroSize = 6
+	macroW := make([]float64, k)
+	var wsum float64
+	for i := range macroW {
+		macroW[i] = 1 / float64(i+1)
+		wsum += macroW[i]
+	}
+	type macroCluster struct {
+		weight float64
+		micros []cluster
+	}
+	macros := make([]macroCluster, k)
+	for i := range macros {
+		macro := make([]float64, dim)
+		for j := range macro {
+			macro[j] = base + rng.NormFloat64()*spreadCenter
+		}
+		scale := noise * (0.5 + rng.Float64())
+		expected := float64(n) * macroW[i] / wsum
+		nMicros := max(1, int(expected/targetMicroSize+0.5))
+		micros := make([]cluster, nMicros)
+		for m := range micros {
+			micro := make([]float64, dim)
+			for j := range micro {
+				micro[j] = macro[j] + rng.NormFloat64()*microSpread
+			}
+			micros[m] = cluster{center: micro, scale: scale}
+		}
+		macros[i] = macroCluster{weight: macroW[i], micros: micros}
+	}
+	pick := func() cluster {
+		r := rng.Float64() * wsum
+		for i := range macros {
+			if r < macros[i].weight {
+				return macros[i].micros[rng.IntN(len(macros[i].micros))]
+			}
+			r -= macros[i].weight
+		}
+		last := macros[k-1]
+		return last.micros[rng.IntN(len(last.micros))]
+	}
+	objs := make([]metric.Object, n)
+	for i := range objs {
+		cl := pick()
+		v := make(metric.Vector, dim)
+		for j := range v {
+			x := cl.center[j] + rng.NormFloat64()*cl.scale
+			x = math.Max(lo, math.Min(hi, x))
+			v[j] = float32(x)
+		}
+		objs[i] = metric.Object{ID: uint64(i), Vec: v}
+	}
+	return objs
+}
+
+// Yeast generates the YEAST stand-in: 2,882 genes × 17 conditions under L1.
+// Expression levels occupy the 0..600 range of the original microarray
+// matrix and cluster into ~30 co-expression groups.
+func Yeast() *Dataset {
+	rng := rand.New(rand.NewPCG(0x59454153, 0x54)) // "YEAST"
+	return &Dataset{
+		Name:    "YEAST",
+		Objects: clusteredMatrix(rng, YeastSize, YeastDim, 30, 280, 120, 60, 1, 0, 600),
+		Dim:     YeastDim,
+		Dist:    metric.L1{},
+	}
+}
+
+// Human generates the HUMAN stand-in: 4,026 genes × 96 conditions under L1
+// (Lymphoma/Leukemia Molecular Profiling Project shape). The original matrix
+// holds log-ratio values roughly in [-200, 200] after scaling.
+func Human() *Dataset {
+	rng := rand.New(rand.NewPCG(0x48554d41, 0x4e)) // "HUMAN"
+	return &Dataset{
+		Name:    "HUMAN",
+		Objects: clusteredMatrix(rng, HumanSize, HumanDim, 40, 0, 80, 35, 9, -200, 200),
+		Dim:     HumanDim,
+		Dist:    metric.L1{},
+	}
+}
+
+// CoPhIR generates an n-object CoPhIR stand-in: 280-dim concatenated MPEG-7
+// descriptors quantized to 0..255, compared by the weighted descriptor
+// combination. Pass CoPhIRSize for the paper's full one-million scale; the
+// benchmark harness defaults to a laptop-scale subset because the cost
+// shapes (linearity in candidate size, server/client ratios) are scale-free.
+func CoPhIR(n int) *Dataset {
+	if n <= 0 {
+		panic("dataset: CoPhIR size must be positive")
+	}
+	rng := rand.New(rand.NewPCG(0x436f5048, 0x495221)) // "CoPHIR!"
+	// Images cluster by visual similarity; 200 visual themes with strongly
+	// skewed popularity mimic a photo-sharing site. Descriptor coordinates
+	// are integer-quantized as in MPEG-7.
+	objs := clusteredMatrix(rng, n, CoPhIRDim, 200, 128, 55, 22, 6, 0, 255)
+	for i := range objs {
+		v := objs[i].Vec
+		for j := range v {
+			v[j] = float32(math.Round(float64(v[j])))
+		}
+	}
+	return &Dataset{
+		Name:    "CoPhIR",
+		Objects: objs,
+		Dim:     CoPhIRDim,
+		Dist:    metric.NewCoPhIR(),
+	}
+}
+
+// Clustered generates a generic clustered collection for tests and examples.
+func Clustered(seed uint64, n, dim, k int, d metric.Distance) *Dataset {
+	rng := rand.New(rand.NewPCG(seed, 0xC1C1))
+	return &Dataset{
+		Name:    fmt.Sprintf("clustered-%d", seed),
+		Objects: clusteredMatrix(rng, n, dim, k, 0, 10, 2.5, 0.8, -100, 100),
+		Dim:     dim,
+		Dist:    d,
+	}
+}
+
+// ByName returns the named paper data set ("YEAST", "HUMAN", "CoPhIR").
+// cophirScale bounds the CoPhIR cardinality (<= 0 means full paper scale).
+func ByName(name string, cophirScale int) (*Dataset, error) {
+	switch name {
+	case "YEAST":
+		return Yeast(), nil
+	case "HUMAN":
+		return Human(), nil
+	case "CoPhIR":
+		if cophirScale <= 0 {
+			cophirScale = CoPhIRSize
+		}
+		return CoPhIR(cophirScale), nil
+	}
+	return nil, fmt.Errorf("dataset: unknown data set %q", name)
+}
+
+// SampleQueries draws nq query objects from the collection without
+// replacement, deterministically from seed. When exclude is true the chosen
+// objects are also removed from the returned rest slice — the paper's 1-NN
+// experiment excludes query objects from the indexed set, while the 30-NN
+// experiments query objects randomly chosen from the data set itself.
+func SampleQueries(d *Dataset, nq int, seed uint64, exclude bool) (queries []metric.Object, rest []metric.Object) {
+	if nq > len(d.Objects) {
+		nq = len(d.Objects)
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x5155)) // "QU"
+	idx := rng.Perm(len(d.Objects))
+	chosen := make(map[int]bool, nq)
+	queries = make([]metric.Object, 0, nq)
+	for _, i := range idx[:nq] {
+		chosen[i] = true
+		queries = append(queries, d.Objects[i])
+	}
+	if !exclude {
+		return queries, d.Objects
+	}
+	rest = make([]metric.Object, 0, len(d.Objects)-nq)
+	for i, o := range d.Objects {
+		if !chosen[i] {
+			rest = append(rest, o)
+		}
+	}
+	return queries, rest
+}

@@ -1,0 +1,274 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"simcloud/internal/metric"
+)
+
+func TestYeastShape(t *testing.T) {
+	d := Yeast()
+	if d.Size() != YeastSize {
+		t.Fatalf("size = %d, want %d", d.Size(), YeastSize)
+	}
+	if d.Dim != YeastDim {
+		t.Fatalf("dim = %d, want %d", d.Dim, YeastDim)
+	}
+	if d.Dist.Name() != "L1" {
+		t.Fatalf("distance = %s, want L1", d.Dist.Name())
+	}
+	for i, o := range d.Objects {
+		if len(o.Vec) != YeastDim {
+			t.Fatalf("object %d dim = %d", i, len(o.Vec))
+		}
+		if o.ID != uint64(i) {
+			t.Fatalf("object %d has ID %d", i, o.ID)
+		}
+		for _, v := range o.Vec {
+			if v < 0 || v > 600 {
+				t.Fatalf("object %d value %g out of expression range", i, v)
+			}
+		}
+	}
+}
+
+func TestHumanShape(t *testing.T) {
+	d := Human()
+	if d.Size() != HumanSize || d.Dim != HumanDim {
+		t.Fatalf("shape = %d×%d, want %d×%d", d.Size(), d.Dim, HumanSize, HumanDim)
+	}
+	for _, o := range d.Objects {
+		for _, v := range o.Vec {
+			if v < -200 || v > 200 {
+				t.Fatalf("value %g out of range", v)
+			}
+		}
+	}
+}
+
+func TestCoPhIRShape(t *testing.T) {
+	d := CoPhIR(500)
+	if d.Size() != 500 || d.Dim != CoPhIRDim {
+		t.Fatalf("shape = %d×%d", d.Size(), d.Dim)
+	}
+	if d.Dist.Name() != "cophir" {
+		t.Fatalf("distance = %s", d.Dist.Name())
+	}
+	for _, o := range d.Objects {
+		for _, v := range o.Vec {
+			if v < 0 || v > 255 || v != float32(math.Trunc(float64(v))) {
+				t.Fatalf("descriptor value %g not an MPEG-7 quantized byte", v)
+			}
+		}
+	}
+}
+
+func TestCoPhIRRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CoPhIR(0)
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, b := Yeast(), Yeast()
+	for i := range a.Objects {
+		if !a.Objects[i].Vec.Equal(b.Objects[i].Vec) {
+			t.Fatalf("YEAST generation not deterministic at object %d", i)
+		}
+	}
+	c, d := CoPhIR(200), CoPhIR(200)
+	for i := range c.Objects {
+		if !c.Objects[i].Vec.Equal(d.Objects[i].Vec) {
+			t.Fatalf("CoPhIR generation not deterministic at object %d", i)
+		}
+	}
+}
+
+func TestCoPhIRPrefixStable(t *testing.T) {
+	// A smaller scale must be a prefix-compatible draw: not required to be a
+	// strict prefix, but deterministic per n.
+	a, b := CoPhIR(100), CoPhIR(100)
+	for i := range a.Objects {
+		if !a.Objects[i].Vec.Equal(b.Objects[i].Vec) {
+			t.Fatal("same-n CoPhIR differs between calls")
+		}
+	}
+}
+
+func TestClusteredIsClustered(t *testing.T) {
+	// Clustered data must have average nearest-neighbor distance well below
+	// the average pairwise distance — that is what the Voronoi partitioning
+	// exploits. Uniform data would have the two close together.
+	d := Clustered(1, 400, 16, 8, metric.L2{})
+	objs := d.Objects
+	var pairSum float64
+	var pairN int
+	nnSum := 0.0
+	for i := 0; i < 100; i++ {
+		nn := math.Inf(1)
+		for j := range objs {
+			if j == i {
+				continue
+			}
+			dist := d.Dist.Dist(objs[i].Vec, objs[j].Vec)
+			pairSum += dist
+			pairN++
+			if dist < nn {
+				nn = dist
+			}
+		}
+		nnSum += nn
+	}
+	avgPair := pairSum / float64(pairN)
+	avgNN := nnSum / 100
+	if avgNN > avgPair/2 {
+		t.Fatalf("data not clustered: avg NN %g vs avg pair %g", avgNN, avgPair)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"YEAST", "HUMAN"} {
+		d, err := ByName(name, 0)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		if d.Name != name {
+			t.Fatalf("name = %s", d.Name)
+		}
+	}
+	d, err := ByName("CoPhIR", 123)
+	if err != nil || d.Size() != 123 {
+		t.Fatalf("CoPhIR scaled: %v size=%d", err, d.Size())
+	}
+	if _, err := ByName("nope", 0); err == nil {
+		t.Fatal("unknown data set accepted")
+	}
+}
+
+func TestSampleQueriesExcluding(t *testing.T) {
+	d := Clustered(3, 100, 4, 4, metric.L1{})
+	qs, rest := SampleQueries(d, 10, 7, true)
+	if len(qs) != 10 || len(rest) != 90 {
+		t.Fatalf("split = %d/%d", len(qs), len(rest))
+	}
+	inRest := make(map[uint64]bool)
+	for _, o := range rest {
+		inRest[o.ID] = true
+	}
+	for _, q := range qs {
+		if inRest[q.ID] {
+			t.Fatalf("query %d not excluded from rest", q.ID)
+		}
+	}
+}
+
+func TestSampleQueriesNonExcluding(t *testing.T) {
+	d := Clustered(4, 50, 4, 2, metric.L1{})
+	qs, rest := SampleQueries(d, 5, 9, false)
+	if len(qs) != 5 || len(rest) != 50 {
+		t.Fatalf("split = %d/%d", len(qs), len(rest))
+	}
+	// Deterministic for the same seed.
+	qs2, _ := SampleQueries(d, 5, 9, false)
+	for i := range qs {
+		if qs[i].ID != qs2[i].ID {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+	// Different for a different seed (overwhelmingly likely).
+	qs3, _ := SampleQueries(d, 5, 10, false)
+	same := true
+	for i := range qs {
+		if qs[i].ID != qs3[i].ID {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical samples")
+	}
+}
+
+func TestSampleQueriesOversized(t *testing.T) {
+	d := Clustered(5, 10, 2, 2, metric.L1{})
+	qs, rest := SampleQueries(d, 50, 1, true)
+	if len(qs) != 10 || len(rest) != 0 {
+		t.Fatalf("oversized sample: %d/%d", len(qs), len(rest))
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	d := Clustered(6, 64, 5, 3, metric.L2{})
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != d.Name || got.Dim != d.Dim || got.Dist.Name() != d.Dist.Name() {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if got.Size() != d.Size() {
+		t.Fatalf("size = %d, want %d", got.Size(), d.Size())
+	}
+	for i := range d.Objects {
+		if got.Objects[i].ID != d.Objects[i].ID || !got.Objects[i].Vec.Equal(d.Objects[i].Vec) {
+			t.Fatalf("object %d mismatch", i)
+		}
+	}
+}
+
+func TestFileRoundTripDisk(t *testing.T) {
+	d := CoPhIR(50)
+	path := filepath.Join(t.TempDir(), "cophir.simcdat")
+	if err := d.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != 50 || got.Dist.Name() != "cophir" {
+		t.Fatalf("loaded %d objects under %s", got.Size(), got.Dist.Name())
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOTMAGIC-at-all"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	d := Clustered(7, 16, 2, 2, metric.L1{})
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := Read(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}
+
+func TestReadRejectsImplausibleHeader(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(fileMagic[:])
+	buf.Write([]byte{1, 0}) // name len 1
+	buf.WriteByte('x')
+	buf.Write([]byte{2, 0}) // dist len 2
+	buf.WriteString("L1")
+	// n = 2^40 (implausible), dim = 4
+	buf.Write([]byte{0, 0, 0, 0, 0, 1, 0, 0})
+	buf.Write([]byte{4, 0, 0, 0})
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("implausible header accepted")
+	}
+}

@@ -1,0 +1,155 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"simcloud/internal/metric"
+)
+
+// Binary collection file format (little endian):
+//
+//	magic   [8]byte  "SIMCDAT1"
+//	nameLen uint16   followed by name bytes
+//	distLen uint16   followed by distance-function name bytes
+//	n       uint64   object count
+//	dim     uint32   vector dimension
+//	objects n × { id uint64, dim × float32 }
+//
+// The format exists so simdatagen can materialize a collection once and the
+// server/client tools can share it.
+
+var fileMagic = [8]byte{'S', 'I', 'M', 'C', 'D', 'A', 'T', '1'}
+
+// Write serializes the data set to w.
+func (d *Dataset) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(fileMagic[:]); err != nil {
+		return err
+	}
+	if err := writeString(bw, d.Name); err != nil {
+		return err
+	}
+	if err := writeString(bw, d.Dist.Name()); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(d.Objects))); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(d.Dim)); err != nil {
+		return err
+	}
+	buf := make([]byte, 8+4*d.Dim)
+	for _, o := range d.Objects {
+		if len(o.Vec) != d.Dim {
+			return fmt.Errorf("dataset: object %d has dim %d, want %d", o.ID, len(o.Vec), d.Dim)
+		}
+		binary.LittleEndian.PutUint64(buf[:8], o.ID)
+		for j, f := range o.Vec {
+			binary.LittleEndian.PutUint32(buf[8+4*j:], math.Float32bits(f))
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a data set previously produced by Write.
+func Read(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("dataset: reading magic: %w", err)
+	}
+	if magic != fileMagic {
+		return nil, fmt.Errorf("dataset: bad magic %q", magic[:])
+	}
+	name, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	distName, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	dist, err := metric.ByName(distName)
+	if err != nil {
+		return nil, err
+	}
+	var n uint64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	var dim uint32
+	if err := binary.Read(br, binary.LittleEndian, &dim); err != nil {
+		return nil, err
+	}
+	const maxObjects = 1 << 28 // sanity bound against corrupted headers
+	if n > maxObjects || dim == 0 || dim > 1<<20 {
+		return nil, fmt.Errorf("dataset: implausible header n=%d dim=%d", n, dim)
+	}
+	objs := make([]metric.Object, n)
+	buf := make([]byte, 8+4*int(dim))
+	for i := range objs {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("dataset: reading object %d: %w", i, err)
+		}
+		v := make(metric.Vector, dim)
+		for j := range v {
+			v[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[8+4*j:]))
+		}
+		objs[i] = metric.Object{ID: binary.LittleEndian.Uint64(buf[:8]), Vec: v}
+	}
+	return &Dataset{Name: name, Objects: objs, Dim: int(dim), Dist: dist}, nil
+}
+
+// SaveFile writes the data set to path.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a data set from path.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+func writeString(w io.Writer, s string) error {
+	if len(s) > 1<<16-1 {
+		return fmt.Errorf("dataset: string too long (%d bytes)", len(s))
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,95 @@
+package metric
+
+import "math"
+
+// The CoPhIR collection compares images by a weighted combination of the
+// distances of five MPEG-7 visual descriptors extracted from each image
+// (Bolettieri et al., "CoPhIR: A Test Collection for Content-Based Image
+// Retrieval"; the weights follow the MESSIF configuration used by the
+// M-Index papers). Each 280-dimensional CoPhIR vector in this reproduction
+// is the concatenation of the five sub-descriptors:
+//
+//	offset  len  descriptor           inner metric  weight
+//	     0   64  ScalableColor        L1            2.0
+//	    64   64  ColorStructure       L1            3.0
+//	   128   12  ColorLayout          L2            2.0
+//	   140   80  EdgeHistogram        L1            4.0
+//	   220   60  HomogeneousTexture   L1            0.5
+//
+// A positively weighted sum of metrics over projections is itself a metric,
+// so the combination satisfies the metric postulates. The original MPEG-7
+// distance functions for ColorLayout, EdgeHistogram and HomogeneousTexture
+// additionally apply per-coefficient weights and quantization tables that are
+// not redistributable; the substitution keeps the sub-descriptor structure,
+// the mix of L1/L2 components and the relative descriptor weights, which is
+// what drives the cost profile measured in the paper (an expensive,
+// multi-component distance function evaluated on 280 dimensions).
+
+// CoPhIRDim is the dimension of a combined CoPhIR descriptor vector.
+const CoPhIRDim = 280
+
+// Segment describes one sub-descriptor inside a combined vector.
+type Segment struct {
+	Name   string
+	Offset int
+	Len    int
+	Inner  Distance
+	Weight float64
+}
+
+// Combined is a weighted sum of inner distances over disjoint segments of
+// the vector. It is the general form of the CoPhIR distance function.
+type Combined struct {
+	CombinedName string
+	Segments     []Segment
+	dim          int
+}
+
+// NewCombined builds a combined distance over the given segments. Segments
+// must tile a prefix of the vector contiguously (offset of each segment is
+// the end of the previous one).
+func NewCombined(name string, segments []Segment) *Combined {
+	dim := 0
+	for _, s := range segments {
+		if s.Offset != dim {
+			panic("metric: combined distance segments must be contiguous")
+		}
+		if s.Weight <= 0 {
+			panic("metric: combined distance weights must be positive")
+		}
+		dim += s.Len
+	}
+	return &Combined{CombinedName: name, Segments: segments, dim: dim}
+}
+
+// NewCoPhIR returns the CoPhIR five-descriptor combined distance.
+func NewCoPhIR() *Combined {
+	return NewCombined("cophir", []Segment{
+		{Name: "ScalableColor", Offset: 0, Len: 64, Inner: L1{}, Weight: 2.0},
+		{Name: "ColorStructure", Offset: 64, Len: 64, Inner: L1{}, Weight: 3.0},
+		{Name: "ColorLayout", Offset: 128, Len: 12, Inner: L2{}, Weight: 2.0},
+		{Name: "EdgeHistogram", Offset: 140, Len: 80, Inner: L1{}, Weight: 4.0},
+		{Name: "HomogeneousTexture", Offset: 220, Len: 60, Inner: L1{}, Weight: 0.5},
+	})
+}
+
+// Name implements Distance.
+func (c *Combined) Name() string { return c.CombinedName }
+
+// Dim returns the required vector dimension.
+func (c *Combined) Dim() int { return c.dim }
+
+// Dist implements Distance.
+func (c *Combined) Dist(a, b Vector) float64 {
+	dimCheck(a, b)
+	if len(a) != c.dim {
+		panic("metric: combined distance dimension mismatch")
+	}
+	var sum float64
+	for _, s := range c.Segments {
+		end := s.Offset + s.Len
+		sum += s.Weight * s.Inner.Dist(a[s.Offset:end], b[s.Offset:end])
+	}
+	// Guard against accumulated floating error producing a negative zero.
+	return math.Max(sum, 0)
+}

@@ -1,0 +1,171 @@
+// Package metric implements the metric-space framework underlying the
+// similarity cloud: data objects, the Distance abstraction, the concrete
+// distance functions used by the paper's evaluation (L1, L2, general
+// Minkowski Lp, Chebyshev, and the CoPhIR-style weighted combination of
+// MPEG-7 descriptor distances), plus instrumentation wrappers that count and
+// time distance computations.
+//
+// It plays the role of the MESSIF metric-space framework in the original
+// system, restricted to what the Encrypted M-Index needs: a domain of
+// objects D, and a total distance function d: D × D → R satisfying the
+// metric postulates (non-negativity, identity, symmetry, triangle
+// inequality).
+package metric
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a metric-space descriptor: a fixed-dimension numeric vector.
+// Descriptors are stored as float32 — the precision of the original MPEG-7
+// and gene-expression data — while all distance arithmetic is carried out in
+// float64.
+type Vector []float32
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Equal reports whether v and w have identical dimension and components.
+func (v Vector) Equal(w Vector) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Object is a metric-space object: a descriptor extracted from a raw data
+// item, carrying the identifier that references the raw object in the
+// (separately stored and encrypted) raw-data storage.
+type Object struct {
+	ID  uint64
+	Vec Vector
+}
+
+// Distance is a total metric distance function over Vectors.
+//
+// Implementations must satisfy the metric postulates for all vectors of the
+// same dimension; calling Dist on vectors of different dimensions is a
+// programming error and panics.
+type Distance interface {
+	// Name identifies the function (used in configuration and logs).
+	Name() string
+	// Dist returns the distance between a and b.
+	Dist(a, b Vector) float64
+}
+
+// dimCheck panics when a and b disagree in dimension. Distance mismatch is
+// always a caller bug (objects from different domains), never runtime data.
+func dimCheck(a, b Vector) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("metric: dimension mismatch %d vs %d", len(a), len(b)))
+	}
+}
+
+// L1 is the Manhattan distance, used by the YEAST and HUMAN gene-expression
+// data sets in the paper.
+type L1 struct{}
+
+// Name implements Distance.
+func (L1) Name() string { return "L1" }
+
+// Dist implements Distance.
+func (L1) Dist(a, b Vector) float64 {
+	dimCheck(a, b)
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s
+}
+
+// L2 is the Euclidean distance.
+type L2 struct{}
+
+// Name implements Distance.
+func (L2) Name() string { return "L2" }
+
+// Dist implements Distance.
+func (L2) Dist(a, b Vector) float64 {
+	dimCheck(a, b)
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Chebyshev is the L∞ distance (maximum coordinate difference).
+type Chebyshev struct{}
+
+// Name implements Distance.
+func (Chebyshev) Name() string { return "Linf" }
+
+// Dist implements Distance.
+func (Chebyshev) Dist(a, b Vector) float64 {
+	dimCheck(a, b)
+	var m float64
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Lp is the general Minkowski distance of order P ≥ 1.
+type Lp struct {
+	P float64
+}
+
+// Name implements Distance.
+func (l Lp) Name() string { return fmt.Sprintf("L%g", l.P) }
+
+// Dist implements Distance.
+func (l Lp) Dist(a, b Vector) float64 {
+	dimCheck(a, b)
+	if l.P < 1 {
+		panic("metric: Lp requires P >= 1 to satisfy the triangle inequality")
+	}
+	var s float64
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		s += math.Pow(d, l.P)
+	}
+	return math.Pow(s, 1/l.P)
+}
+
+// ByName returns the distance function registered under name, as produced by
+// the Name methods above ("L1", "L2", "Linf", "L<p>", "cophir").
+func ByName(name string) (Distance, error) {
+	switch name {
+	case "L1":
+		return L1{}, nil
+	case "L2":
+		return L2{}, nil
+	case "Linf":
+		return Chebyshev{}, nil
+	case "cophir":
+		return NewCoPhIR(), nil
+	}
+	var p float64
+	if _, err := fmt.Sscanf(name, "L%g", &p); err == nil && p >= 1 {
+		return Lp{P: p}, nil
+	}
+	return nil, fmt.Errorf("metric: unknown distance function %q", name)
+}

@@ -1,0 +1,116 @@
+package mindex
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+
+	"simcloud/internal/metric"
+)
+
+// Entry wire/disk encoding (little endian):
+//
+//	id       uint64
+//	permLen  uint16 | perm int32 × permLen
+//	distsLen uint16 | dists float64 × distsLen
+//	payLen   uint32 | payload bytes
+//	vecLen   uint32 | vec float32 × vecLen
+//
+// The same encoding serves the disk bucket store and the client–server
+// protocol, so the measured communication cost reflects exactly what the
+// server persists.
+
+// ErrCodec reports a malformed entry encoding.
+var ErrCodec = errors.New("mindex: malformed entry encoding")
+
+// EncodedEntrySize returns the exact encoded size of e in bytes.
+func EncodedEntrySize(e Entry) int {
+	return 8 + 2 + 4*len(e.Perm) + 2 + 8*len(e.Dists) + 4 + len(e.Payload) + 4 + 4*len(e.Vec)
+}
+
+// AppendEntry appends the encoding of e to dst and returns the result.
+func AppendEntry(dst []byte, e Entry) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, e.ID)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(e.Perm)))
+	for _, p := range e.Perm {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(p))
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(e.Dists)))
+	for _, d := range e.Dists {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(d))
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(e.Payload)))
+	dst = append(dst, e.Payload...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(e.Vec)))
+	for _, f := range e.Vec {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(f))
+	}
+	return dst
+}
+
+// EncodeEntry returns the binary encoding of e.
+func EncodeEntry(e Entry) []byte {
+	return AppendEntry(make([]byte, 0, EncodedEntrySize(e)), e)
+}
+
+// DecodeEntry decodes one entry from the front of buf, returning the entry
+// and the remaining bytes.
+func DecodeEntry(buf []byte) (Entry, []byte, error) {
+	var e Entry
+	if len(buf) < 10 {
+		return e, nil, ErrCodec
+	}
+	e.ID = binary.LittleEndian.Uint64(buf)
+	buf = buf[8:]
+
+	permLen := int(binary.LittleEndian.Uint16(buf))
+	buf = buf[2:]
+	if len(buf) < 4*permLen+2 {
+		return e, nil, ErrCodec
+	}
+	if permLen > 0 {
+		e.Perm = make([]int32, permLen)
+		for i := range e.Perm {
+			e.Perm[i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+		buf = buf[4*permLen:]
+	}
+
+	distsLen := int(binary.LittleEndian.Uint16(buf))
+	buf = buf[2:]
+	if len(buf) < 8*distsLen+4 {
+		return e, nil, ErrCodec
+	}
+	if distsLen > 0 {
+		e.Dists = make([]float64, distsLen)
+		for i := range e.Dists {
+			e.Dists[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+		buf = buf[8*distsLen:]
+	}
+
+	payLen := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	if len(buf) < payLen+4 {
+		return e, nil, ErrCodec
+	}
+	if payLen > 0 {
+		e.Payload = make([]byte, payLen)
+		copy(e.Payload, buf[:payLen])
+		buf = buf[payLen:]
+	}
+
+	vecLen := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	if len(buf) < 4*vecLen {
+		return e, nil, ErrCodec
+	}
+	if vecLen > 0 {
+		e.Vec = make(metric.Vector, vecLen)
+		for i := range e.Vec {
+			e.Vec[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+		buf = buf[4*vecLen:]
+	}
+	return e, buf, nil
+}

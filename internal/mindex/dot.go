@@ -1,0 +1,55 @@
+package mindex
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDot renders the dynamic Voronoi cell tree as a Graphviz digraph —
+// the picture of the paper's Figure 3, generated from a live index. Leaves
+// show their occupancy; internal nodes their subtree size. Useful for
+// understanding how a pivot set partitions a concrete collection.
+func (ix *Index) WriteDot(w io.Writer) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var b strings.Builder
+	b.WriteString("digraph mindex {\n")
+	b.WriteString("  rankdir=TB;\n")
+	b.WriteString("  node [fontname=\"monospace\" fontsize=10];\n")
+	id := 0
+	var emit func(n *node) int
+	emit = func(n *node) int {
+		my := id
+		id++
+		label := "ε" // the root covers the whole space
+		if len(n.prefix) > 0 {
+			parts := make([]string, len(n.prefix))
+			for i, p := range n.prefix {
+				parts[i] = fmt.Sprintf("%d", p)
+			}
+			label = strings.Join(parts, ",")
+		}
+		if n.isLeaf() {
+			fmt.Fprintf(&b, "  n%d [shape=box style=filled fillcolor=lightyellow label=\"C(%s)\\n%d objs\"];\n",
+				my, label, n.count)
+			return my
+		}
+		fmt.Fprintf(&b, "  n%d [shape=ellipse label=\"C(%s)\\n%d objs\"];\n", my, label, n.count)
+		keys := make([]int32, 0, len(n.children))
+		for k := range n.children {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			child := emit(n.children[k])
+			fmt.Fprintf(&b, "  n%d -> n%d [label=\"p%d\"];\n", my, child, k)
+		}
+		return my
+	}
+	emit(ix.root)
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

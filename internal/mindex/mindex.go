@@ -1,0 +1,407 @@
+// Package mindex implements the M-Index (Novak & Batko 2009; Novak, Batko,
+// Zezula 2011): a dynamic, disk-efficient metric index based on recursive
+// Voronoi partitioning driven by pivot-permutation prefixes.
+//
+// Each indexed object is assigned to the Voronoi cell of its closest pivot;
+// cells exceeding a capacity limit are recursively re-partitioned by the
+// next-closest pivot, producing a dynamic cell tree addressed by permutation
+// prefixes (Figures 2 and 3 of the paper). Range queries prune the tree with
+// metric constraints (generalized-hyperplane and ball bounds) and filter
+// individual objects with the pivot-distance lower bound; approximate k-NN
+// queries rank cells by a promise value and collect a candidate set of a
+// requested size (Algorithms 3 and 4).
+//
+// Crucially for the Encrypted M-Index, every index operation here consumes
+// only object–pivot and query–pivot distances (or the permutations derived
+// from them) — never the objects or pivots themselves. The index therefore
+// runs unmodified on an untrusted server that stores opaque encrypted
+// payloads: this is precisely the property the paper exploits. The Plain
+// wrapper in plain.go adds the server-side refinement used by the
+// non-encrypted baseline, which does hold the pivots and raw vectors.
+package mindex
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"simcloud/internal/metric"
+	"simcloud/internal/pivot"
+)
+
+// StorageKind selects the bucket storage backend.
+type StorageKind uint8
+
+// Storage backends (Table 2 of the paper uses memory storage for YEAST and
+// HUMAN and disk storage for CoPhIR).
+const (
+	StorageMemory StorageKind = iota + 1
+	StorageDisk
+)
+
+// String implements fmt.Stringer.
+func (s StorageKind) String() string {
+	switch s {
+	case StorageMemory:
+		return "memory"
+	case StorageDisk:
+		return "disk"
+	}
+	return fmt.Sprintf("storage(%d)", uint8(s))
+}
+
+// RankStrategy selects how approximate search orders Voronoi cells.
+type RankStrategy uint8
+
+// Cell-ranking strategies for the approximate k-NN candidate collection.
+const (
+	// RankFootrule orders cells by a level-weighted Spearman footrule
+	// between the cell's permutation prefix and the query's pivot ranks.
+	// It needs only the query permutation — the minimum the encrypted
+	// client must reveal.
+	RankFootrule RankStrategy = iota + 1
+	// RankDistSum orders cells by the level-weighted sum of query–pivot
+	// distances along the prefix. It needs the query's distance vector.
+	RankDistSum
+)
+
+// String implements fmt.Stringer.
+func (r RankStrategy) String() string {
+	switch r {
+	case RankFootrule:
+		return "footrule"
+	case RankDistSum:
+		return "distsum"
+	}
+	return fmt.Sprintf("rank(%d)", uint8(r))
+}
+
+// Config parametrizes an M-Index instance.
+type Config struct {
+	// NumPivots is the size of the pivot set (n in the paper).
+	NumPivots int
+	// MaxLevel bounds the depth of the dynamic cell tree; permutation
+	// prefixes of at most this length address cells.
+	MaxLevel int
+	// BucketCapacity is the split threshold of a leaf cell.
+	BucketCapacity int
+	// Storage selects the bucket backend.
+	Storage StorageKind
+	// DiskPath is the bucket directory for StorageDisk.
+	DiskPath string
+	// Ranking selects the approximate-search cell ordering.
+	Ranking RankStrategy
+}
+
+func (c Config) validate() error {
+	if c.NumPivots <= 0 {
+		return errors.New("mindex: NumPivots must be positive")
+	}
+	if c.MaxLevel <= 0 || c.MaxLevel > c.NumPivots {
+		return fmt.Errorf("mindex: MaxLevel must be in 1..NumPivots, got %d", c.MaxLevel)
+	}
+	if c.BucketCapacity <= 0 {
+		return errors.New("mindex: BucketCapacity must be positive")
+	}
+	switch c.Storage {
+	case StorageMemory:
+	case StorageDisk:
+		if c.DiskPath == "" {
+			return errors.New("mindex: StorageDisk requires DiskPath")
+		}
+	default:
+		return fmt.Errorf("mindex: unknown storage kind %d", c.Storage)
+	}
+	if c.Ranking != RankFootrule && c.Ranking != RankDistSum {
+		return fmt.Errorf("mindex: unknown ranking strategy %d", c.Ranking)
+	}
+	return nil
+}
+
+// Entry is one indexed record as stored on the (possibly untrusted) server.
+//
+// Exactly one of Payload (encrypted deployments) or Vec (plain deployments)
+// is normally set; Perm always is. Dists is present when the data owner uses
+// the precise strategy (Algorithm 1, line 4) and enables server-side pivot
+// filtering; without it only the approximate strategy is available.
+type Entry struct {
+	ID      uint64
+	Perm    []int32   // permutation prefix, at least Config.MaxLevel long
+	Dists   []float64 // object–pivot distances (optional, precise strategy)
+	Payload []byte    // opaque encrypted object (encrypted deployments)
+	Vec     metric.Vector
+}
+
+// Index is a thread-safe M-Index over Entries. All operations use only
+// pivot-space information carried by the entries and queries; see the
+// package comment.
+type Index struct {
+	mu      sync.RWMutex
+	cfg     Config
+	store   BucketStore
+	root    *node
+	weights []float64
+	size    int
+}
+
+// node is a cell of the dynamic Voronoi cell tree. A node is either a leaf
+// owning a bucket, or an internal node with children keyed by the next
+// permutation element.
+type node struct {
+	prefix   []int32
+	children map[int32]*node // nil for leaves
+	bucket   BucketID
+	count    int // objects in this subtree
+
+	// Ball bounds: min/max distance from subtree objects to the cell's
+	// defining pivot (the last prefix element). Valid only while every
+	// inserted entry carried a distance vector.
+	rmin, rmax  float64
+	boundsValid bool
+}
+
+func (n *node) isLeaf() bool { return n.children == nil }
+
+func (n *node) level() int { return len(n.prefix) }
+
+// lastPivot returns the cell's defining pivot index, or -1 for the root.
+func (n *node) lastPivot() int32 {
+	if len(n.prefix) == 0 {
+		return -1
+	}
+	return n.prefix[len(n.prefix)-1]
+}
+
+// New creates an empty M-Index.
+func New(cfg Config) (*Index, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var store BucketStore
+	var err error
+	switch cfg.Storage {
+	case StorageMemory:
+		store = NewMemStore()
+	case StorageDisk:
+		store, err = NewDiskStore(cfg.DiskPath)
+		if err != nil {
+			return nil, err
+		}
+	}
+	idx := &Index{
+		cfg:     cfg,
+		store:   store,
+		weights: pivot.FootruleWeights(cfg.MaxLevel),
+	}
+	rootBucket, err := store.Create()
+	if err != nil {
+		return nil, err
+	}
+	idx.root = &node{bucket: rootBucket, rmin: 0, rmax: 0, boundsValid: true}
+	return idx, nil
+}
+
+// Config returns the index configuration.
+func (ix *Index) Config() Config { return ix.cfg }
+
+// Size returns the number of indexed entries.
+func (ix *Index) Size() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.size
+}
+
+// Close releases the bucket storage.
+func (ix *Index) Close() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.store.Close()
+}
+
+// Insert adds an entry to the index — the server side of the paper's insert
+// operation (Figure 4): locate the leaf cell of the entry's permutation
+// prefix, store the entry, split the leaf if it overflows.
+func (ix *Index) Insert(e Entry) error {
+	if len(e.Perm) < ix.cfg.MaxLevel {
+		return fmt.Errorf("mindex: entry permutation has %d elements, need at least MaxLevel=%d",
+			len(e.Perm), ix.cfg.MaxLevel)
+	}
+	for _, p := range e.Perm {
+		if p < 0 || int(p) >= ix.cfg.NumPivots {
+			return fmt.Errorf("mindex: permutation element %d out of range [0,%d)", p, ix.cfg.NumPivots)
+		}
+	}
+	if e.Dists != nil && len(e.Dists) != ix.cfg.NumPivots {
+		return fmt.Errorf("mindex: entry has %d pivot distances, want %d", len(e.Dists), ix.cfg.NumPivots)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if err := ix.insertAt(ix.root, e); err != nil {
+		return err
+	}
+	ix.size++
+	return nil
+}
+
+// InsertBulk inserts a batch of entries, the unit the construction-phase
+// experiments measure (bulk size 1,000 in the paper).
+func (ix *Index) InsertBulk(entries []Entry) error {
+	for i := range entries {
+		if err := ix.Insert(entries[i]); err != nil {
+			return fmt.Errorf("mindex: bulk insert entry %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (ix *Index) insertAt(n *node, e Entry) error {
+	for !n.isLeaf() {
+		n.count++
+		n.updateBounds(e)
+		key := e.Perm[n.level()]
+		child, ok := n.children[key]
+		if !ok {
+			b, err := ix.store.Create()
+			if err != nil {
+				return err
+			}
+			child = &node{
+				prefix:      appendPrefix(n.prefix, key),
+				bucket:      b,
+				boundsValid: true,
+			}
+			if e.Dists != nil {
+				child.rmin = e.Dists[key]
+				child.rmax = e.Dists[key]
+			}
+			n.children[key] = child
+		}
+		n = child
+	}
+	n.count++
+	n.updateBounds(e)
+	if err := ix.store.Append(n.bucket, e); err != nil {
+		return err
+	}
+	if n.count > ix.cfg.BucketCapacity && n.level() < ix.cfg.MaxLevel {
+		return ix.split(n)
+	}
+	return nil
+}
+
+// updateBounds maintains the node's ball bounds from the entry's distance
+// vector; entries without distances invalidate the bounds (the cell can then
+// no longer be ball-pruned, but remains correct).
+func (n *node) updateBounds(e Entry) {
+	p := n.lastPivot()
+	if p < 0 {
+		return
+	}
+	if e.Dists == nil {
+		n.boundsValid = false
+		return
+	}
+	d := e.Dists[p]
+	if n.count == 1 {
+		n.rmin, n.rmax = d, d
+		return
+	}
+	if d < n.rmin {
+		n.rmin = d
+	}
+	if d > n.rmax {
+		n.rmax = d
+	}
+}
+
+// split turns an overflowing leaf into an internal node, redistributing its
+// bucket by the next permutation element — the recursive Voronoi step.
+func (ix *Index) split(n *node) error {
+	entries, err := ix.store.Load(n.bucket)
+	if err != nil {
+		return err
+	}
+	if err := ix.store.Free(n.bucket); err != nil {
+		return err
+	}
+	n.children = make(map[int32]*node)
+	n.bucket = 0
+	level := n.level()
+	for _, e := range entries {
+		key := e.Perm[level]
+		child, ok := n.children[key]
+		if !ok {
+			b, err := ix.store.Create()
+			if err != nil {
+				return err
+			}
+			child = &node{
+				prefix:      appendPrefix(n.prefix, key),
+				bucket:      b,
+				boundsValid: true,
+			}
+			n.children[key] = child
+		}
+		child.count++
+		child.updateBounds(e)
+		if err := ix.store.Append(child.bucket, e); err != nil {
+			return err
+		}
+	}
+	// A pathological split can put everything into one child (all objects
+	// share the next permutation element); recurse so capacity is restored
+	// where possible.
+	for _, child := range n.children {
+		if child.count > ix.cfg.BucketCapacity && child.level() < ix.cfg.MaxLevel {
+			if err := ix.split(child); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func appendPrefix(prefix []int32, key int32) []int32 {
+	out := make([]int32, len(prefix)+1)
+	copy(out, prefix)
+	out[len(prefix)] = key
+	return out
+}
+
+// Stats summarizes the tree shape, used by tooling and tests.
+type Stats struct {
+	Entries     int
+	Leaves      int
+	InnerNodes  int
+	MaxDepth    int
+	MaxBucket   int
+	TotalBucket int
+}
+
+// TreeStats walks the cell tree and reports its shape.
+func (ix *Index) TreeStats() Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var s Stats
+	s.Entries = ix.size
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.level() > s.MaxDepth {
+			s.MaxDepth = n.level()
+		}
+		if n.isLeaf() {
+			s.Leaves++
+			s.TotalBucket += n.count
+			if n.count > s.MaxBucket {
+				s.MaxBucket = n.count
+			}
+			return
+		}
+		s.InnerNodes++
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(ix.root)
+	return s
+}

@@ -1,0 +1,287 @@
+package mindex
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"simcloud/internal/metric"
+	"simcloud/internal/pivot"
+)
+
+// Result is one answer of a refined similarity query.
+type Result struct {
+	ID   uint64
+	Dist float64
+	Vec  metric.Vector
+}
+
+// sortResults orders results by distance, ties by ID, and trims to k (k <= 0
+// keeps everything).
+func sortResults(rs []Result, k int) []Result {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Dist != rs[j].Dist {
+			return rs[i].Dist < rs[j].Dist
+		}
+		return rs[i].ID < rs[j].ID
+	})
+	if k > 0 && len(rs) > k {
+		rs = rs[:k]
+	}
+	return rs
+}
+
+// Plain couples an M-Index with the pivot set and raw vectors, forming the
+// basic non-encrypted M-Index of the paper's baseline measurements: the
+// server holds everything and performs the entire search, returning only
+// final answers.
+type Plain struct {
+	Idx    *Index
+	Pivots *pivot.Set
+}
+
+// NewPlain builds an empty plain M-Index over the given pivots.
+func NewPlain(cfg Config, pivots *pivot.Set) (*Plain, error) {
+	if pivots.N() != cfg.NumPivots {
+		return nil, fmt.Errorf("mindex: pivot set has %d pivots, config says %d", pivots.N(), cfg.NumPivots)
+	}
+	idx, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Plain{Idx: idx, Pivots: pivots}, nil
+}
+
+// Insert computes the object's pivot distances and permutation and indexes
+// the raw vector.
+func (p *Plain) Insert(o metric.Object) error {
+	dists := p.Pivots.Distances(o.Vec)
+	return p.Idx.Insert(Entry{
+		ID:    o.ID,
+		Perm:  pivot.Permutation(dists),
+		Dists: dists,
+		Vec:   o.Vec.Clone(),
+	})
+}
+
+// InsertBulk indexes a batch of objects.
+func (p *Plain) InsertBulk(objs []metric.Object) error {
+	for i := range objs {
+		if err := p.Insert(objs[i]); err != nil {
+			return fmt.Errorf("mindex: plain bulk insert object %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Range evaluates the precise range query R(q, r) entirely on the server:
+// candidate collection via RangeByDists followed by refinement with real
+// distances.
+func (p *Plain) Range(q metric.Vector, r float64) ([]Result, error) {
+	qDists := p.Pivots.Distances(q)
+	cands, err := p.Idx.RangeByDists(qDists, r)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	for _, e := range cands {
+		d := p.Pivots.Dist.Dist(q, e.Vec)
+		if d <= r {
+			out = append(out, Result{ID: e.ID, Dist: d, Vec: e.Vec})
+		}
+	}
+	return sortResults(out, 0), nil
+}
+
+// knnHeap is a bounded max-heap of the k best results found so far.
+type knnHeap []Result
+
+func (h knnHeap) Len() int           { return len(h) }
+func (h knnHeap) Less(i, j int) bool { return h[i].Dist > h[j].Dist } // max-heap
+func (h knnHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *knnHeap) Push(x any)        { *h = append(*h, x.(Result)) }
+func (h *knnHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// offer inserts r if it improves the k best; returns the current pruning
+// radius (k-th best distance, or +Inf while fewer than k results are known).
+func (h *knnHeap) offer(r Result, k int) float64 {
+	if h.Len() < k {
+		heap.Push(h, r)
+	} else if r.Dist < (*h)[0].Dist {
+		(*h)[0] = r
+		heap.Fix(h, 0)
+	}
+	if h.Len() < k {
+		return math.Inf(1)
+	}
+	return (*h)[0].Dist
+}
+
+// KNN evaluates the precise k-NN query with an optimal best-first traversal
+// of the cell tree: nodes are visited in order of their metric lower bound
+// and the traversal stops as soon as no remaining cell can improve the k-th
+// best distance. This is the library's exact search; KNNApproxRange mirrors
+// the two-phase strategy the paper describes.
+func (p *Plain) KNN(q metric.Vector, k int) ([]Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("mindex: k must be positive, got %d", k)
+	}
+	ix := p.Idx
+	qDists := p.Pivots.Distances(q)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	best := &knnHeap{}
+	radius := math.Inf(1)
+	pq := &rankedQueue{{n: ix.root, promise: 0}} // promise reused as lower bound
+	heap.Init(pq)
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(rankedNode)
+		if item.promise > radius {
+			break // every remaining cell is at least this far
+		}
+		if item.n.isLeaf() {
+			entries, err := ix.store.Load(item.n.bucket)
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range entries {
+				if e.Dists != nil && pivot.LowerBound(qDists, e.Dists) > radius {
+					continue
+				}
+				d := p.Pivots.Dist.Dist(q, e.Vec)
+				if d <= radius || best.Len() < k {
+					radius = best.offer(Result{ID: e.ID, Dist: d, Vec: e.Vec}, k)
+				}
+			}
+			continue
+		}
+		for key, child := range item.n.children {
+			lb := ix.cellLowerBound(child, key, item.n, qDists)
+			if lb < item.promise {
+				lb = item.promise // bounds accumulate along the path
+			}
+			if lb <= radius {
+				heap.Push(pq, rankedNode{n: child, promise: lb})
+			}
+		}
+	}
+	return sortResults(*best, k), nil
+}
+
+// KNNApproxRange evaluates the precise k-NN query the way Section 4.2
+// describes: run an approximate k-NN to obtain an upper bound ρk on the k-th
+// nearest-neighbor distance, then execute the precise range query R(q, ρk)
+// and keep the k closest answers. candSize controls the first phase (it only
+// affects cost, not correctness, as long as at least k candidates exist).
+func (p *Plain) KNNApproxRange(q metric.Vector, k, candSize int) ([]Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("mindex: k must be positive, got %d", k)
+	}
+	if candSize < k {
+		candSize = k
+	}
+	approx, err := p.ApproxKNN(q, k, candSize)
+	if err != nil {
+		return nil, err
+	}
+	if len(approx) < k {
+		// Fewer than k objects indexed in promising cells; fall back to the
+		// whole data set radius.
+		return p.KNN(q, k)
+	}
+	rho := approx[len(approx)-1].Dist
+	within, err := p.Range(q, rho)
+	if err != nil {
+		return nil, err
+	}
+	return sortResults(within, k), nil
+}
+
+// ApproxKNN evaluates the approximate k-NN query entirely on the server:
+// candidate collection via the promise-ranked cell traversal, then
+// refinement of the candidate set with real distances.
+func (p *Plain) ApproxKNN(q metric.Vector, k, candSize int) ([]Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("mindex: k must be positive, got %d", k)
+	}
+	qDists := p.Pivots.Distances(q)
+	aq := ApproxQuery{Dists: qDists, Ranks: pivot.Ranks(pivot.Permutation(qDists))}
+	cands, err := p.Idx.ApproxCandidates(aq, candSize)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(cands))
+	for _, e := range cands {
+		out = append(out, Result{ID: e.ID, Dist: p.Pivots.Dist.Dist(q, e.Vec), Vec: e.Vec})
+	}
+	return sortResults(out, k), nil
+}
+
+// AllEntries returns every stored entry (used by the trivial download-all
+// baseline and diagnostics). The order is unspecified.
+func (ix *Index) AllEntries() ([]Entry, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]Entry, 0, ix.size)
+	var walk func(n *node) error
+	walk = func(n *node) error {
+		if n.isLeaf() {
+			entries, err := ix.store.Load(n.bucket)
+			if err != nil {
+				return err
+			}
+			out = append(out, entries...)
+			return nil
+		}
+		for _, c := range n.children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(ix.root); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BruteForceKNN scans all entries — the reference answer generator used by
+// recall measurements and tests. It requires raw vectors (plain deployment).
+func (p *Plain) BruteForceKNN(q metric.Vector, k int) ([]Result, error) {
+	ix := p.Idx
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var out []Result
+	var walk func(n *node) error
+	walk = func(n *node) error {
+		if n.isLeaf() {
+			entries, err := ix.store.Load(n.bucket)
+			if err != nil {
+				return err
+			}
+			for _, e := range entries {
+				out = append(out, Result{ID: e.ID, Dist: p.Pivots.Dist.Dist(q, e.Vec), Vec: e.Vec})
+			}
+			return nil
+		}
+		for _, c := range n.children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(ix.root); err != nil {
+		return nil, err
+	}
+	return sortResults(out, k), nil
+}

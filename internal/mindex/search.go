@@ -1,0 +1,244 @@
+package mindex
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"simcloud/internal/pivot"
+)
+
+// RangeByDists evaluates the server side of a precise range query
+// (Algorithm 3 of the paper): given only the query's pivot-distance vector
+// and the radius, it prunes the Voronoi cell tree with metric constraints
+// and pivot-filters the surviving entries, returning the candidate set.
+//
+// Every returned entry is a possible member of R(q, r); every indexed object
+// within the radius is guaranteed to be returned (no false dismissals — the
+// applied bounds are true metric lower bounds). The caller refines by
+// computing real distances: the server in the plain deployment, the
+// authorized client in the encrypted one.
+func (ix *Index) RangeByDists(qDists []float64, r float64) ([]Entry, error) {
+	if len(qDists) != ix.cfg.NumPivots {
+		return nil, fmt.Errorf("mindex: query has %d pivot distances, want %d", len(qDists), ix.cfg.NumPivots)
+	}
+	if r < 0 {
+		return nil, fmt.Errorf("mindex: negative query radius %g", r)
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var out []Entry
+	var visit func(n *node) error
+	visit = func(n *node) error {
+		if n.isLeaf() {
+			entries, err := ix.store.Load(n.bucket)
+			if err != nil {
+				return err
+			}
+			for _, e := range entries {
+				// Pivot filtering (Algorithm 3, lines 5–7): discard when the
+				// triangle-inequality lower bound exceeds the radius.
+				if e.Dists != nil && pivot.LowerBound(qDists, e.Dists) > r {
+					continue
+				}
+				out = append(out, e)
+			}
+			return nil
+		}
+		for key, child := range n.children {
+			if ix.pruneCell(child, key, n, qDists, r) {
+				continue
+			}
+			if err := visit(child); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := visit(ix.root); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// pruneCell decides whether the child cell (reached from parent via
+// permutation element key) can be excluded from a range query of radius r.
+// Two true lower bounds are applied:
+//
+//   - Generalized-hyperplane: every object o in the cell has pivot p_key
+//     among its nearest pivots outside the parent prefix, so
+//     d(q,o) ≥ (d(q,p_key) − min_{m∉prefix} d(q,p_m)) / 2.
+//   - Ball (range-pivot): subtree objects satisfy
+//     rmin ≤ d(o,p_key) ≤ rmax, so d(q,o) ≥ d(q,p_key) − rmax and
+//     d(q,o) ≥ rmin − d(q,p_key).
+func (ix *Index) pruneCell(child *node, key int32, parent *node, qDists []float64, r float64) bool {
+	return ix.cellLowerBound(child, key, parent, qDists) > r
+}
+
+// cellLowerBound returns a lower bound on the distance from the query to any
+// object in the cell, combining the hyperplane and ball constraints.
+func (ix *Index) cellLowerBound(child *node, key int32, parent *node, qDists []float64) float64 {
+	dq := qDists[key]
+	lb := 0.0
+	// Hyperplane bound against the closest other pivot not already used on
+	// the path (including key's siblings and all deeper pivots).
+	minOther := math.Inf(1)
+	inPrefix := make(map[int32]bool, len(parent.prefix)+1)
+	for _, p := range parent.prefix {
+		inPrefix[p] = true
+	}
+	inPrefix[key] = true
+	for m, d := range qDists {
+		if inPrefix[int32(m)] {
+			continue
+		}
+		if d < minOther {
+			minOther = d
+		}
+	}
+	if !math.IsInf(minOther, 1) {
+		if hb := (dq - minOther) / 2; hb > lb {
+			lb = hb
+		}
+	}
+	if child.boundsValid && child.count > 0 {
+		if bb := dq - child.rmax; bb > lb {
+			lb = bb
+		}
+		if bb := child.rmin - dq; bb > lb {
+			lb = bb
+		}
+	}
+	return lb
+}
+
+// rankedNode is a cell-tree node queued by its promise value during the
+// approximate search (lower promise = more promising).
+type rankedNode struct {
+	n       *node
+	promise float64
+}
+
+type rankedQueue []rankedNode
+
+func (q rankedQueue) Len() int { return len(q) }
+
+// Less orders by promise, breaking ties by cell prefix so traversal order —
+// and therefore every candidate set — is fully deterministic (children are
+// discovered in map order, which must not leak into results).
+func (q rankedQueue) Less(i, j int) bool {
+	if q[i].promise != q[j].promise {
+		return q[i].promise < q[j].promise
+	}
+	return prefixLess(q[i].n.prefix, q[j].n.prefix)
+}
+
+// prefixLess compares cell prefixes lexicographically, shorter first.
+func prefixLess(a, b []int32) bool {
+	for k := range min(len(a), len(b)) {
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return len(a) < len(b)
+}
+func (q rankedQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *rankedQueue) Push(x any)   { *q = append(*q, x.(rankedNode)) }
+func (q *rankedQueue) Pop() any {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// ApproxQuery carries the query-side information for an approximate k-NN
+// candidate collection. Exactly the information the client chose to reveal
+// must be present: Ranks (derived from the query permutation) for the
+// footrule strategy, Dists for the distance-sum strategy.
+type ApproxQuery struct {
+	Ranks []int32
+	Dists []float64
+}
+
+// ApproxCandidates evaluates the server side of the approximate k-NN query
+// (Algorithm 4 of the paper): Voronoi cells are visited in order of their
+// promise value and their entries collected until the candidate set reaches
+// candSize; the set is then trimmed to exactly candSize. The returned
+// candidates are pre-ranked: entries of more promising cells come first, so
+// a client may choose to decrypt only a prefix.
+func (ix *Index) ApproxCandidates(q ApproxQuery, candSize int) ([]Entry, error) {
+	if candSize <= 0 {
+		return nil, fmt.Errorf("mindex: candidate size must be positive, got %d", candSize)
+	}
+	switch ix.cfg.Ranking {
+	case RankFootrule:
+		if len(q.Ranks) != ix.cfg.NumPivots {
+			return nil, fmt.Errorf("mindex: footrule ranking needs %d pivot ranks, got %d",
+				ix.cfg.NumPivots, len(q.Ranks))
+		}
+	case RankDistSum:
+		if len(q.Dists) != ix.cfg.NumPivots {
+			return nil, fmt.Errorf("mindex: distsum ranking needs %d pivot distances, got %d",
+				ix.cfg.NumPivots, len(q.Dists))
+		}
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	pq := &rankedQueue{{n: ix.root, promise: 0}}
+	heap.Init(pq)
+	out := make([]Entry, 0, candSize)
+	for pq.Len() > 0 && len(out) < candSize {
+		item := heap.Pop(pq).(rankedNode)
+		if item.n.isLeaf() {
+			entries, err := ix.store.Load(item.n.bucket)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, entries...)
+			continue
+		}
+		for _, child := range item.n.children {
+			heap.Push(pq, rankedNode{n: child, promise: ix.promise(child, q)})
+		}
+	}
+	if len(out) > candSize {
+		out = out[:candSize]
+	}
+	return out, nil
+}
+
+// promise computes the cell-ordering key of Algorithm 4, line 3 ("next
+// promising Voronoi cell") under the configured strategy.
+func (ix *Index) promise(n *node, q ApproxQuery) float64 {
+	switch ix.cfg.Ranking {
+	case RankDistSum:
+		return pivot.DistSumPromise(q.Dists, n.prefix, ix.weights)
+	default:
+		return pivot.FootrulePromise(q.Ranks, n.prefix, ix.weights)
+	}
+}
+
+// FirstCellCandidates returns the entries of the single most promising leaf
+// cell — the restricted strategy of the paper's 1-NN comparison experiment
+// (Section 5.4), where "the server-side M-Index was limited to access only
+// one M-Index Voronoi cell which then forms the candidate set".
+func (ix *Index) FirstCellCandidates(q ApproxQuery) ([]Entry, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	pq := &rankedQueue{{n: ix.root, promise: 0}}
+	heap.Init(pq)
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(rankedNode)
+		if item.n.isLeaf() {
+			if item.n.count == 0 {
+				continue // skip empty cells; the experiment wants a non-empty one
+			}
+			return ix.store.Load(item.n.bucket)
+		}
+		for _, child := range item.n.children {
+			heap.Push(pq, rankedNode{n: child, promise: ix.promise(child, q)})
+		}
+	}
+	return nil, nil
+}

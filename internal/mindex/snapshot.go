@@ -1,0 +1,269 @@
+package mindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"simcloud/internal/pivot"
+)
+
+// Snapshot support: a disk-backed M-Index can persist its cell tree to a
+// small metadata file and reattach to its bucket directory after a restart,
+// so an outsourced deployment does not re-ingest the collection. Bucket
+// payloads already live in the DiskStore directory; the snapshot holds the
+// tree shape, per-node bounds and per-bucket entry counts.
+//
+// Snapshot file format (little endian):
+//
+//	magic    [8]byte "SIMCSNAP"
+//	version  uint8 (1)
+//	numPivots, maxLevel, bucketCapacity uint32
+//	ranking  uint8
+//	size     uint64  (total entries)
+//	nextBkt  uint64  (DiskStore allocation cursor)
+//	tree     preorder node records (see writeNode)
+
+var snapMagic = [8]byte{'S', 'I', 'M', 'C', 'S', 'N', 'A', 'P'}
+
+// ErrSnapshot reports a malformed or mismatched snapshot file.
+var ErrSnapshot = errors.New("mindex: invalid snapshot")
+
+// SaveSnapshot writes the index metadata to path. Only disk-backed indexes
+// can be snapshotted — a memory store loses its buckets with the process.
+func (ix *Index) SaveSnapshot(path string) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ds, ok := ix.store.(*DiskStore)
+	if !ok {
+		return errors.New("mindex: only disk-backed indexes support snapshots")
+	}
+	if err := ds.Sync(); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if _, err := w.Write(snapMagic[:]); err != nil {
+		f.Close()
+		return err
+	}
+	hdr := make([]byte, 0, 64)
+	hdr = append(hdr, 1) // version
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(ix.cfg.NumPivots))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(ix.cfg.MaxLevel))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(ix.cfg.BucketCapacity))
+	hdr = append(hdr, byte(ix.cfg.Ranking))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(ix.size))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(ds.NextID()))
+	if _, err := w.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	if err := writeNode(w, ix.root); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Node record:
+//
+//	prefixLen uint16 | prefix int32s
+//	kind      uint8  (0 internal, 1 leaf)
+//	count     uint32
+//	rmin, rmax float64 | boundsValid uint8
+//	leaf:     bucket uint64
+//	internal: childCount uint16 | children...
+func writeNode(w io.Writer, n *node) error {
+	buf := make([]byte, 0, 64)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(n.prefix)))
+	for _, p := range n.prefix {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(p))
+	}
+	kind := byte(0)
+	if n.isLeaf() {
+		kind = 1
+	}
+	buf = append(buf, kind)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n.count))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(n.rmin))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(n.rmax))
+	valid := byte(0)
+	if n.boundsValid {
+		valid = 1
+	}
+	buf = append(buf, valid)
+	if n.isLeaf() {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(n.bucket))
+		_, err := w.Write(buf)
+		return err
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(n.children)))
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	// Deterministic child order: ascending key.
+	keys := make([]int32, 0, len(n.children))
+	for k := range n.children {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	for _, k := range keys {
+		if err := writeNode(w, n.children[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadSnapshot reopens a disk-backed index from its snapshot file and
+// bucket directory. cfg must match the snapshotted configuration (pivot
+// count, max level, bucket capacity, ranking) and carry the DiskPath.
+func LoadSnapshot(cfg Config, path string) (*Index, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Storage != StorageDisk {
+		return nil, errors.New("mindex: snapshots require disk storage")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &snapReader{buf: raw}
+	var magic [8]byte
+	copy(magic[:], r.take(8))
+	if magic != snapMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrSnapshot)
+	}
+	if v := r.u8(); v != 1 {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrSnapshot, v)
+	}
+	numPivots := int(r.u32())
+	maxLevel := int(r.u32())
+	bucketCap := int(r.u32())
+	ranking := RankStrategy(r.u8())
+	size := int(r.u64())
+	next := BucketID(r.u64())
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: truncated header", ErrSnapshot)
+	}
+	if numPivots != cfg.NumPivots || maxLevel != cfg.MaxLevel ||
+		bucketCap != cfg.BucketCapacity || ranking != cfg.Ranking {
+		return nil, fmt.Errorf("%w: snapshot parameters (pivots=%d level=%d bucket=%d ranking=%v) do not match config",
+			ErrSnapshot, numPivots, maxLevel, bucketCap, ranking)
+	}
+	root, counts, err := readNode(r, 0)
+	if err != nil {
+		return nil, err
+	}
+	if r.err != nil || len(r.buf) != 0 {
+		return nil, fmt.Errorf("%w: trailing or missing bytes", ErrSnapshot)
+	}
+	store, err := ReopenDiskStore(cfg.DiskPath, counts, next)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		cfg:     cfg,
+		store:   store,
+		root:    root,
+		weights: pivot.FootruleWeights(cfg.MaxLevel),
+		size:    size,
+	}
+	return ix, nil
+}
+
+type snapReader struct {
+	buf []byte
+	err error
+}
+
+func (r *snapReader) take(n int) []byte {
+	if r.err != nil || len(r.buf) < n {
+		r.err = ErrSnapshot
+		return make([]byte, n)
+	}
+	out := r.buf[:n]
+	r.buf = r.buf[n:]
+	return out
+}
+
+func (r *snapReader) u8() uint8   { return r.take(1)[0] }
+func (r *snapReader) u16() uint16 { return binary.LittleEndian.Uint16(r.take(2)) }
+func (r *snapReader) u32() uint32 { return binary.LittleEndian.Uint32(r.take(4)) }
+func (r *snapReader) u64() uint64 { return binary.LittleEndian.Uint64(r.take(8)) }
+func (r *snapReader) f64() float64 {
+	return math.Float64frombits(r.u64())
+}
+
+const maxSnapshotDepth = 1 << 10
+
+func readNode(r *snapReader, depth int) (*node, map[BucketID]int, error) {
+	if depth > maxSnapshotDepth {
+		return nil, nil, fmt.Errorf("%w: tree deeper than %d", ErrSnapshot, maxSnapshotDepth)
+	}
+	prefixLen := int(r.u16())
+	if r.err != nil || prefixLen > maxSnapshotDepth {
+		return nil, nil, fmt.Errorf("%w: implausible prefix length", ErrSnapshot)
+	}
+	prefix := make([]int32, prefixLen)
+	for i := range prefix {
+		prefix[i] = int32(r.u32())
+	}
+	kind := r.u8()
+	count := int(r.u32())
+	rmin := r.f64()
+	rmax := r.f64()
+	valid := r.u8() == 1
+	if r.err != nil {
+		return nil, nil, fmt.Errorf("%w: truncated node", ErrSnapshot)
+	}
+	n := &node{prefix: prefix, count: count, rmin: rmin, rmax: rmax, boundsValid: valid}
+	counts := make(map[BucketID]int)
+	switch kind {
+	case 1:
+		n.bucket = BucketID(r.u64())
+		if r.err != nil {
+			return nil, nil, fmt.Errorf("%w: truncated leaf", ErrSnapshot)
+		}
+		counts[n.bucket] = count
+		return n, counts, nil
+	case 0:
+		childCount := int(r.u16())
+		if r.err != nil || childCount > 1<<16 {
+			return nil, nil, fmt.Errorf("%w: implausible child count", ErrSnapshot)
+		}
+		n.children = make(map[int32]*node, childCount)
+		for range childCount {
+			child, childCounts, err := readNode(r, depth+1)
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(child.prefix) != len(prefix)+1 {
+				return nil, nil, fmt.Errorf("%w: child depth mismatch", ErrSnapshot)
+			}
+			n.children[child.lastPivot()] = child
+			for id, c := range childCounts {
+				counts[id] = c
+			}
+		}
+		return n, counts, nil
+	}
+	return nil, nil, fmt.Errorf("%w: unknown node kind %d", ErrSnapshot, kind)
+}

@@ -1,0 +1,255 @@
+package mindex
+
+import (
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"simcloud/internal/dataset"
+	"simcloud/internal/metric"
+	"simcloud/internal/pivot"
+)
+
+// buildDisk creates a disk-backed plain index over a clustered collection.
+func buildDisk(t *testing.T, dir string, seed uint64, n int) (*Plain, *dataset.Dataset) {
+	t.Helper()
+	ds := dataset.Clustered(seed, n, 5, 6, metric.L2{})
+	rng := rand.New(rand.NewPCG(seed, 9))
+	pv := pivot.SelectRandom(rng, ds.Dist, ds.Objects, 8)
+	cfg := testConfig(8)
+	cfg.Storage = StorageDisk
+	cfg.DiskPath = dir
+	p, err := NewPlain(cfg, pv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InsertBulk(ds.Objects); err != nil {
+		t.Fatal(err)
+	}
+	return p, ds
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(t.TempDir(), "index.snap")
+	p, ds := buildDisk(t, dir, 61, 900)
+	origStats := p.Idx.TreeStats()
+
+	// Reference answers before shutdown.
+	q := ds.Objects[17].Vec
+	wantRange, err := p.Idx.RangeByDists(p.Pivots.Distances(q), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Idx.SaveSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Idx.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: reattach from the snapshot.
+	cfg := testConfig(8)
+	cfg.Storage = StorageDisk
+	cfg.DiskPath = dir
+	idx, err := LoadSnapshot(cfg, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	if idx.Size() != 900 {
+		t.Fatalf("restored size = %d", idx.Size())
+	}
+	st := idx.TreeStats()
+	if st != origStats {
+		t.Fatalf("restored stats %+v != original %+v", st, origStats)
+	}
+	gotRange, err := idx.RangeByDists(p.Pivots.Distances(q), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotRange) != len(wantRange) {
+		t.Fatalf("restored range: %d candidates, want %d", len(gotRange), len(wantRange))
+	}
+	wantIDs := map[uint64]bool{}
+	for _, e := range wantRange {
+		wantIDs[e.ID] = true
+	}
+	for _, e := range gotRange {
+		if !wantIDs[e.ID] {
+			t.Fatalf("restored range returned unexpected entry %d", e.ID)
+		}
+	}
+}
+
+func TestSnapshotSupportsFurtherInserts(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(t.TempDir(), "index.snap")
+	p, ds := buildDisk(t, dir, 62, 400)
+	if err := p.Idx.SaveSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Idx.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testConfig(8)
+	cfg.Storage = StorageDisk
+	cfg.DiskPath = dir
+	idx, err := LoadSnapshot(cfg, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+
+	// Insert more objects through the restored index; splits must work
+	// (fresh bucket IDs must not collide with pre-restart buckets).
+	pv := p.Pivots
+	more := dataset.Clustered(63, 400, 5, 6, metric.L2{})
+	for _, o := range more.Objects {
+		dists := pv.Distances(o.Vec)
+		if err := idx.Insert(Entry{
+			ID:    o.ID + 10000,
+			Perm:  pivot.Permutation(dists),
+			Dists: dists,
+			Vec:   o.Vec,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if idx.Size() != 800 {
+		t.Fatalf("size after further inserts = %d", idx.Size())
+	}
+	all, err := idx.AllEntries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 800 {
+		t.Fatalf("AllEntries after restore+insert = %d", len(all))
+	}
+	seen := map[uint64]bool{}
+	for _, e := range all {
+		if seen[e.ID] {
+			t.Fatalf("duplicate entry %d after restore", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	_ = ds
+}
+
+func TestSnapshotRejectsMemoryStore(t *testing.T) {
+	idx, err := New(testConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	if err := idx.SaveSnapshot(filepath.Join(t.TempDir(), "x.snap")); err == nil {
+		t.Fatal("memory-store snapshot accepted")
+	}
+	cfg := testConfig(6)
+	if _, err := LoadSnapshot(cfg, "nonexistent"); err == nil {
+		t.Fatal("memory-store load accepted")
+	}
+}
+
+func TestSnapshotRejectsConfigMismatch(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(t.TempDir(), "index.snap")
+	p, _ := buildDisk(t, dir, 64, 200)
+	if err := p.Idx.SaveSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	p.Idx.Close()
+
+	cfg := testConfig(8)
+	cfg.Storage = StorageDisk
+	cfg.DiskPath = dir
+	cfg.BucketCapacity = 999 // mismatch
+	if _, err := LoadSnapshot(cfg, snap); err == nil {
+		t.Fatal("mismatched config accepted")
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(t.TempDir(), "index.snap")
+	p, _ := buildDisk(t, dir, 65, 300)
+	if err := p.Idx.SaveSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	p.Idx.Close()
+
+	cfg := testConfig(8)
+	cfg.Storage = StorageDisk
+	cfg.DiskPath = dir
+
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncations at various points must all be rejected.
+	for _, cut := range []int{3, 9, 20, len(raw) / 2, len(raw) - 1} {
+		bad := filepath.Join(t.TempDir(), "bad.snap")
+		if err := os.WriteFile(bad, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadSnapshot(cfg, bad); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Bad magic.
+	mangled := append([]byte{}, raw...)
+	mangled[0] = 'X'
+	bad := filepath.Join(t.TempDir(), "badmagic.snap")
+	os.WriteFile(bad, mangled, 0o644)
+	if _, err := LoadSnapshot(cfg, bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestSnapshotRejectsMissingBucketFiles(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(t.TempDir(), "index.snap")
+	p, _ := buildDisk(t, dir, 66, 300)
+	if err := p.Idx.SaveSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	p.Idx.Close()
+
+	// Delete one bucket file behind the snapshot's back.
+	files, err := filepath.Glob(filepath.Join(dir, "bucket-*.bin"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no bucket files: %v", err)
+	}
+	if err := os.Remove(files[0]); err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(8)
+	cfg.Storage = StorageDisk
+	cfg.DiskPath = dir
+	if _, err := LoadSnapshot(cfg, snap); err == nil {
+		t.Fatal("missing bucket file not detected")
+	}
+}
+
+func TestWriteDot(t *testing.T) {
+	p, _ := buildDisk(t, t.TempDir(), 67, 300)
+	defer p.Idx.Close()
+	var b strings.Builder
+	if err := p.Idx.WriteDot(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "digraph mindex {") || !strings.HasSuffix(out, "}\n") {
+		t.Fatalf("not a digraph:\n%.120s", out)
+	}
+	st := p.Idx.TreeStats()
+	if got := strings.Count(out, "shape=box"); got != st.Leaves {
+		t.Fatalf("dot shows %d leaves, tree has %d", got, st.Leaves)
+	}
+	if got := strings.Count(out, "->"); got != st.Leaves+st.InnerNodes-1 {
+		t.Fatalf("dot shows %d edges, want %d", got, st.Leaves+st.InnerNodes-1)
+	}
+}

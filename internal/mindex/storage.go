@@ -1,0 +1,336 @@
+package mindex
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// BucketID identifies a bucket within a BucketStore.
+type BucketID uint64
+
+// BucketStore abstracts the leaf-bucket backend of the M-Index. The paper's
+// Table 2 uses memory storage for the small gene-expression sets and disk
+// storage for CoPhIR; both are provided.
+//
+// Implementations must be safe for concurrent use — searches Load buckets
+// under the index read-lock while other goroutines may be reading too.
+type BucketStore interface {
+	// Create allocates a new empty bucket.
+	Create() (BucketID, error)
+	// Append adds an entry to a bucket.
+	Append(id BucketID, e Entry) error
+	// Load returns all entries of a bucket.
+	Load(id BucketID) ([]Entry, error)
+	// Free releases a bucket (after a split has redistributed it).
+	Free(id BucketID) error
+	// Close releases all resources.
+	Close() error
+}
+
+// MemStore keeps buckets as in-memory slices.
+type MemStore struct {
+	mu      sync.RWMutex
+	buckets map[BucketID][]Entry
+	next    BucketID
+}
+
+// NewMemStore creates an empty in-memory bucket store.
+func NewMemStore() *MemStore {
+	return &MemStore{buckets: make(map[BucketID][]Entry)}
+}
+
+// Create implements BucketStore.
+func (s *MemStore) Create() (BucketID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next++
+	id := s.next
+	s.buckets[id] = nil
+	return id, nil
+}
+
+// Append implements BucketStore.
+func (s *MemStore) Append(id BucketID, e Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.buckets[id]; !ok {
+		return fmt.Errorf("mindex: append to unknown bucket %d", id)
+	}
+	s.buckets[id] = append(s.buckets[id], e)
+	return nil
+}
+
+// Load implements BucketStore.
+func (s *MemStore) Load(id BucketID) ([]Entry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	entries, ok := s.buckets[id]
+	if !ok {
+		return nil, fmt.Errorf("mindex: load of unknown bucket %d", id)
+	}
+	out := make([]Entry, len(entries))
+	copy(out, entries)
+	return out, nil
+}
+
+// Free implements BucketStore.
+func (s *MemStore) Free(id BucketID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.buckets[id]; !ok {
+		return fmt.Errorf("mindex: free of unknown bucket %d", id)
+	}
+	delete(s.buckets, id)
+	return nil
+}
+
+// Close implements BucketStore.
+func (s *MemStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buckets = nil
+	return nil
+}
+
+// DiskStore keeps each bucket as an append-only file of encoded entries in a
+// directory, with a bounded cache of open append handles so bulk loading
+// does not pay an open/close syscall pair per insert.
+type DiskStore struct {
+	mu     sync.Mutex
+	dir    string
+	next   BucketID
+	counts map[BucketID]int
+	open   map[BucketID]*bufio.Writer
+	files  map[BucketID]*os.File
+	lru    []BucketID
+	maxFDs int
+	closed bool
+}
+
+// NewDiskStore creates a bucket store rooted at dir (created if missing).
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("mindex: creating bucket directory: %w", err)
+	}
+	return &DiskStore{
+		dir:    dir,
+		counts: make(map[BucketID]int),
+		open:   make(map[BucketID]*bufio.Writer),
+		files:  make(map[BucketID]*os.File),
+		maxFDs: 128,
+	}, nil
+}
+
+// ReopenDiskStore reattaches to an existing bucket directory after a
+// restart, using the per-bucket entry counts and allocation cursor recorded
+// in an index snapshot. Every referenced bucket file must exist.
+func ReopenDiskStore(dir string, counts map[BucketID]int, next BucketID) (*DiskStore, error) {
+	s, err := NewDiskStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	for id := range counts {
+		if id > next {
+			s.Close()
+			return nil, fmt.Errorf("mindex: bucket %d beyond allocation cursor %d", id, next)
+		}
+		if _, err := os.Stat(s.path(id)); err != nil {
+			s.Close()
+			return nil, fmt.Errorf("mindex: reattaching bucket %d: %w", id, err)
+		}
+		s.counts[id] = counts[id]
+	}
+	s.next = next
+	return s, nil
+}
+
+// Sync flushes all buffered appends to disk.
+func (s *DiskStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id := range s.open {
+		if err := s.closeHandle(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NextID returns the bucket allocation cursor (for snapshots).
+func (s *DiskStore) NextID() BucketID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next
+}
+
+func (s *DiskStore) path(id BucketID) string {
+	return filepath.Join(s.dir, fmt.Sprintf("bucket-%09d.bin", id))
+}
+
+// Create implements BucketStore.
+func (s *DiskStore) Create() (BucketID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, errors.New("mindex: disk store closed")
+	}
+	s.next++
+	id := s.next
+	f, err := os.Create(s.path(id))
+	if err != nil {
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	s.counts[id] = 0
+	return id, nil
+}
+
+// writer returns a buffered append handle for the bucket, evicting the least
+// recently used handle when the cache is full.
+func (s *DiskStore) writer(id BucketID) (*bufio.Writer, error) {
+	if w, ok := s.open[id]; ok {
+		s.touch(id)
+		return w, nil
+	}
+	if len(s.open) >= s.maxFDs {
+		victim := s.lru[0]
+		if err := s.closeHandle(victim); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(s.path(id), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return nil, err
+	}
+	w := bufio.NewWriterSize(f, 1<<14)
+	s.open[id] = w
+	s.files[id] = f
+	s.lru = append(s.lru, id)
+	return w, nil
+}
+
+func (s *DiskStore) touch(id BucketID) {
+	for i, v := range s.lru {
+		if v == id {
+			copy(s.lru[i:], s.lru[i+1:])
+			s.lru[len(s.lru)-1] = id
+			return
+		}
+	}
+}
+
+func (s *DiskStore) closeHandle(id BucketID) error {
+	w, ok := s.open[id]
+	if !ok {
+		return nil
+	}
+	flushErr := w.Flush()
+	closeErr := s.files[id].Close()
+	delete(s.open, id)
+	delete(s.files, id)
+	for i, v := range s.lru {
+		if v == id {
+			s.lru = append(s.lru[:i], s.lru[i+1:]...)
+			break
+		}
+	}
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+// Append implements BucketStore.
+func (s *DiskStore) Append(id BucketID, e Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("mindex: disk store closed")
+	}
+	if _, ok := s.counts[id]; !ok {
+		return fmt.Errorf("mindex: append to unknown bucket %d", id)
+	}
+	w, err := s.writer(id)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(EncodeEntry(e)); err != nil {
+		return err
+	}
+	s.counts[id]++
+	return nil
+}
+
+// Load implements BucketStore.
+func (s *DiskStore) Load(id BucketID) ([]Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("mindex: disk store closed")
+	}
+	count, ok := s.counts[id]
+	if !ok {
+		return nil, fmt.Errorf("mindex: load of unknown bucket %d", id)
+	}
+	// Any buffered appends must be visible before reading the file back.
+	if err := s.closeHandle(id); err != nil {
+		return nil, err
+	}
+	raw, err := os.ReadFile(s.path(id))
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]Entry, 0, count)
+	for len(raw) > 0 {
+		e, rest, err := DecodeEntry(raw)
+		if err != nil {
+			return nil, fmt.Errorf("mindex: bucket %d corrupted: %w", id, err)
+		}
+		entries = append(entries, e)
+		raw = rest
+	}
+	if len(entries) != count {
+		return nil, fmt.Errorf("mindex: bucket %d holds %d entries, expected %d", id, len(entries), count)
+	}
+	return entries, nil
+}
+
+// Free implements BucketStore.
+func (s *DiskStore) Free(id BucketID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("mindex: disk store closed")
+	}
+	if _, ok := s.counts[id]; !ok {
+		return fmt.Errorf("mindex: free of unknown bucket %d", id)
+	}
+	if err := s.closeHandle(id); err != nil {
+		return err
+	}
+	delete(s.counts, id)
+	return os.Remove(s.path(id))
+}
+
+// Close implements BucketStore.
+func (s *DiskStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var firstErr error
+	for id := range s.open {
+		if err := s.closeHandle(id); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

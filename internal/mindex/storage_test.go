@@ -1,0 +1,374 @@
+package mindex
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"simcloud/internal/dataset"
+	"simcloud/internal/metric"
+	"simcloud/internal/pivot"
+)
+
+func randomEntry(rng *rand.Rand, id uint64) Entry {
+	perm := pivot.Permutation([]float64{
+		rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64(),
+	})
+	e := Entry{ID: id, Perm: perm}
+	if rng.IntN(2) == 0 {
+		e.Dists = []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	if rng.IntN(2) == 0 {
+		e.Payload = make([]byte, rng.IntN(64))
+		for i := range e.Payload {
+			e.Payload[i] = byte(rng.IntN(256))
+		}
+	} else {
+		e.Vec = metric.Vector{float32(rng.NormFloat64()), float32(rng.NormFloat64())}
+	}
+	return e
+}
+
+func entriesEqual(a, b Entry) bool {
+	if a.ID != b.ID || len(a.Perm) != len(b.Perm) || len(a.Dists) != len(b.Dists) ||
+		len(a.Payload) != len(b.Payload) || len(a.Vec) != len(b.Vec) {
+		return false
+	}
+	for i := range a.Perm {
+		if a.Perm[i] != b.Perm[i] {
+			return false
+		}
+	}
+	for i := range a.Dists {
+		if a.Dists[i] != b.Dists[i] {
+			return false
+		}
+	}
+	for i := range a.Payload {
+		if a.Payload[i] != b.Payload[i] {
+			return false
+		}
+	}
+	return a.Vec.Equal(b.Vec) || len(a.Vec) == 0
+}
+
+func TestEntryCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := range 200 {
+		e := randomEntry(rng, uint64(i))
+		buf := EncodeEntry(e)
+		if len(buf) != EncodedEntrySize(e) {
+			t.Fatalf("encoded size %d, predicted %d", len(buf), EncodedEntrySize(e))
+		}
+		got, rest, err := DecodeEntry(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%d trailing bytes", len(rest))
+		}
+		if !entriesEqual(e, got) {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", e, got)
+		}
+	}
+}
+
+func TestEntryCodecStream(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	var buf []byte
+	var want []Entry
+	for i := range 50 {
+		e := randomEntry(rng, uint64(i))
+		want = append(want, e)
+		buf = AppendEntry(buf, e)
+	}
+	var got []Entry
+	for len(buf) > 0 {
+		e, rest, err := DecodeEntry(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, e)
+		buf = rest
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !entriesEqual(want[i], got[i]) {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+}
+
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(buf []byte) bool {
+		if len(buf) > 4096 {
+			buf = buf[:4096]
+		}
+		// Must return an error or an entry, never panic or over-read.
+		_, _, _ = DecodeEntry(buf)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeEntryRejectsTruncations(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	e := randomEntry(rng, 9)
+	e.Payload = []byte{1, 2, 3, 4}
+	e.Dists = []float64{1, 2, 3, 4}
+	buf := EncodeEntry(e)
+	for cut := 1; cut < len(buf); cut++ {
+		if _, _, err := DecodeEntry(buf[:cut]); err == nil {
+			// A truncation may still parse if it lands exactly on a field
+			// boundary AND the remaining lengths happen to be consistent —
+			// impossible here because the total length is checked per field.
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func storeSuite(t *testing.T, mk func(t *testing.T) BucketStore) {
+	t.Run("create-append-load", func(t *testing.T) {
+		s := mk(t)
+		defer s.Close()
+		id, err := s.Create()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(4, 4))
+		var want []Entry
+		for i := range 25 {
+			e := randomEntry(rng, uint64(i))
+			want = append(want, e)
+			if err := s.Append(id, e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := s.Load(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("loaded %d, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if !entriesEqual(want[i], got[i]) {
+				t.Fatalf("entry %d mismatch", i)
+			}
+		}
+	})
+	t.Run("interleaved-append-load", func(t *testing.T) {
+		s := mk(t)
+		defer s.Close()
+		id, _ := s.Create()
+		rng := rand.New(rand.NewPCG(5, 5))
+		for i := range 10 {
+			if err := s.Append(id, randomEntry(rng, uint64(i))); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Load(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != i+1 {
+				t.Fatalf("after %d appends loaded %d", i+1, len(got))
+			}
+		}
+	})
+	t.Run("free", func(t *testing.T) {
+		s := mk(t)
+		defer s.Close()
+		id, _ := s.Create()
+		if err := s.Free(id); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Load(id); err == nil {
+			t.Fatal("load of freed bucket succeeded")
+		}
+		if err := s.Append(id, Entry{}); err == nil {
+			t.Fatal("append to freed bucket succeeded")
+		}
+		if err := s.Free(id); err == nil {
+			t.Fatal("double free succeeded")
+		}
+	})
+	t.Run("unknown-bucket", func(t *testing.T) {
+		s := mk(t)
+		defer s.Close()
+		if _, err := s.Load(12345); err == nil {
+			t.Fatal("load of unknown bucket succeeded")
+		}
+	})
+	t.Run("concurrent", func(t *testing.T) {
+		s := mk(t)
+		defer s.Close()
+		ids := make([]BucketID, 8)
+		for i := range ids {
+			id, err := s.Create()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids[i] = id
+		}
+		var wg sync.WaitGroup
+		for w := range 8 {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := rand.New(rand.NewPCG(uint64(w), 6))
+				for i := range 50 {
+					id := ids[rng.IntN(len(ids))]
+					if err := s.Append(id, randomEntry(rng, uint64(i))); err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := s.Load(id); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	})
+}
+
+func TestMemStore(t *testing.T) {
+	storeSuite(t, func(t *testing.T) BucketStore { return NewMemStore() })
+}
+
+func TestDiskStore(t *testing.T) {
+	storeSuite(t, func(t *testing.T) BucketStore {
+		s, err := NewDiskStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	})
+}
+
+func TestDiskStoreManyBucketsExceedFDCache(t *testing.T) {
+	s, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.maxFDs = 4 // force eviction churn
+	rng := rand.New(rand.NewPCG(7, 7))
+	ids := make([]BucketID, 20)
+	for i := range ids {
+		ids[i], err = s.Create()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := make(map[BucketID]int)
+	for i := range 300 {
+		id := ids[rng.IntN(len(ids))]
+		if err := s.Append(id, randomEntry(rng, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+		counts[id]++
+	}
+	for _, id := range ids {
+		got, err := s.Load(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != counts[id] {
+			t.Fatalf("bucket %d holds %d, want %d", id, len(got), counts[id])
+		}
+	}
+}
+
+func TestDiskStoreClosedOps(t *testing.T) {
+	s, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := s.Create()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create(); err == nil {
+		t.Error("create after close succeeded")
+	}
+	if err := s.Append(id, Entry{}); err == nil {
+		t.Error("append after close succeeded")
+	}
+	if _, err := s.Load(id); err == nil {
+		t.Error("load after close succeeded")
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+// A disk-backed index must behave identically to the memory-backed one.
+func TestDiskIndexEqualsMemoryIndex(t *testing.T) {
+	ds := dataset.Clustered(20, 800, 5, 6, metric.L2{})
+	rng := rand.New(rand.NewPCG(20, 20))
+	pv := pivot.SelectRandom(rng, ds.Dist, ds.Objects, 8)
+
+	memCfg := testConfig(8)
+	diskCfg := testConfig(8)
+	diskCfg.Storage = StorageDisk
+	diskCfg.DiskPath = t.TempDir()
+
+	mem, err := NewPlain(memCfg, pv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Idx.Close()
+	disk, err := NewPlain(diskCfg, pv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Idx.Close()
+
+	if err := mem.InsertBulk(ds.Objects); err != nil {
+		t.Fatal(err)
+	}
+	if err := disk.InsertBulk(ds.Objects); err != nil {
+		t.Fatal(err)
+	}
+
+	for trial := range 10 {
+		q := ds.Objects[rng.IntN(len(ds.Objects))].Vec
+		r := []float64{1, 5, 15}[trial%3]
+		a, err := mem.Range(q, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := disk.Range(q, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("range results differ: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID || a[i].Dist != b[i].Dist {
+				t.Fatalf("result %d differs: %+v vs %+v", i, a[i], b[i])
+			}
+		}
+		ka, err := mem.KNN(q, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kb, err := disk.KNN(q, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ka {
+			if ka[i].Dist != kb[i].Dist {
+				t.Fatalf("kNN rank %d differs: %g vs %g", i, ka[i].Dist, kb[i].Dist)
+			}
+		}
+	}
+}

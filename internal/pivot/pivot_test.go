@@ -1,0 +1,304 @@
+package pivot
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"simcloud/internal/metric"
+)
+
+func randObjects(rng *rand.Rand, n, dim int) []metric.Object {
+	objs := make([]metric.Object, n)
+	for i := range objs {
+		v := make(metric.Vector, dim)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		objs[i] = metric.Object{ID: uint64(i), Vec: v}
+	}
+	return objs
+}
+
+func TestSelectRandomDistinct(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	data := randObjects(rng, 100, 4)
+	s := SelectRandom(rng, metric.L1{}, data, 30)
+	if s.N() != 30 {
+		t.Fatalf("got %d pivots, want 30", s.N())
+	}
+	// All pivots must come from the data set and be pairwise distinct
+	// (distinct source indexes; vectors are continuous so collisions are
+	// practically impossible).
+	for i := range s.Pivots {
+		for j := i + 1; j < len(s.Pivots); j++ {
+			if s.Pivots[i].Equal(s.Pivots[j]) {
+				t.Fatalf("pivots %d and %d identical", i, j)
+			}
+		}
+	}
+}
+
+func TestSelectRandomPanicsWhenTooFew(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rng := rand.New(rand.NewPCG(1, 1))
+	SelectRandom(rng, metric.L1{}, randObjects(rng, 3, 2), 5)
+}
+
+func TestSelectRandomClonesVectors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	data := randObjects(rng, 10, 3)
+	s := SelectRandom(rng, metric.L1{}, data, 10)
+	for i := range data {
+		data[i].Vec[0] = 1e9
+	}
+	for _, p := range s.Pivots {
+		if p[0] == 1e9 {
+			t.Fatal("pivot aliases source data")
+		}
+	}
+}
+
+func TestDistancesMatchDirect(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	data := randObjects(rng, 50, 6)
+	s := SelectRandom(rng, metric.L2{}, data, 10)
+	q := randObjects(rng, 1, 6)[0].Vec
+	dists := s.Distances(q)
+	for i, p := range s.Pivots {
+		if want := (metric.L2{}).Dist(p, q); dists[i] != want {
+			t.Fatalf("dist[%d] = %g, want %g", i, dists[i], want)
+		}
+	}
+}
+
+func TestPermutationSortedAndValid(t *testing.T) {
+	dists := []float64{5, 1, 3, 1, 0}
+	perm := Permutation(dists)
+	want := []int32{4, 1, 3, 2, 0} // ties (indexes 1,3 at distance 1) break by index
+	for i := range want {
+		if perm[i] != want[i] {
+			t.Fatalf("perm = %v, want %v", perm, want)
+		}
+	}
+	if !ValidPermutation(perm, 5) {
+		t.Fatal("invalid permutation")
+	}
+}
+
+func TestQuickPermutationProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 128 {
+			raw = raw[:128]
+		}
+		for i, v := range raw {
+			if v != v { // NaN breaks ordering; distances are never NaN
+				raw[i] = 0
+			}
+		}
+		perm := Permutation(raw)
+		if !ValidPermutation(perm, len(raw)) {
+			return false
+		}
+		// Distances along the permutation must be non-decreasing, and equal
+		// distances must keep index order.
+		for i := 1; i < len(perm); i++ {
+			da, db := raw[perm[i-1]], raw[perm[i]]
+			if da > db {
+				return false
+			}
+			if da == db && perm[i-1] > perm[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRanksInvertsPermutation(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		size := int(n%50) + 1
+		rng := rand.New(rand.NewPCG(seed, 0))
+		dists := make([]float64, size)
+		for i := range dists {
+			dists[i] = rng.Float64()
+		}
+		perm := Permutation(dists)
+		ranks := Ranks(perm)
+		for pos, p := range perm {
+			if ranks[p] != int32(pos) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	perm := []int32{3, 1, 2, 0}
+	if got := Prefix(perm, 2); len(got) != 2 || got[0] != 3 || got[1] != 1 {
+		t.Fatalf("prefix = %v", got)
+	}
+	if got := Prefix(perm, 10); len(got) != 4 {
+		t.Fatalf("over-long prefix = %v", got)
+	}
+	p := Prefix(perm, 4)
+	p[0] = 99
+	if perm[0] == 99 {
+		t.Fatal("prefix aliases permutation")
+	}
+}
+
+func TestValidPermutationRejects(t *testing.T) {
+	cases := [][]int32{
+		{0, 0},    // duplicate
+		{1},       // out of range for n=1? index 1 >= n
+		{0, 2},    // gap
+		{-1, 0},   // negative
+		{0, 1, 2}, // wrong length for n=2
+	}
+	ns := []int{2, 1, 2, 2, 2}
+	for i, c := range cases {
+		if ValidPermutation(c, ns[i]) {
+			t.Errorf("case %d: %v accepted as permutation of %d", i, c, ns[i])
+		}
+	}
+}
+
+// Property: the pivot-filtering lower bound never exceeds the true distance
+// (it must be a correct filter — objects it discards cannot be in range).
+func TestQuickLowerBoundIsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	d := metric.L1{}
+	data := randObjects(rng, 64, 8)
+	s := SelectRandom(rng, d, data, 16)
+	for range 500 {
+		q := randObjects(rng, 1, 8)[0].Vec
+		o := randObjects(rng, 1, 8)[0].Vec
+		lb := LowerBound(s.Distances(q), s.Distances(o))
+		if td := d.Dist(q, o); lb > td+1e-9 {
+			t.Fatalf("lower bound %g exceeds true distance %g", lb, td)
+		}
+	}
+}
+
+func TestLowerBoundKnown(t *testing.T) {
+	if got := LowerBound([]float64{1, 5, 2}, []float64{4, 5, 1}); got != 3 {
+		t.Fatalf("lb = %g, want 3", got)
+	}
+	if got := LowerBound([]float64{1, 2}, []float64{1}); got != 0 {
+		t.Fatalf("mismatched lengths lb = %g, want 0", got)
+	}
+}
+
+func TestFootruleWeightsGeometric(t *testing.T) {
+	w := FootruleWeights(4)
+	want := []float64{1, 0.5, 0.25, 0.125}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("weights = %v", w)
+		}
+	}
+}
+
+func TestFootrulePromiseIdentityIsZero(t *testing.T) {
+	// A cell whose prefix equals the query's own permutation prefix has the
+	// minimum (zero) promise.
+	dists := []float64{0.3, 0.1, 0.7, 0.5}
+	perm := Permutation(dists)
+	ranks := Ranks(perm)
+	w := FootruleWeights(4)
+	if got := FootrulePromise(ranks, Prefix(perm, 2), w); got != 0 {
+		t.Fatalf("promise of own prefix = %g, want 0", got)
+	}
+	// Any other leading pivot scores worse.
+	other := []int32{perm[3]}
+	if got := FootrulePromise(ranks, other, w); got <= 0 {
+		t.Fatalf("promise of far pivot = %g, want > 0", got)
+	}
+}
+
+func TestDistSumPromise(t *testing.T) {
+	qDists := []float64{1, 10, 100}
+	w := FootruleWeights(3)
+	near := DistSumPromise(qDists, []int32{0, 1}, w)
+	far := DistSumPromise(qDists, []int32{2, 1}, w)
+	if near >= far {
+		t.Fatalf("near promise %g should beat far promise %g", near, far)
+	}
+	if got := DistSumPromise(qDists, []int32{1}, w); got != 10 {
+		t.Fatalf("single-level promise = %g, want 10", got)
+	}
+}
+
+func TestPermutationStableUnderSortedInput(t *testing.T) {
+	dists := []float64{0, 1, 2, 3}
+	perm := Permutation(dists)
+	if !sort.SliceIsSorted(perm, func(a, b int) bool { return perm[a] < perm[b] }) {
+		t.Fatalf("sorted input should yield identity permutation, got %v", perm)
+	}
+}
+
+func minPairwise(s *Set, d metric.Distance) float64 {
+	minD := -1.0
+	for i := range s.Pivots {
+		for j := i + 1; j < len(s.Pivots); j++ {
+			dist := d.Dist(s.Pivots[i], s.Pivots[j])
+			if minD < 0 || dist < minD {
+				minD = dist
+			}
+		}
+	}
+	return minD
+}
+
+func TestSelectMaxSeparated(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 21))
+	d := metric.L2{}
+	data := randObjects(rng, 500, 6)
+	sep := SelectMaxSeparated(rng, d, data, 12, 0)
+	if sep.N() != 12 {
+		t.Fatalf("got %d pivots", sep.N())
+	}
+	// Greedy farthest-point must beat random selection on minimum pairwise
+	// pivot distance (averaged over a few random draws).
+	var randomSum float64
+	const draws = 5
+	for i := range draws {
+		r := SelectRandom(rand.New(rand.NewPCG(uint64(i), 3)), d, data, 12)
+		randomSum += minPairwise(r, d)
+	}
+	if sepMin := minPairwise(sep, d); sepMin <= randomSum/draws {
+		t.Fatalf("max-separated min pairwise %g not above random average %g",
+			sepMin, randomSum/draws)
+	}
+}
+
+func TestSelectMaxSeparatedSmallData(t *testing.T) {
+	rng := rand.New(rand.NewPCG(22, 22))
+	data := randObjects(rng, 5, 3)
+	s := SelectMaxSeparated(rng, metric.L1{}, data, 5, 2) // sampleCap below n
+	if s.N() != 5 {
+		t.Fatalf("got %d pivots", s.N())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n > len(data)")
+		}
+	}()
+	SelectMaxSeparated(rng, metric.L1{}, data, 6, 0)
+}

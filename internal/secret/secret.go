@@ -1,0 +1,270 @@
+// Package secret implements the encryption layer of the Encrypted M-Index.
+//
+// The secret key of an authorized client consists of (1) the pivot set and
+// (2) the key of the symmetric cipher used to encrypt metric-space objects —
+// exactly the two-part secret of Section 4.2 of the paper. The data owner
+// generates the key, uses it to build the outsourced index, and shares it
+// with authorized clients; the untrusted server only ever stores ciphertexts
+// accompanied by pivot permutations (or pivot-distance vectors) and cannot
+// evaluate the distance function because the pivots are not known to it.
+//
+// Two cipher modes are provided:
+//
+//   - ModeCTRHMAC: AES-128-CTR with an encrypt-then-MAC HMAC-SHA256 tag.
+//     This matches the paper's "standard symmetric cipher AES with 128 bit
+//     key" while adding integrity, which any practical outsourced store
+//     needs (a malicious server could otherwise tamper with candidates).
+//   - ModeGCM: AES-128-GCM, the modern AEAD equivalent, used by the cipher
+//     ablation benchmark.
+package secret
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"simcloud/internal/metric"
+	"simcloud/internal/pivot"
+	"simcloud/internal/transform"
+)
+
+// Mode selects the symmetric cipher construction.
+type Mode uint8
+
+// Cipher modes.
+const (
+	ModeCTRHMAC Mode = 1 // AES-128-CTR + HMAC-SHA256 (encrypt-then-MAC)
+	ModeGCM     Mode = 2 // AES-128-GCM
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeCTRHMAC:
+		return "aes-ctr-hmac"
+	case ModeGCM:
+		return "aes-gcm"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+const (
+	aesKeyLen  = 16 // AES-128, as in the paper
+	macKeyLen  = 32
+	macTagLen  = 16 // truncated HMAC-SHA256 tag
+	ctrIVLen   = aes.BlockSize
+	gcmNonceLn = 12
+)
+
+// Errors returned by decryption.
+var (
+	ErrAuth   = errors.New("secret: ciphertext authentication failed")
+	ErrFormat = errors.New("secret: malformed ciphertext")
+)
+
+// Key is the client secret: the pivot set plus symmetric cipher keys, and
+// optionally the distribution-hiding distance transformation (see
+// transform.go). It must never be sent to the similarity-cloud server.
+type Key struct {
+	pivots        *pivot.Set
+	mode          Mode
+	aesKey        []byte
+	macKey        []byte
+	distTransform *transform.Monotone
+}
+
+// Generate creates a fresh secret key for the given pivot set, drawing
+// cipher keys from crypto/rand.
+func Generate(pivots *pivot.Set, mode Mode) (*Key, error) {
+	return GenerateFrom(rand.Reader, pivots, mode)
+}
+
+// GenerateFrom is Generate with an explicit entropy source (tests use a
+// deterministic reader).
+func GenerateFrom(random io.Reader, pivots *pivot.Set, mode Mode) (*Key, error) {
+	if pivots == nil || pivots.N() == 0 {
+		return nil, errors.New("secret: key requires a non-empty pivot set")
+	}
+	if mode != ModeCTRHMAC && mode != ModeGCM {
+		return nil, fmt.Errorf("secret: unknown cipher mode %d", mode)
+	}
+	k := &Key{pivots: pivots, mode: mode, aesKey: make([]byte, aesKeyLen)}
+	if _, err := io.ReadFull(random, k.aesKey); err != nil {
+		return nil, fmt.Errorf("secret: generating AES key: %w", err)
+	}
+	if mode == ModeCTRHMAC {
+		k.macKey = make([]byte, macKeyLen)
+		if _, err := io.ReadFull(random, k.macKey); err != nil {
+			return nil, fmt.Errorf("secret: generating MAC key: %w", err)
+		}
+	}
+	return k, nil
+}
+
+// Pivots exposes the pivot set (client-side use only).
+func (k *Key) Pivots() *pivot.Set { return k.pivots }
+
+// Mode returns the cipher mode.
+func (k *Key) Mode() Mode { return k.mode }
+
+// EncodeObject serializes a metric object to the plaintext wire form used
+// inside ciphertexts: id uint64 | dim uint32 | dim × float32, little endian.
+func EncodeObject(o metric.Object) []byte {
+	buf := make([]byte, 8+4+4*len(o.Vec))
+	binary.LittleEndian.PutUint64(buf[0:], o.ID)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(o.Vec)))
+	for i, f := range o.Vec {
+		binary.LittleEndian.PutUint32(buf[12+4*i:], math.Float32bits(f))
+	}
+	return buf
+}
+
+// DecodeObject reverses EncodeObject.
+func DecodeObject(buf []byte) (metric.Object, error) {
+	if len(buf) < 12 {
+		return metric.Object{}, ErrFormat
+	}
+	dim := binary.LittleEndian.Uint32(buf[8:])
+	if uint64(len(buf)) != 12+4*uint64(dim) {
+		return metric.Object{}, ErrFormat
+	}
+	o := metric.Object{
+		ID:  binary.LittleEndian.Uint64(buf[0:]),
+		Vec: make(metric.Vector, dim),
+	}
+	for i := range o.Vec {
+		o.Vec[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[12+4*i:]))
+	}
+	return o, nil
+}
+
+// Seal encrypts an arbitrary plaintext under the key, producing a
+// self-contained ciphertext (mode byte | nonce/IV | payload | tag).
+func (k *Key) Seal(plaintext []byte) ([]byte, error) {
+	switch k.mode {
+	case ModeCTRHMAC:
+		return k.sealCTR(plaintext)
+	case ModeGCM:
+		return k.sealGCM(plaintext)
+	}
+	return nil, fmt.Errorf("secret: unknown cipher mode %d", k.mode)
+}
+
+// Open decrypts a ciphertext produced by Seal, verifying integrity.
+func (k *Key) Open(ct []byte) ([]byte, error) {
+	if len(ct) < 1 {
+		return nil, ErrFormat
+	}
+	if Mode(ct[0]) != k.mode {
+		return nil, fmt.Errorf("%w: ciphertext mode %d, key mode %d", ErrFormat, ct[0], k.mode)
+	}
+	switch k.mode {
+	case ModeCTRHMAC:
+		return k.openCTR(ct[1:])
+	case ModeGCM:
+		return k.openGCM(ct[1:])
+	}
+	return nil, fmt.Errorf("secret: unknown cipher mode %d", k.mode)
+}
+
+func (k *Key) sealCTR(plaintext []byte) ([]byte, error) {
+	block, err := aes.NewCipher(k.aesKey)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 1+ctrIVLen+len(plaintext)+macTagLen)
+	out[0] = byte(ModeCTRHMAC)
+	iv := out[1 : 1+ctrIVLen]
+	if _, err := io.ReadFull(rand.Reader, iv); err != nil {
+		return nil, err
+	}
+	body := out[1+ctrIVLen : 1+ctrIVLen+len(plaintext)]
+	cipher.NewCTR(block, iv).XORKeyStream(body, plaintext)
+	mac := hmac.New(sha256.New, k.macKey)
+	mac.Write(out[:1+ctrIVLen+len(plaintext)])
+	copy(out[1+ctrIVLen+len(plaintext):], mac.Sum(nil)[:macTagLen])
+	return out, nil
+}
+
+func (k *Key) openCTR(ct []byte) ([]byte, error) {
+	if len(ct) < ctrIVLen+macTagLen {
+		return nil, ErrFormat
+	}
+	bodyEnd := len(ct) - macTagLen
+	mac := hmac.New(sha256.New, k.macKey)
+	mac.Write([]byte{byte(ModeCTRHMAC)})
+	mac.Write(ct[:bodyEnd])
+	if !hmac.Equal(mac.Sum(nil)[:macTagLen], ct[bodyEnd:]) {
+		return nil, ErrAuth
+	}
+	block, err := aes.NewCipher(k.aesKey)
+	if err != nil {
+		return nil, err
+	}
+	iv := ct[:ctrIVLen]
+	body := ct[ctrIVLen:bodyEnd]
+	pt := make([]byte, len(body))
+	cipher.NewCTR(block, iv).XORKeyStream(pt, body)
+	return pt, nil
+}
+
+func (k *Key) sealGCM(plaintext []byte) ([]byte, error) {
+	block, err := aes.NewCipher(k.aesKey)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcmNonceLn)
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 1+gcmNonceLn+len(plaintext)+aead.Overhead())
+	out = append(out, byte(ModeGCM))
+	out = append(out, nonce...)
+	return aead.Seal(out, nonce, plaintext, nil), nil
+}
+
+func (k *Key) openGCM(ct []byte) ([]byte, error) {
+	if len(ct) < gcmNonceLn {
+		return nil, ErrFormat
+	}
+	block, err := aes.NewCipher(k.aesKey)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := aead.Open(nil, ct[:gcmNonceLn], ct[gcmNonceLn:], nil)
+	if err != nil {
+		return nil, ErrAuth
+	}
+	return pt, nil
+}
+
+// EncryptObject serializes and encrypts a metric object — the client side of
+// the paper's Algorithm 1, line 8 ("store encrypted data only").
+func (k *Key) EncryptObject(o metric.Object) ([]byte, error) {
+	return k.Seal(EncodeObject(o))
+}
+
+// DecryptObject decrypts and deserializes a candidate object received from
+// the server — Algorithm 2, line 13.
+func (k *Key) DecryptObject(ct []byte) (metric.Object, error) {
+	pt, err := k.Open(ct)
+	if err != nil {
+		return metric.Object{}, err
+	}
+	return DecodeObject(pt)
+}

@@ -1,0 +1,519 @@
+// Package server implements the similarity-cloud server: a TCP service
+// hosting an M-Index and answering the wire protocol. Two deployment modes
+// mirror the paper's evaluation:
+//
+//   - Encrypted: the server holds only encrypted payloads with their pivot
+//     permutations / distance vectors. It can prune, rank and filter — but
+//     it cannot compute the metric distance function (it has no pivots and
+//     no plaintext), so it returns candidate sets for client refinement.
+//   - Plain: the server holds the pivots and raw vectors and evaluates
+//     queries completely, returning final answers (the non-encrypted
+//     baseline of Tables 4, 7 and 8).
+//
+// The same server also provides the blob stores used by the baseline
+// protocols (EHI encrypted nodes, FDH buckets, trivial download-all), so
+// every compared technique runs over an identical network substrate.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"simcloud/internal/metric"
+	"simcloud/internal/mindex"
+	"simcloud/internal/pivot"
+	"simcloud/internal/wire"
+)
+
+// Mode selects the deployment mode.
+type Mode uint8
+
+// Deployment modes.
+const (
+	ModeEncrypted Mode = iota + 1
+	ModePlain
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeEncrypted:
+		return "encrypted"
+	case ModePlain:
+		return "plain"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Server is a similarity-cloud server instance.
+type Server struct {
+	mode  Mode
+	enc   *mindex.Index
+	plain *mindex.Plain
+	timed *metric.Timed // instruments the plain server's distance function
+
+	mu       sync.Mutex
+	ehiRoot  uint64
+	ehiNodes map[uint64][]byte
+	fdh      map[uint64][][]byte
+	raw      map[uint64][]byte
+
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	connMu sync.Mutex
+	wg     sync.WaitGroup
+	closed bool
+
+	// Logf receives connection-level failures; defaults to log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// NewEncrypted creates a server hosting an encrypted-deployment M-Index.
+func NewEncrypted(cfg mindex.Config) (*Server, error) {
+	idx, err := mindex.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewEncryptedWithIndex(idx), nil
+}
+
+// NewEncryptedWithIndex creates an encrypted-deployment server around an
+// existing index — typically one restored from a snapshot after a restart.
+func NewEncryptedWithIndex(idx *mindex.Index) *Server {
+	return &Server{
+		mode:     ModeEncrypted,
+		enc:      idx,
+		ehiNodes: make(map[uint64][]byte),
+		fdh:      make(map[uint64][][]byte),
+		raw:      make(map[uint64][]byte),
+		Logf:     log.Printf,
+	}
+}
+
+// NewPlain creates a server hosting a plain-deployment M-Index: it owns the
+// pivot set and computes all distances itself. The distance function is
+// wrapped for timing so responses can report the server-side
+// distance-computation cost.
+func NewPlain(cfg mindex.Config, pivots *pivot.Set) (*Server, error) {
+	timed := metric.NewTimed(pivots.Dist)
+	instrumented := pivot.NewSet(timed, pivots.Pivots)
+	p, err := mindex.NewPlain(cfg, instrumented)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		mode:     ModePlain,
+		plain:    p,
+		timed:    timed,
+		ehiNodes: make(map[uint64][]byte),
+		fdh:      make(map[uint64][][]byte),
+		raw:      make(map[uint64][]byte),
+		Logf:     log.Printf,
+	}, nil
+}
+
+// Mode returns the deployment mode.
+func (s *Server) Mode() Mode { return s.mode }
+
+// Index exposes the underlying encrypted-deployment index (nil in plain
+// mode) for white-box inspection by tools and tests.
+func (s *Server) Index() *mindex.Index { return s.enc }
+
+// PlainIndex exposes the underlying plain-deployment index (nil in
+// encrypted mode).
+func (s *Server) PlainIndex() *mindex.Plain { return s.plain }
+
+// Start begins listening on addr (use "127.0.0.1:0" for an ephemeral
+// loopback port, the paper's measurement setup).
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.conns = make(map[net.Conn]struct{})
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the listening address (valid after Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.connMu.Lock()
+		if s.closed {
+			s.connMu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops the listener, closes open connections and releases the index.
+func (s *Server) Close() error {
+	s.connMu.Lock()
+	if s.closed {
+		s.connMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	if s.enc != nil {
+		if cerr := s.enc.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if s.plain != nil {
+		if cerr := s.plain.Idx.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		conn.Close()
+	}()
+	for {
+		typ, payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return // client disconnected or sent garbage framing
+		}
+		respType, respPayload := s.dispatch(typ, payload)
+		if err := wire.WriteFrame(conn, respType, respPayload); err != nil {
+			s.Logf("simcloud server: writing response to %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// dispatch handles one request and produces the response frame. Server time
+// is measured around the handler body only — framing and socket IO count as
+// communication time, matching the paper's decomposition.
+func (s *Server) dispatch(typ wire.MsgType, payload []byte) (wire.MsgType, []byte) {
+	start := time.Now()
+	var distBefore time.Duration
+	if s.timed != nil {
+		distBefore = s.timed.Elapsed()
+	}
+	respType, resp, err := s.handle(typ, payload, start, distBefore)
+	if err != nil {
+		return wire.MsgError, wire.ErrorResp{Msg: err.Error()}.Encode()
+	}
+	return respType, resp
+}
+
+func (s *Server) serverNanos(start time.Time) uint64 {
+	return uint64(time.Since(start))
+}
+
+func (s *Server) distNanos(before time.Duration) uint64 {
+	if s.timed == nil {
+		return 0
+	}
+	return uint64(s.timed.Elapsed() - before)
+}
+
+var errNeedEncrypted = errors.New("server: request requires the encrypted deployment")
+var errNeedPlain = errors.New("server: request requires the plain deployment")
+
+func (s *Server) handle(typ wire.MsgType, payload []byte, start time.Time, distBefore time.Duration) (wire.MsgType, []byte, error) {
+	switch typ {
+	case wire.MsgInsertEntries:
+		if s.enc == nil {
+			return 0, nil, errNeedEncrypted
+		}
+		req, err := wire.DecodeInsertEntriesReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		if err := s.enc.InsertBulk(req.Entries); err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgAck, wire.AckResp{ServerNanos: s.serverNanos(start)}.Encode(), nil
+
+	case wire.MsgInsertObjects:
+		if s.plain == nil {
+			return 0, nil, errNeedPlain
+		}
+		req, err := wire.DecodeInsertObjectsReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		if err := s.plain.InsertBulk(req.Objects); err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgAck, wire.AckResp{
+			ServerNanos: s.serverNanos(start),
+			DistNanos:   s.distNanos(distBefore),
+		}.Encode(), nil
+
+	case wire.MsgRangeDists:
+		if s.enc == nil {
+			return 0, nil, errNeedEncrypted
+		}
+		req, err := wire.DecodeRangeDistsReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		cands, err := s.enc.RangeByDists(req.Dists, req.Radius)
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgCandidates, wire.CandidatesResp{
+			ServerNanos: s.serverNanos(start), Entries: cands,
+		}.Encode(), nil
+
+	case wire.MsgApproxPerm:
+		if s.enc == nil {
+			return 0, nil, errNeedEncrypted
+		}
+		req, err := wire.DecodeApproxPermReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		if !pivot.ValidPermutation(req.Perm, s.enc.Config().NumPivots) {
+			return 0, nil, fmt.Errorf("server: request permutation is not a permutation of %d pivots",
+				s.enc.Config().NumPivots)
+		}
+		cands, err := s.enc.ApproxCandidates(
+			mindex.ApproxQuery{Ranks: pivot.Ranks(req.Perm)}, int(req.CandSize))
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgCandidates, wire.CandidatesResp{
+			ServerNanos: s.serverNanos(start), Entries: cands,
+		}.Encode(), nil
+
+	case wire.MsgApproxDists:
+		if s.enc == nil {
+			return 0, nil, errNeedEncrypted
+		}
+		req, err := wire.DecodeApproxDistsReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		cands, err := s.enc.ApproxCandidates(
+			mindex.ApproxQuery{
+				Dists: req.Dists,
+				Ranks: pivot.Ranks(pivot.Permutation(req.Dists)),
+			}, int(req.CandSize))
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgCandidates, wire.CandidatesResp{
+			ServerNanos: s.serverNanos(start), Entries: cands,
+		}.Encode(), nil
+
+	case wire.MsgFirstCell:
+		if s.enc == nil {
+			return 0, nil, errNeedEncrypted
+		}
+		req, err := wire.DecodeFirstCellReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		if !pivot.ValidPermutation(req.Perm, s.enc.Config().NumPivots) {
+			return 0, nil, fmt.Errorf("server: request permutation is not a permutation of %d pivots",
+				s.enc.Config().NumPivots)
+		}
+		cands, err := s.enc.FirstCellCandidates(
+			mindex.ApproxQuery{Ranks: pivot.Ranks(req.Perm)})
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgCandidates, wire.CandidatesResp{
+			ServerNanos: s.serverNanos(start), Entries: cands,
+		}.Encode(), nil
+
+	case wire.MsgRangePlain:
+		if s.plain == nil {
+			return 0, nil, errNeedPlain
+		}
+		req, err := wire.DecodeRangePlainReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		res, err := s.plain.Range(req.Q, req.Radius)
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgResults, wire.ResultsResp{
+			ServerNanos: s.serverNanos(start),
+			DistNanos:   s.distNanos(distBefore),
+			Results:     res,
+		}.Encode(), nil
+
+	case wire.MsgKNNPlain:
+		if s.plain == nil {
+			return 0, nil, errNeedPlain
+		}
+		req, err := wire.DecodeKNNPlainReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		res, err := s.plain.KNN(req.Q, int(req.K))
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgResults, wire.ResultsResp{
+			ServerNanos: s.serverNanos(start),
+			DistNanos:   s.distNanos(distBefore),
+			Results:     res,
+		}.Encode(), nil
+
+	case wire.MsgApproxPlain:
+		if s.plain == nil {
+			return 0, nil, errNeedPlain
+		}
+		req, err := wire.DecodeApproxPlainReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		res, err := s.plain.ApproxKNN(req.Q, int(req.K), int(req.CandSize))
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgResults, wire.ResultsResp{
+			ServerNanos: s.serverNanos(start),
+			DistNanos:   s.distNanos(distBefore),
+			Results:     res,
+		}.Encode(), nil
+
+	case wire.MsgPutNodes:
+		req, err := wire.DecodePutNodesReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		s.mu.Lock()
+		s.ehiRoot = req.RootID
+		for _, n := range req.Nodes {
+			s.ehiNodes[n.ID] = n.Blob
+		}
+		s.mu.Unlock()
+		return wire.MsgAck, wire.AckResp{ServerNanos: s.serverNanos(start)}.Encode(), nil
+
+	case wire.MsgGetNode:
+		req, err := wire.DecodeGetNodeReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		s.mu.Lock()
+		blob, ok := s.ehiNodes[req.ID]
+		s.mu.Unlock()
+		if !ok {
+			return 0, nil, fmt.Errorf("server: unknown EHI node %d", req.ID)
+		}
+		return wire.MsgNodeBlob, wire.NodeBlobResp{
+			ServerNanos: s.serverNanos(start), Blob: blob,
+		}.Encode(), nil
+
+	case wire.MsgPutFDH:
+		req, err := wire.DecodePutFDHReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		s.mu.Lock()
+		for _, it := range req.Items {
+			s.fdh[it.Key] = append(s.fdh[it.Key], it.Payload)
+		}
+		s.mu.Unlock()
+		return wire.MsgAck, wire.AckResp{ServerNanos: s.serverNanos(start)}.Encode(), nil
+
+	case wire.MsgFDHQuery:
+		req, err := wire.DecodeFDHQueryReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		var entries []mindex.Entry
+		s.mu.Lock()
+		for _, key := range req.Keys {
+			for _, payload := range s.fdh[key] {
+				entries = append(entries, mindex.Entry{Payload: payload})
+			}
+		}
+		s.mu.Unlock()
+		return wire.MsgCandidates, wire.CandidatesResp{
+			ServerNanos: s.serverNanos(start), Entries: entries,
+		}.Encode(), nil
+
+	case wire.MsgPutRaw:
+		req, err := wire.DecodePutRawReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		s.mu.Lock()
+		for _, it := range req.Items {
+			s.raw[it.ID] = it.Blob
+		}
+		s.mu.Unlock()
+		return wire.MsgAck, wire.AckResp{ServerNanos: s.serverNanos(start)}.Encode(), nil
+
+	case wire.MsgGetRaw:
+		req, err := wire.DecodeGetRawReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		items := make([]wire.RawItem, 0, len(req.IDs))
+		s.mu.Lock()
+		for _, id := range req.IDs {
+			blob, ok := s.raw[id]
+			if !ok {
+				s.mu.Unlock()
+				return 0, nil, fmt.Errorf("server: no raw data for object %d", id)
+			}
+			items = append(items, wire.RawItem{ID: id, Blob: blob})
+		}
+		s.mu.Unlock()
+		return wire.MsgRawItems, wire.RawItemsResp{
+			ServerNanos: s.serverNanos(start), Items: items,
+		}.Encode(), nil
+
+	case wire.MsgDownloadAll:
+		if s.enc == nil {
+			return 0, nil, errNeedEncrypted
+		}
+		entries, err := s.enc.AllEntries()
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgCandidates, wire.CandidatesResp{
+			ServerNanos: s.serverNanos(start), Entries: entries,
+		}.Encode(), nil
+	}
+	return 0, nil, fmt.Errorf("server: unsupported request type %v", typ)
+}

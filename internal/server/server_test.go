@@ -1,0 +1,287 @@
+package server
+
+import (
+	"math/rand/v2"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"simcloud/internal/dataset"
+	"simcloud/internal/metric"
+	"simcloud/internal/mindex"
+	"simcloud/internal/pivot"
+	"simcloud/internal/wire"
+)
+
+func testCfg() mindex.Config {
+	return mindex.Config{
+		NumPivots: 6, MaxLevel: 3, BucketCapacity: 10,
+		Storage: mindex.StorageMemory, Ranking: mindex.RankFootrule,
+	}
+}
+
+func startEncrypted(t *testing.T) *Server {
+	t.Helper()
+	srv, err := NewEncrypted(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Logf = func(string, ...any) {} // silence expected connection errors
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func dial(t *testing.T, srv *Server) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// request sends one frame and reads one response.
+func request(t *testing.T, conn net.Conn, typ wire.MsgType, payload []byte) (wire.MsgType, []byte) {
+	t.Helper()
+	if err := wire.WriteFrame(conn, typ, payload); err != nil {
+		t.Fatal(err)
+	}
+	respType, resp, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return respType, resp
+}
+
+func expectError(t *testing.T, conn net.Conn, typ wire.MsgType, payload []byte, contains string) {
+	t.Helper()
+	respType, resp := request(t, conn, typ, payload)
+	if respType != wire.MsgError {
+		t.Fatalf("%v: expected error response, got %v", typ, respType)
+	}
+	m, err := wire.DecodeErrorResp(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m.Msg, contains) {
+		t.Fatalf("%v: error %q does not mention %q", typ, m.Msg, contains)
+	}
+}
+
+func TestUnknownMessageType(t *testing.T) {
+	srv := startEncrypted(t)
+	conn := dial(t, srv)
+	expectError(t, conn, wire.MsgType(250), nil, "unsupported request")
+}
+
+func TestGarbagePayloadIsError(t *testing.T) {
+	srv := startEncrypted(t)
+	conn := dial(t, srv)
+	// A malformed insert payload must produce an error, not kill the server.
+	expectError(t, conn, wire.MsgInsertEntries, []byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2}, "")
+	// The connection must still be usable afterwards.
+	respType, _ := request(t, conn, wire.MsgDownloadAll, nil)
+	if respType != wire.MsgCandidates {
+		t.Fatalf("connection dead after error: got %v", respType)
+	}
+}
+
+func TestModeGuards(t *testing.T) {
+	srv := startEncrypted(t)
+	conn := dial(t, srv)
+	expectError(t, conn, wire.MsgInsertObjects,
+		wire.InsertObjectsReq{Objects: []metric.Object{{ID: 1, Vec: metric.Vector{1}}}}.Encode(),
+		"plain")
+	expectError(t, conn, wire.MsgKNNPlain,
+		wire.KNNPlainReq{Q: metric.Vector{1}, K: 1}.Encode(),
+		"plain")
+
+	// And the reverse on a plain server.
+	ds := dataset.Clustered(1, 50, 2, 2, metric.L1{})
+	rng := rand.New(rand.NewPCG(1, 1))
+	pv := pivot.SelectRandom(rng, ds.Dist, ds.Objects, 6)
+	psrv, err := NewPlain(testCfg(), pv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := psrv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer psrv.Close()
+	pconn, err := net.Dial("tcp", psrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pconn.Close()
+	if err := wire.WriteFrame(pconn, wire.MsgDownloadAll, nil); err != nil {
+		t.Fatal(err)
+	}
+	respType, _, err := wire.ReadFrame(pconn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if respType != wire.MsgError {
+		t.Fatalf("encrypted-only request on plain server: got %v", respType)
+	}
+}
+
+func TestInvalidPermutationRejected(t *testing.T) {
+	srv := startEncrypted(t)
+	conn := dial(t, srv)
+	// Duplicate elements: not a permutation.
+	expectError(t, conn, wire.MsgApproxPerm,
+		wire.ApproxPermReq{Perm: []int32{0, 0, 1, 2, 3, 4}, CandSize: 5}.Encode(),
+		"permutation")
+	expectError(t, conn, wire.MsgFirstCell,
+		wire.FirstCellReq{Perm: []int32{0, 1}}.Encode(),
+		"permutation")
+}
+
+func TestEHIBlobStore(t *testing.T) {
+	srv := startEncrypted(t)
+	conn := dial(t, srv)
+	respType, _ := request(t, conn, wire.MsgPutNodes, wire.PutNodesReq{
+		RootID: 7,
+		Nodes:  []wire.EHINode{{ID: 7, Blob: []byte{1, 2, 3}}, {ID: 8, Blob: []byte{4}}},
+	}.Encode())
+	if respType != wire.MsgAck {
+		t.Fatalf("put-nodes: got %v", respType)
+	}
+	respType, resp := request(t, conn, wire.MsgGetNode, wire.GetNodeReq{ID: 8}.Encode())
+	if respType != wire.MsgNodeBlob {
+		t.Fatalf("get-node: got %v", respType)
+	}
+	m, err := wire.DecodeNodeBlobResp(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Blob) != 1 || m.Blob[0] != 4 {
+		t.Fatalf("blob = %v", m.Blob)
+	}
+	expectError(t, conn, wire.MsgGetNode, wire.GetNodeReq{ID: 99}.Encode(), "unknown EHI node")
+}
+
+func TestFDHBucketStore(t *testing.T) {
+	srv := startEncrypted(t)
+	conn := dial(t, srv)
+	respType, _ := request(t, conn, wire.MsgPutFDH, wire.PutFDHReq{
+		Items: []wire.FDHItem{
+			{Key: 1, Payload: []byte{10}},
+			{Key: 1, Payload: []byte{11}},
+			{Key: 2, Payload: []byte{20}},
+		},
+	}.Encode())
+	if respType != wire.MsgAck {
+		t.Fatalf("put-fdh: got %v", respType)
+	}
+	respType, resp := request(t, conn, wire.MsgFDHQuery,
+		wire.FDHQueryReq{Keys: []uint64{1, 3}}.Encode())
+	if respType != wire.MsgCandidates {
+		t.Fatalf("fdh-query: got %v", respType)
+	}
+	m, err := wire.DecodeCandidatesResp(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Entries) != 2 {
+		t.Fatalf("bucket 1 returned %d payloads", len(m.Entries))
+	}
+}
+
+func TestServerTimeReported(t *testing.T) {
+	srv := startEncrypted(t)
+	conn := dial(t, srv)
+	entry := mindex.Entry{ID: 1, Perm: []int32{0, 1, 2, 3, 4, 5}, Payload: []byte{1}}
+	respType, resp := request(t, conn, wire.MsgInsertEntries,
+		wire.InsertEntriesReq{Entries: []mindex.Entry{entry}}.Encode())
+	if respType != wire.MsgAck {
+		t.Fatalf("insert: got %v", respType)
+	}
+	ack, err := wire.DecodeAckResp(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.ServerNanos == 0 {
+		t.Fatal("server reported zero processing time")
+	}
+}
+
+func TestDroppedConnectionDoesNotKillServer(t *testing.T) {
+	srv := startEncrypted(t)
+	conn := dial(t, srv)
+	// Write half a frame and hang up.
+	if _, err := conn.Write([]byte{0, 0, 0, 100, 5, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	time.Sleep(10 * time.Millisecond)
+	// Server still answers new connections.
+	conn2 := dial(t, srv)
+	respType, _ := request(t, conn2, wire.MsgDownloadAll, nil)
+	if respType != wire.MsgCandidates {
+		t.Fatalf("server unhealthy after dropped connection: %v", respType)
+	}
+}
+
+func TestCloseIdempotentAndRefusesNewWork(t *testing.T) {
+	srv, err := NewEncrypted(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := net.DialTimeout("tcp", addr, 100*time.Millisecond); err == nil {
+		t.Fatal("closed server still accepting connections")
+	}
+}
+
+func TestAddrBeforeStart(t *testing.T) {
+	srv, err := NewEncrypted(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Addr() != "" {
+		t.Fatalf("addr before start = %q", srv.Addr())
+	}
+	if srv.Mode() != ModeEncrypted {
+		t.Fatalf("mode = %v", srv.Mode())
+	}
+	if ModePlain.String() != "plain" || Mode(9).String() == "" {
+		t.Fatal("mode strings broken")
+	}
+}
+
+func TestPipelinedRequests(t *testing.T) {
+	srv := startEncrypted(t)
+	conn := dial(t, srv)
+	// Send several requests back to back before reading any response; the
+	// server must answer them in order.
+	for range 5 {
+		if err := wire.WriteFrame(conn, wire.MsgDownloadAll, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for range 5 {
+		respType, _, err := wire.ReadFrame(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if respType != wire.MsgCandidates {
+			t.Fatalf("pipelined response = %v", respType)
+		}
+	}
+}

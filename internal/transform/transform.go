@@ -1,0 +1,211 @@
+// Package transform implements the distance transformation the paper's
+// conclusion proposes as future work: "transform the distances to pivots
+// stored on the server for precise strategies; such transformation could
+// better hide information about the data set distribution" — privacy level
+// 4 of the paper's taxonomy (Section 2.3).
+//
+// The construction is a keyed, strictly increasing, piecewise-linear map
+// T: [0, ∞) → [0, 1+) fitted so that the transformed object–pivot distances
+// are approximately uniform (histogram equalization over a quantile
+// sketch, with keyed jitter). The server then stores T(d(o,p_i)) instead of
+// d(o,p_i) and receives T(d(q,p_i)) at query time:
+//
+//   - Pivot permutations are unchanged (a global monotone map preserves
+//     all distance comparisons), so the approximate strategy and cell
+//     ranking work as before.
+//   - The metric pruning rules remain *correct* in transformed space when
+//     the radius is scaled by the transform's maximum slope L: from
+//     |T(a)−T(b)| ≤ L·|a−b| it follows that every object within radius r
+//     of the query keeps its transformed pivot gaps within L·r, so running
+//     the untouched server algorithms with radius L·r yields a candidate
+//     superset — no false dismissals; the client refinement restores
+//     exactness. Pruning gets looser (the price of hiding), which the
+//     ablation benchmark quantifies.
+//
+// What the server learns from transformed distances is (approximately) a
+// uniform distribution on [0,1]: the shape of the data's distance
+// distribution — a fingerprint an attacker could match against public
+// collections — is gone.
+package transform
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Monotone is a strictly increasing piecewise-linear transform.
+type Monotone struct {
+	// xs are knot positions (strictly increasing, xs[0] == 0).
+	xs []float64
+	// ys are transformed values at the knots (strictly increasing).
+	ys []float64
+	// maxSlope is the Lipschitz constant over all segments (including the
+	// extrapolation segment past the last knot).
+	maxSlope float64
+}
+
+// minSegmentSlope keeps the map strictly increasing and invertible even on
+// degenerate (constant) samples.
+const minSegmentSlope = 1e-9
+
+// FitEqualizing builds an equalizing transform from a sample of distances:
+// knot positions are jittered sample quantiles, knot values are equally
+// spaced on [0,1], so applying the transform to data from the sampled
+// distribution produces approximately uniform output. The jitter is drawn
+// from rng, which the data owner seeds from key material — two owners with
+// the same data get different transforms.
+func FitEqualizing(rng *rand.Rand, sample []float64, knots int) (*Monotone, error) {
+	if len(sample) < 2 {
+		return nil, errors.New("transform: need at least 2 sample distances")
+	}
+	if knots < 2 {
+		return nil, fmt.Errorf("transform: need at least 2 knots, got %d", knots)
+	}
+	sorted := make([]float64, 0, len(sample))
+	for _, d := range sample {
+		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return nil, fmt.Errorf("transform: invalid sample distance %g", d)
+		}
+		sorted = append(sorted, d)
+	}
+	sort.Float64s(sorted)
+	dmax := sorted[len(sorted)-1]
+	if dmax == 0 {
+		return nil, errors.New("transform: all sample distances are zero")
+	}
+
+	xs := make([]float64, 0, knots+1)
+	xs = append(xs, 0)
+	for i := 1; i < knots; i++ {
+		q := sorted[i*(len(sorted)-1)/(knots-1)]
+		// Keyed jitter: ±10% of the local spacing, keeping order.
+		q += (rng.Float64() - 0.5) * 0.2 * dmax / float64(knots)
+		if q <= xs[len(xs)-1] {
+			continue // drop knots that collapsed onto the previous one
+		}
+		if q > dmax {
+			q = dmax
+		}
+		xs = append(xs, q)
+	}
+	if len(xs) < 2 {
+		xs = append(xs, dmax)
+	}
+	ys := make([]float64, len(xs))
+	for i := range ys {
+		ys[i] = float64(i) / float64(len(xs)-1)
+	}
+	t := &Monotone{xs: xs, ys: ys}
+	t.maxSlope = t.computeMaxSlope()
+	return t, nil
+}
+
+// NewMonotone builds a transform from explicit knots (used by Unmarshal and
+// tests). xs must start at 0 and both slices must be strictly increasing.
+func NewMonotone(xs, ys []float64) (*Monotone, error) {
+	if len(xs) < 2 || len(xs) != len(ys) {
+		return nil, errors.New("transform: need matching knot slices of length >= 2")
+	}
+	if xs[0] != 0 {
+		return nil, errors.New("transform: first knot must be at distance 0")
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] || ys[i] <= ys[i-1] {
+			return nil, errors.New("transform: knots must be strictly increasing")
+		}
+	}
+	t := &Monotone{xs: append([]float64(nil), xs...), ys: append([]float64(nil), ys...)}
+	t.maxSlope = t.computeMaxSlope()
+	return t, nil
+}
+
+func (t *Monotone) computeMaxSlope() float64 {
+	maxSlope := minSegmentSlope
+	for i := 1; i < len(t.xs); i++ {
+		s := (t.ys[i] - t.ys[i-1]) / (t.xs[i] - t.xs[i-1])
+		if s > maxSlope {
+			maxSlope = s
+		}
+	}
+	return maxSlope
+}
+
+// lastSlope is the extrapolation slope past the final knot.
+func (t *Monotone) lastSlope() float64 {
+	n := len(t.xs)
+	s := (t.ys[n-1] - t.ys[n-2]) / (t.xs[n-1] - t.xs[n-2])
+	return math.Max(s, minSegmentSlope)
+}
+
+// Apply evaluates the transform. Distances beyond the fitted range
+// extrapolate linearly with the last segment's slope, preserving strict
+// monotonicity and the Lipschitz bound.
+func (t *Monotone) Apply(d float64) float64 {
+	if d <= 0 {
+		return t.ys[0]
+	}
+	n := len(t.xs)
+	if d >= t.xs[n-1] {
+		return t.ys[n-1] + (d-t.xs[n-1])*t.lastSlope()
+	}
+	i := sort.SearchFloat64s(t.xs, d)
+	// xs[i-1] < d <= xs[i] (d < xs[n-1] and d > xs[0] here).
+	x0, x1 := t.xs[i-1], t.xs[i]
+	y0, y1 := t.ys[i-1], t.ys[i]
+	return y0 + (d-x0)*(y1-y0)/(x1-x0)
+}
+
+// ApplyAll transforms a distance vector.
+func (t *Monotone) ApplyAll(dists []float64) []float64 {
+	out := make([]float64, len(dists))
+	for i, d := range dists {
+		out[i] = t.Apply(d)
+	}
+	return out
+}
+
+// MaxSlope returns the Lipschitz constant of the transform.
+func (t *Monotone) MaxSlope() float64 { return t.maxSlope }
+
+// RadiusBound maps a query radius r into transformed space such that all
+// server-side pruning remains a superset filter: |T(a)−T(b)| ≤ MaxSlope·|a−b|.
+func (t *Monotone) RadiusBound(r float64) float64 {
+	return r * t.maxSlope
+}
+
+// Knots returns the number of knots (diagnostics).
+func (t *Monotone) Knots() int { return len(t.xs) }
+
+// Marshal serializes the transform (it travels inside the secret key).
+func (t *Monotone) Marshal() []byte {
+	out := make([]byte, 0, 4+16*len(t.xs))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(t.xs)))
+	for i := range t.xs {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(t.xs[i]))
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(t.ys[i]))
+	}
+	return out
+}
+
+// Unmarshal reconstructs a transform serialized by Marshal.
+func Unmarshal(buf []byte) (*Monotone, error) {
+	if len(buf) < 4 {
+		return nil, errors.New("transform: truncated blob")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	if n < 2 || len(buf) != 16*n {
+		return nil, fmt.Errorf("transform: implausible knot count %d for %d bytes", n, len(buf))
+	}
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range n {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[16*i:]))
+		ys[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[16*i+8:]))
+	}
+	return NewMonotone(xs, ys)
+}

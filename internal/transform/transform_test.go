@@ -1,0 +1,222 @@
+package transform
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sampleDists(rng *rand.Rand, n int) []float64 {
+	// A lumpy, decidedly non-uniform distance distribution.
+	out := make([]float64, n)
+	for i := range out {
+		if rng.IntN(3) == 0 {
+			out[i] = math.Abs(rng.NormFloat64())*5 + 100
+		} else {
+			out[i] = math.Abs(rng.NormFloat64()) * 30
+		}
+	}
+	return out
+}
+
+func fit(t *testing.T, seed uint64, n, knots int) *Monotone {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 1))
+	tr, err := FitEqualizing(rng, sampleDists(rng, n), knots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestFitValidation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	if _, err := FitEqualizing(rng, []float64{1}, 8); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, err := FitEqualizing(rng, []float64{1, 2}, 1); err == nil {
+		t.Error("single knot accepted")
+	}
+	if _, err := FitEqualizing(rng, []float64{1, -2}, 4); err == nil {
+		t.Error("negative distance accepted")
+	}
+	if _, err := FitEqualizing(rng, []float64{1, math.NaN()}, 4); err == nil {
+		t.Error("NaN distance accepted")
+	}
+	if _, err := FitEqualizing(rng, []float64{0, 0, 0}, 4); err == nil {
+		t.Error("all-zero sample accepted")
+	}
+}
+
+func TestStrictlyIncreasing(t *testing.T) {
+	tr := fit(t, 2, 2000, 16)
+	prev := math.Inf(-1)
+	for d := 0.0; d < 300; d += 0.37 {
+		v := tr.Apply(d)
+		if v <= prev {
+			t.Fatalf("not strictly increasing at %g: %g <= %g", d, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestQuickMonotoneAndLipschitz(t *testing.T) {
+	tr := fit(t, 3, 1000, 12)
+	L := tr.MaxSlope()
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if math.IsInf(a, 0) || math.IsInf(b, 0) || a != a || b != b || a > 1e12 || b > 1e12 {
+			return true
+		}
+		ta, tb := tr.Apply(a), tr.Apply(b)
+		// Monotone.
+		if (a < b && ta >= tb) || (a > b && ta <= tb) {
+			return false
+		}
+		// Lipschitz: |T(a)-T(b)| <= L|a-b| (with float tolerance).
+		return math.Abs(ta-tb) <= L*math.Abs(a-b)*(1+1e-9)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualizesDistribution(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	sample := sampleDists(rng, 5000)
+	tr, err := FitEqualizing(rng, sample, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transform an independent draw from the same distribution; the output
+	// should be near-uniform on [0,1]: quartiles near 0.25/0.5/0.75.
+	fresh := sampleDists(rng, 5000)
+	out := tr.ApplyAll(fresh)
+	sort.Float64s(out)
+	q := func(p float64) float64 { return out[int(p*float64(len(out)-1))] }
+	for _, tc := range []struct{ p, want float64 }{{0.25, 0.25}, {0.5, 0.5}, {0.75, 0.75}} {
+		if got := q(tc.p); math.Abs(got-tc.want) > 0.06 {
+			t.Errorf("quantile %.2f of transformed data = %.3f, want ≈ %.2f", tc.p, got, tc.want)
+		}
+	}
+	// Whereas the raw data's quartiles are nowhere near uniform once scaled
+	// to [0,1] (sanity check that the test is meaningful).
+	raw := append([]float64(nil), fresh...)
+	sort.Float64s(raw)
+	rawQ50 := raw[len(raw)/2] / raw[len(raw)-1]
+	if math.Abs(rawQ50-0.5) < 0.1 {
+		t.Skip("raw sample unexpectedly uniform; equalization test uninformative")
+	}
+}
+
+func TestKeyedJitterDiffers(t *testing.T) {
+	rngData := rand.New(rand.NewPCG(5, 5))
+	sample := sampleDists(rngData, 2000)
+	t1, err := FitEqualizing(rand.New(rand.NewPCG(1, 0)), sample, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := FitEqualizing(rand.New(rand.NewPCG(2, 0)), sample, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for d := 1.0; d < 100; d += 7 {
+		if t1.Apply(d) != t2.Apply(d) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("two keys produced identical transforms")
+	}
+}
+
+func TestRadiusBoundCoversTransformedGaps(t *testing.T) {
+	tr := fit(t, 6, 3000, 24)
+	rng := rand.New(rand.NewPCG(6, 6))
+	for range 5000 {
+		a := math.Abs(rng.NormFloat64()) * 60
+		r := rng.Float64() * 20
+		b := a + (rng.Float64()*2-1)*r // |a-b| <= r
+		if b < 0 {
+			b = 0
+		}
+		if math.Abs(tr.Apply(a)-tr.Apply(b)) > tr.RadiusBound(r)*(1+1e-9) {
+			t.Fatalf("transformed gap %g exceeds radius bound %g (a=%g b=%g r=%g)",
+				math.Abs(tr.Apply(a)-tr.Apply(b)), tr.RadiusBound(r), a, b, r)
+		}
+	}
+}
+
+func TestExtrapolation(t *testing.T) {
+	tr := fit(t, 7, 500, 8)
+	big := tr.Apply(1e6)
+	bigger := tr.Apply(2e6)
+	if !(bigger > big) {
+		t.Fatal("extrapolation not increasing")
+	}
+	if tr.Apply(-5) != tr.Apply(0) {
+		t.Fatal("negative distances must clamp to 0")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	tr := fit(t, 8, 1000, 12)
+	got, err := Unmarshal(tr.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Knots() != tr.Knots() || got.MaxSlope() != tr.MaxSlope() {
+		t.Fatalf("round trip changed shape: %d/%g vs %d/%g",
+			got.Knots(), got.MaxSlope(), tr.Knots(), tr.MaxSlope())
+	}
+	for d := 0.0; d < 200; d += 3.1 {
+		if got.Apply(d) != tr.Apply(d) {
+			t.Fatalf("round trip changed value at %g", d)
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	for _, buf := range [][]byte{
+		nil,
+		{1, 2},
+		{0, 0, 0, 0},          // zero knots
+		{2, 0, 0, 0, 1, 2, 3}, // truncated
+	} {
+		if _, err := Unmarshal(buf); err == nil {
+			t.Fatalf("garbage %v accepted", buf)
+		}
+	}
+	// Non-monotone knots must be rejected at reconstruction.
+	bad, err := NewMonotone([]float64{0, 1, 2}, []float64{0, 0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := bad.Marshal()
+	// Swap the middle knot's y with the last to break monotonicity.
+	copyBlob := append([]byte(nil), blob...)
+	copy(copyBlob[4+16+8:], blob[4+32+8:4+32+16])
+	copy(copyBlob[4+32+8:], blob[4+16+8:4+16+16])
+	if _, err := Unmarshal(copyBlob); err == nil {
+		t.Fatal("non-monotone knots accepted")
+	}
+}
+
+func TestNewMonotoneValidation(t *testing.T) {
+	if _, err := NewMonotone([]float64{0}, []float64{0}); err == nil {
+		t.Error("single knot accepted")
+	}
+	if _, err := NewMonotone([]float64{1, 2}, []float64{0, 1}); err == nil {
+		t.Error("non-zero origin accepted")
+	}
+	if _, err := NewMonotone([]float64{0, 0}, []float64{0, 1}); err == nil {
+		t.Error("duplicate x accepted")
+	}
+	if _, err := NewMonotone([]float64{0, 1}, []float64{1, 0}); err == nil {
+		t.Error("decreasing y accepted")
+	}
+}

@@ -1,0 +1,171 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+)
+
+// MsgType identifies a protocol message.
+type MsgType uint8
+
+// Protocol messages. Requests flow client→server, responses server→client.
+const (
+	// MsgError carries a server-side error string.
+	MsgError MsgType = iota + 1
+
+	// MsgInsertEntries inserts pre-computed index entries (encrypted
+	// deployment: the client computed permutations/distances and encrypted
+	// the payloads; the server sees no plaintext).
+	MsgInsertEntries
+	// MsgInsertObjects inserts raw objects (plain deployment: the server
+	// computes pivot distances itself).
+	MsgInsertObjects
+
+	// MsgRangeDists asks for range-query candidates given only the query's
+	// pivot-distance vector (encrypted precise range, Algorithm 3).
+	MsgRangeDists
+	// MsgApproxPerm asks for a pre-ranked candidate set given only the
+	// query's pivot permutation (encrypted approximate k-NN, Algorithm 4).
+	MsgApproxPerm
+	// MsgApproxDists is MsgApproxPerm with a distance vector instead of a
+	// permutation (the distance-sum ranking strategy).
+	MsgApproxDists
+	// MsgFirstCell asks for the single most promising Voronoi cell — the
+	// restricted candidate strategy of the paper's 1-NN comparison.
+	MsgFirstCell
+
+	// MsgRangePlain evaluates a full range query server-side (plain).
+	MsgRangePlain
+	// MsgKNNPlain evaluates a precise k-NN query server-side (plain).
+	MsgKNNPlain
+	// MsgApproxPlain evaluates an approximate k-NN server-side (plain).
+	MsgApproxPlain
+
+	// MsgCandidates returns a candidate set of entries plus server time.
+	MsgCandidates
+	// MsgResults returns refined results (plain deployment) plus server time.
+	MsgResults
+	// MsgAck acknowledges an insert, carrying server time.
+	MsgAck
+
+	// MsgGetNode fetches one encrypted node blob by ID (EHI baseline).
+	MsgGetNode
+	// MsgNodeBlob returns an encrypted node blob (EHI baseline).
+	MsgNodeBlob
+	// MsgPutNodes uploads encrypted node blobs (EHI construction).
+	MsgPutNodes
+
+	// MsgFDHQuery fetches the encrypted objects of the given hash buckets
+	// (FDH baseline).
+	MsgFDHQuery
+	// MsgPutFDH uploads the FDH bucket table (FDH construction).
+	MsgPutFDH
+
+	// MsgDownloadAll fetches every stored entry (trivial baseline).
+	MsgDownloadAll
+
+	// MsgPutRaw uploads encrypted raw-data blobs keyed by object ID (the
+	// raw-data storage of the paper's Figure 1).
+	MsgPutRaw
+	// MsgGetRaw fetches encrypted raw-data blobs by object ID.
+	MsgGetRaw
+	// MsgRawItems returns raw-data blobs plus server time.
+	MsgRawItems
+)
+
+var msgNames = map[MsgType]string{
+	MsgError: "error", MsgInsertEntries: "insert-entries", MsgInsertObjects: "insert-objects",
+	MsgRangeDists: "range-dists", MsgApproxPerm: "approx-perm", MsgApproxDists: "approx-dists",
+	MsgFirstCell: "first-cell", MsgRangePlain: "range-plain", MsgKNNPlain: "knn-plain",
+	MsgApproxPlain: "approx-plain", MsgCandidates: "candidates", MsgResults: "results",
+	MsgAck: "ack", MsgGetNode: "get-node", MsgNodeBlob: "node-blob", MsgPutNodes: "put-nodes",
+	MsgFDHQuery: "fdh-query", MsgPutFDH: "put-fdh", MsgDownloadAll: "download-all",
+	MsgPutRaw: "put-raw", MsgGetRaw: "get-raw", MsgRawItems: "raw-items",
+}
+
+// String implements fmt.Stringer.
+func (m MsgType) String() string {
+	if s, ok := msgNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("msg(%d)", uint8(m))
+}
+
+// MaxFrameSize bounds a single frame (1 GiB) against hostile or corrupted
+// length prefixes.
+const MaxFrameSize = 1 << 30
+
+// WriteFrame writes one frame: length uint32 (big endian, covering type +
+// payload), type byte, payload.
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	if len(payload)+1 > MaxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload)+1)
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame written by WriteFrame.
+func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:4])
+	if size == 0 || size > MaxFrameSize {
+		return 0, nil, fmt.Errorf("wire: implausible frame size %d", size)
+	}
+	payload := make([]byte, size-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("wire: short frame body: %w", err)
+	}
+	return MsgType(hdr[4]), payload, nil
+}
+
+// CountingConn wraps a net.Conn and counts bytes in both directions — the
+// "communication cost" measure of the paper's evaluation.
+type CountingConn struct {
+	net.Conn
+	read    atomic.Int64
+	written atomic.Int64
+}
+
+// NewCountingConn wraps conn.
+func NewCountingConn(conn net.Conn) *CountingConn {
+	return &CountingConn{Conn: conn}
+}
+
+// Read implements net.Conn.
+func (c *CountingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.read.Add(int64(n))
+	return n, err
+}
+
+// Write implements net.Conn.
+func (c *CountingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.written.Add(int64(n))
+	return n, err
+}
+
+// BytesRead returns the bytes received so far.
+func (c *CountingConn) BytesRead() int64 { return c.read.Load() }
+
+// BytesWritten returns the bytes sent so far.
+func (c *CountingConn) BytesWritten() int64 { return c.written.Load() }
+
+// ResetCounters zeroes both byte counters (per-operation accounting).
+func (c *CountingConn) ResetCounters() {
+	c.read.Store(0)
+	c.written.Store(0)
+}

@@ -1,0 +1,628 @@
+package wire
+
+import (
+	"fmt"
+
+	"simcloud/internal/metric"
+	"simcloud/internal/mindex"
+)
+
+// This file defines the typed payloads of each protocol message. Every type
+// has Encode() []byte and a package-level Decode function; both sides of the
+// protocol share them, so the byte counts measured by the benchmark are the
+// exact bytes a real deployment would ship.
+
+// appendEntries writes a count-prefixed entry list.
+func appendEntries(b *Buffer, entries []mindex.Entry) {
+	b.U32(uint32(len(entries)))
+	for i := range entries {
+		b.B = mindex.AppendEntry(b.B, entries[i])
+	}
+}
+
+func readEntries(r *Reader) []mindex.Entry {
+	n := int(r.U32())
+	if r.err != nil {
+		return nil
+	}
+	// Each entry occupies at least 20 bytes on the wire.
+	if n < 0 || n > len(r.b)/20+1 {
+		r.err = ErrCodec
+		return nil
+	}
+	out := make([]mindex.Entry, 0, n)
+	for range n {
+		e, rest, err := mindex.DecodeEntry(r.b)
+		if err != nil {
+			r.err = err
+			return nil
+		}
+		r.b = rest
+		out = append(out, e)
+	}
+	return out
+}
+
+// InsertEntriesReq uploads pre-computed entries (encrypted deployment).
+type InsertEntriesReq struct {
+	Entries []mindex.Entry
+}
+
+// Encode serializes the request payload.
+func (m InsertEntriesReq) Encode() []byte {
+	var b Buffer
+	appendEntries(&b, m.Entries)
+	return b.B
+}
+
+// DecodeInsertEntriesReq parses an InsertEntriesReq payload.
+func DecodeInsertEntriesReq(p []byte) (InsertEntriesReq, error) {
+	r := NewReader(p)
+	m := InsertEntriesReq{Entries: readEntries(r)}
+	return m, r.Err()
+}
+
+// InsertObjectsReq uploads raw objects (plain deployment).
+type InsertObjectsReq struct {
+	Objects []metric.Object
+}
+
+// Encode serializes the request payload.
+func (m InsertObjectsReq) Encode() []byte {
+	var b Buffer
+	b.U32(uint32(len(m.Objects)))
+	for _, o := range m.Objects {
+		b.U64(o.ID)
+		b.Vec(o.Vec)
+	}
+	return b.B
+}
+
+// DecodeInsertObjectsReq parses an InsertObjectsReq payload.
+func DecodeInsertObjectsReq(p []byte) (InsertObjectsReq, error) {
+	r := NewReader(p)
+	n := int(r.U32())
+	if n < 0 || n > len(p)/12+1 {
+		return InsertObjectsReq{}, ErrCodec
+	}
+	m := InsertObjectsReq{Objects: make([]metric.Object, 0, n)}
+	for range n {
+		id := r.U64()
+		vec := r.VecField()
+		if r.err != nil {
+			break
+		}
+		m.Objects = append(m.Objects, metric.Object{ID: id, Vec: vec})
+	}
+	return m, r.Err()
+}
+
+// RangeDistsReq is the encrypted precise range query: pivot distances and
+// radius only — the query object never leaves the client.
+type RangeDistsReq struct {
+	Dists  []float64
+	Radius float64
+}
+
+// Encode serializes the request payload.
+func (m RangeDistsReq) Encode() []byte {
+	var b Buffer
+	b.F64Slice(m.Dists)
+	b.F64(m.Radius)
+	return b.B
+}
+
+// DecodeRangeDistsReq parses a RangeDistsReq payload.
+func DecodeRangeDistsReq(p []byte) (RangeDistsReq, error) {
+	r := NewReader(p)
+	m := RangeDistsReq{Dists: r.F64Slice(), Radius: r.F64()}
+	return m, r.Err()
+}
+
+// ApproxPermReq is the encrypted approximate k-NN query under the footrule
+// ranking: the query's pivot permutation and the requested candidate size.
+type ApproxPermReq struct {
+	Perm     []int32
+	CandSize uint32
+}
+
+// Encode serializes the request payload.
+func (m ApproxPermReq) Encode() []byte {
+	var b Buffer
+	b.I32Slice(m.Perm)
+	b.U32(m.CandSize)
+	return b.B
+}
+
+// DecodeApproxPermReq parses an ApproxPermReq payload.
+func DecodeApproxPermReq(p []byte) (ApproxPermReq, error) {
+	r := NewReader(p)
+	m := ApproxPermReq{Perm: r.I32Slice(), CandSize: r.U32()}
+	return m, r.Err()
+}
+
+// ApproxDistsReq is the encrypted approximate k-NN query under the
+// distance-sum ranking: the query's pivot distances and candidate size.
+type ApproxDistsReq struct {
+	Dists    []float64
+	CandSize uint32
+}
+
+// Encode serializes the request payload.
+func (m ApproxDistsReq) Encode() []byte {
+	var b Buffer
+	b.F64Slice(m.Dists)
+	b.U32(m.CandSize)
+	return b.B
+}
+
+// DecodeApproxDistsReq parses an ApproxDistsReq payload.
+func DecodeApproxDistsReq(p []byte) (ApproxDistsReq, error) {
+	r := NewReader(p)
+	m := ApproxDistsReq{Dists: r.F64Slice(), CandSize: r.U32()}
+	return m, r.Err()
+}
+
+// FirstCellReq asks for the single most promising Voronoi cell.
+type FirstCellReq struct {
+	Perm []int32
+}
+
+// Encode serializes the request payload.
+func (m FirstCellReq) Encode() []byte {
+	var b Buffer
+	b.I32Slice(m.Perm)
+	return b.B
+}
+
+// DecodeFirstCellReq parses a FirstCellReq payload.
+func DecodeFirstCellReq(p []byte) (FirstCellReq, error) {
+	r := NewReader(p)
+	m := FirstCellReq{Perm: r.I32Slice()}
+	return m, r.Err()
+}
+
+// RangePlainReq is the plain precise range query carrying the raw query.
+type RangePlainReq struct {
+	Q      metric.Vector
+	Radius float64
+}
+
+// Encode serializes the request payload.
+func (m RangePlainReq) Encode() []byte {
+	var b Buffer
+	b.Vec(m.Q)
+	b.F64(m.Radius)
+	return b.B
+}
+
+// DecodeRangePlainReq parses a RangePlainReq payload.
+func DecodeRangePlainReq(p []byte) (RangePlainReq, error) {
+	r := NewReader(p)
+	m := RangePlainReq{Q: r.VecField(), Radius: r.F64()}
+	return m, r.Err()
+}
+
+// KNNPlainReq is the plain precise k-NN query.
+type KNNPlainReq struct {
+	Q metric.Vector
+	K uint32
+}
+
+// Encode serializes the request payload.
+func (m KNNPlainReq) Encode() []byte {
+	var b Buffer
+	b.Vec(m.Q)
+	b.U32(m.K)
+	return b.B
+}
+
+// DecodeKNNPlainReq parses a KNNPlainReq payload.
+func DecodeKNNPlainReq(p []byte) (KNNPlainReq, error) {
+	r := NewReader(p)
+	m := KNNPlainReq{Q: r.VecField(), K: r.U32()}
+	return m, r.Err()
+}
+
+// ApproxPlainReq is the plain approximate k-NN query.
+type ApproxPlainReq struct {
+	Q        metric.Vector
+	K        uint32
+	CandSize uint32
+}
+
+// Encode serializes the request payload.
+func (m ApproxPlainReq) Encode() []byte {
+	var b Buffer
+	b.Vec(m.Q)
+	b.U32(m.K)
+	b.U32(m.CandSize)
+	return b.B
+}
+
+// DecodeApproxPlainReq parses an ApproxPlainReq payload.
+func DecodeApproxPlainReq(p []byte) (ApproxPlainReq, error) {
+	r := NewReader(p)
+	m := ApproxPlainReq{Q: r.VecField(), K: r.U32(), CandSize: r.U32()}
+	return m, r.Err()
+}
+
+// CandidatesResp returns a candidate set of entries; ServerNanos is the time
+// the server spent preparing it (DistNanos of which went into distance
+// computations — zero for encrypted deployments, where the server cannot
+// compute distances at all).
+type CandidatesResp struct {
+	ServerNanos uint64
+	DistNanos   uint64
+	Entries     []mindex.Entry
+}
+
+// Encode serializes the response payload.
+func (m CandidatesResp) Encode() []byte {
+	var b Buffer
+	b.U64(m.ServerNanos)
+	b.U64(m.DistNanos)
+	appendEntries(&b, m.Entries)
+	return b.B
+}
+
+// DecodeCandidatesResp parses a CandidatesResp payload.
+func DecodeCandidatesResp(p []byte) (CandidatesResp, error) {
+	r := NewReader(p)
+	m := CandidatesResp{ServerNanos: r.U64(), DistNanos: r.U64(), Entries: readEntries(r)}
+	return m, r.Err()
+}
+
+// ResultsResp returns refined results (plain deployment).
+type ResultsResp struct {
+	ServerNanos uint64
+	DistNanos   uint64
+	Results     []mindex.Result
+}
+
+// Encode serializes the response payload.
+func (m ResultsResp) Encode() []byte {
+	var b Buffer
+	b.U64(m.ServerNanos)
+	b.U64(m.DistNanos)
+	b.U32(uint32(len(m.Results)))
+	for _, res := range m.Results {
+		b.U64(res.ID)
+		b.F64(res.Dist)
+		b.Vec(res.Vec)
+	}
+	return b.B
+}
+
+// DecodeResultsResp parses a ResultsResp payload.
+func DecodeResultsResp(p []byte) (ResultsResp, error) {
+	r := NewReader(p)
+	m := ResultsResp{ServerNanos: r.U64(), DistNanos: r.U64()}
+	n := int(r.U32())
+	if n < 0 || n > len(p)/20+1 {
+		return m, ErrCodec
+	}
+	m.Results = make([]mindex.Result, 0, n)
+	for range n {
+		id := r.U64()
+		d := r.F64()
+		vec := r.VecField()
+		if r.err != nil {
+			break
+		}
+		m.Results = append(m.Results, mindex.Result{ID: id, Dist: d, Vec: vec})
+	}
+	return m, r.Err()
+}
+
+// AckResp acknowledges an insert.
+type AckResp struct {
+	ServerNanos uint64
+	DistNanos   uint64
+}
+
+// Encode serializes the response payload.
+func (m AckResp) Encode() []byte {
+	var b Buffer
+	b.U64(m.ServerNanos)
+	b.U64(m.DistNanos)
+	return b.B
+}
+
+// DecodeAckResp parses an AckResp payload.
+func DecodeAckResp(p []byte) (AckResp, error) {
+	r := NewReader(p)
+	m := AckResp{ServerNanos: r.U64(), DistNanos: r.U64()}
+	return m, r.Err()
+}
+
+// ErrorResp carries a server-side failure to the client.
+type ErrorResp struct {
+	Msg string
+}
+
+// Encode serializes the response payload.
+func (m ErrorResp) Encode() []byte {
+	var b Buffer
+	b.String(m.Msg)
+	return b.B
+}
+
+// DecodeErrorResp parses an ErrorResp payload.
+func DecodeErrorResp(p []byte) (ErrorResp, error) {
+	r := NewReader(p)
+	m := ErrorResp{Msg: r.StringField()}
+	return m, r.Err()
+}
+
+// RemoteError is the client-side error for a MsgError response.
+type RemoteError struct {
+	Msg string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return fmt.Sprintf("wire: server error: %s", e.Msg) }
+
+// EHINode is one encrypted node blob of the EHI baseline index.
+type EHINode struct {
+	ID   uint64
+	Blob []byte
+}
+
+// PutNodesReq uploads encrypted EHI nodes during construction.
+type PutNodesReq struct {
+	RootID uint64
+	Nodes  []EHINode
+}
+
+// Encode serializes the request payload.
+func (m PutNodesReq) Encode() []byte {
+	var b Buffer
+	b.U64(m.RootID)
+	b.U32(uint32(len(m.Nodes)))
+	for _, n := range m.Nodes {
+		b.U64(n.ID)
+		b.Bytes(n.Blob)
+	}
+	return b.B
+}
+
+// DecodePutNodesReq parses a PutNodesReq payload.
+func DecodePutNodesReq(p []byte) (PutNodesReq, error) {
+	r := NewReader(p)
+	m := PutNodesReq{RootID: r.U64()}
+	n := int(r.U32())
+	if n < 0 || n > len(p)/12+1 {
+		return m, ErrCodec
+	}
+	m.Nodes = make([]EHINode, 0, n)
+	for range n {
+		id := r.U64()
+		blob := r.BytesField()
+		if r.err != nil {
+			break
+		}
+		m.Nodes = append(m.Nodes, EHINode{ID: id, Blob: blob})
+	}
+	return m, r.Err()
+}
+
+// GetNodeReq fetches one encrypted EHI node.
+type GetNodeReq struct {
+	ID uint64
+}
+
+// Encode serializes the request payload.
+func (m GetNodeReq) Encode() []byte {
+	var b Buffer
+	b.U64(m.ID)
+	return b.B
+}
+
+// DecodeGetNodeReq parses a GetNodeReq payload.
+func DecodeGetNodeReq(p []byte) (GetNodeReq, error) {
+	r := NewReader(p)
+	m := GetNodeReq{ID: r.U64()}
+	return m, r.Err()
+}
+
+// NodeBlobResp returns one encrypted EHI node.
+type NodeBlobResp struct {
+	ServerNanos uint64
+	Blob        []byte
+}
+
+// Encode serializes the response payload.
+func (m NodeBlobResp) Encode() []byte {
+	var b Buffer
+	b.U64(m.ServerNanos)
+	b.Bytes(m.Blob)
+	return b.B
+}
+
+// DecodeNodeBlobResp parses a NodeBlobResp payload.
+func DecodeNodeBlobResp(p []byte) (NodeBlobResp, error) {
+	r := NewReader(p)
+	m := NodeBlobResp{ServerNanos: r.U64(), Blob: r.BytesField()}
+	return m, r.Err()
+}
+
+// FDHItem is one encrypted object filed under an FDH bucket key.
+type FDHItem struct {
+	Key     uint64
+	Payload []byte
+}
+
+// PutFDHReq uploads the FDH bucket table during construction.
+type PutFDHReq struct {
+	Items []FDHItem
+}
+
+// Encode serializes the request payload.
+func (m PutFDHReq) Encode() []byte {
+	var b Buffer
+	b.U32(uint32(len(m.Items)))
+	for _, it := range m.Items {
+		b.U64(it.Key)
+		b.Bytes(it.Payload)
+	}
+	return b.B
+}
+
+// DecodePutFDHReq parses a PutFDHReq payload.
+func DecodePutFDHReq(p []byte) (PutFDHReq, error) {
+	r := NewReader(p)
+	n := int(r.U32())
+	if n < 0 || n > len(p)/12+1 {
+		return PutFDHReq{}, ErrCodec
+	}
+	m := PutFDHReq{Items: make([]FDHItem, 0, n)}
+	for range n {
+		key := r.U64()
+		payload := r.BytesField()
+		if r.err != nil {
+			break
+		}
+		m.Items = append(m.Items, FDHItem{Key: key, Payload: payload})
+	}
+	return m, r.Err()
+}
+
+// RawItem is one encrypted raw-data blob keyed by its object ID — the
+// raw-data storage of the paper's Figure 1, where metric-space search
+// returns object IDs that the client resolves into the original data.
+type RawItem struct {
+	ID   uint64
+	Blob []byte
+}
+
+// PutRawReq uploads encrypted raw-data blobs.
+type PutRawReq struct {
+	Items []RawItem
+}
+
+// Encode serializes the request payload.
+func (m PutRawReq) Encode() []byte {
+	var b Buffer
+	b.U32(uint32(len(m.Items)))
+	for _, it := range m.Items {
+		b.U64(it.ID)
+		b.Bytes(it.Blob)
+	}
+	return b.B
+}
+
+// DecodePutRawReq parses a PutRawReq payload.
+func DecodePutRawReq(p []byte) (PutRawReq, error) {
+	r := NewReader(p)
+	n := int(r.U32())
+	if n < 0 || n > len(p)/12+1 {
+		return PutRawReq{}, ErrCodec
+	}
+	m := PutRawReq{Items: make([]RawItem, 0, n)}
+	for range n {
+		id := r.U64()
+		blob := r.BytesField()
+		if r.err != nil {
+			break
+		}
+		m.Items = append(m.Items, RawItem{ID: id, Blob: blob})
+	}
+	return m, r.Err()
+}
+
+// GetRawReq fetches raw-data blobs by object ID.
+type GetRawReq struct {
+	IDs []uint64
+}
+
+// Encode serializes the request payload.
+func (m GetRawReq) Encode() []byte {
+	var b Buffer
+	b.U32(uint32(len(m.IDs)))
+	for _, id := range m.IDs {
+		b.U64(id)
+	}
+	return b.B
+}
+
+// DecodeGetRawReq parses a GetRawReq payload.
+func DecodeGetRawReq(p []byte) (GetRawReq, error) {
+	r := NewReader(p)
+	n := int(r.U32())
+	if n < 0 || n > len(p)/8+1 {
+		return GetRawReq{}, ErrCodec
+	}
+	m := GetRawReq{IDs: make([]uint64, 0, n)}
+	for range n {
+		m.IDs = append(m.IDs, r.U64())
+	}
+	return m, r.Err()
+}
+
+// RawItemsResp returns fetched raw-data blobs.
+type RawItemsResp struct {
+	ServerNanos uint64
+	Items       []RawItem
+}
+
+// Encode serializes the response payload.
+func (m RawItemsResp) Encode() []byte {
+	var b Buffer
+	b.U64(m.ServerNanos)
+	b.U32(uint32(len(m.Items)))
+	for _, it := range m.Items {
+		b.U64(it.ID)
+		b.Bytes(it.Blob)
+	}
+	return b.B
+}
+
+// DecodeRawItemsResp parses a RawItemsResp payload.
+func DecodeRawItemsResp(p []byte) (RawItemsResp, error) {
+	r := NewReader(p)
+	m := RawItemsResp{ServerNanos: r.U64()}
+	n := int(r.U32())
+	if n < 0 || n > len(p)/12+1 {
+		return m, ErrCodec
+	}
+	m.Items = make([]RawItem, 0, n)
+	for range n {
+		id := r.U64()
+		blob := r.BytesField()
+		if r.err != nil {
+			break
+		}
+		m.Items = append(m.Items, RawItem{ID: id, Blob: blob})
+	}
+	return m, r.Err()
+}
+
+// FDHQueryReq fetches the encrypted objects stored under the given keys.
+type FDHQueryReq struct {
+	Keys []uint64
+}
+
+// Encode serializes the request payload.
+func (m FDHQueryReq) Encode() []byte {
+	var b Buffer
+	b.U32(uint32(len(m.Keys)))
+	for _, k := range m.Keys {
+		b.U64(k)
+	}
+	return b.B
+}
+
+// DecodeFDHQueryReq parses an FDHQueryReq payload.
+func DecodeFDHQueryReq(p []byte) (FDHQueryReq, error) {
+	r := NewReader(p)
+	n := int(r.U32())
+	if n < 0 || n > len(p)/8+1 {
+		return FDHQueryReq{}, ErrCodec
+	}
+	m := FDHQueryReq{Keys: make([]uint64, 0, n)}
+	for range n {
+		m.Keys = append(m.Keys, r.U64())
+	}
+	return m, r.Err()
+}

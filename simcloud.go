@@ -1,0 +1,235 @@
+// Package simcloud is a similarity cloud with data privacy: a Go
+// implementation of the Encrypted M-Index (Kozák, Novák, Zezula: "Secure
+// Metric-Based Index for Similarity Cloud", SDM @ VLDB 2012).
+//
+// The system outsources metric similarity search to an untrusted server
+// while the data owner retains a two-part secret key: the set of reference
+// objects (pivots) and a symmetric cipher key. The server indexes only
+// {pivot permutation [, pivot distances], ciphertext} records in an M-Index
+// — a dynamic metric index built on recursive Voronoi partitioning — and can
+// prune, rank and filter candidate sets without ever being able to evaluate
+// the distance function or read an object. Authorized clients refine the
+// candidate sets locally (decrypt + compute true distances).
+//
+// # Quick start
+//
+//	dist := simcloud.L2()
+//	pivots := simcloud.SelectPivots(1, dist, data, 16)
+//	key, _ := simcloud.GenerateKey(pivots)
+//
+//	srv, _ := simcloud.NewEncryptedServer(simcloud.DefaultConfig(16))
+//	srv.Start("127.0.0.1:0")
+//	defer srv.Close()
+//
+//	client, _ := simcloud.DialEncrypted(srv.Addr(), key, simcloud.ClientOptions{})
+//	defer client.Close()
+//	client.Insert(data)
+//	results, costs, _ := client.ApproxKNN(query, 10, 200)
+//
+// Three query types are supported, all with the paper's cost decomposition
+// (client / server / communication time, encryption / decryption time,
+// bytes on the wire): precise range, precise k-NN (approximate pass + range
+// ρk), and approximate k-NN with a tunable candidate-set size.
+//
+// Subpackages under internal implement the substrates: the metric-space
+// framework, the M-Index, the encryption layer, the wire protocol, the
+// compared baseline techniques (EHI, FDH, trivial download), the synthetic
+// stand-ins for the paper's data sets, and the benchmark harness that
+// regenerates every evaluation table (see DESIGN.md and EXPERIMENTS.md).
+package simcloud
+
+import (
+	"math/rand/v2"
+
+	"simcloud/internal/core"
+	"simcloud/internal/dataset"
+	"simcloud/internal/metric"
+	"simcloud/internal/mindex"
+	"simcloud/internal/pivot"
+	"simcloud/internal/secret"
+	"simcloud/internal/server"
+	"simcloud/internal/stats"
+)
+
+// Re-exported core types. Aliases keep the full method sets available while
+// the implementations live in internal packages.
+type (
+	// Vector is a metric-space descriptor (float32 components).
+	Vector = metric.Vector
+	// Object is an identified metric-space object.
+	Object = metric.Object
+	// Distance is a metric distance function.
+	Distance = metric.Distance
+	// Result is one similarity-search answer.
+	Result = core.Result
+	// Costs is the per-operation cost decomposition.
+	Costs = stats.Costs
+	// Config parametrizes the server-side M-Index.
+	Config = mindex.Config
+	// Key is the client secret (pivots + cipher key).
+	Key = secret.Key
+	// PivotSet is an ordered set of reference objects.
+	PivotSet = pivot.Set
+	// Server is a similarity-cloud server.
+	Server = server.Server
+	// EncryptedClient is an authorized client of the encrypted deployment.
+	EncryptedClient = core.EncryptedClient
+	// PlainClient is a client of the non-encrypted baseline deployment.
+	PlainClient = core.PlainClient
+	// ClientOptions configures an encrypted client.
+	ClientOptions = core.Options
+	// Dataset is a generated evaluation collection.
+	Dataset = dataset.Dataset
+)
+
+// Storage backends for Config.Storage.
+const (
+	StorageMemory = mindex.StorageMemory
+	StorageDisk   = mindex.StorageDisk
+)
+
+// Cell-ranking strategies for Config.Ranking.
+const (
+	RankFootrule = mindex.RankFootrule
+	RankDistSum  = mindex.RankDistSum
+)
+
+// Cipher modes for GenerateKeyMode.
+const (
+	ModeCTRHMAC = secret.ModeCTRHMAC
+	ModeGCM     = secret.ModeGCM
+)
+
+// L1 returns the Manhattan distance.
+func L1() Distance { return metric.L1{} }
+
+// L2 returns the Euclidean distance.
+func L2() Distance { return metric.L2{} }
+
+// Linf returns the Chebyshev (maximum) distance.
+func Linf() Distance { return metric.Chebyshev{} }
+
+// Lp returns the Minkowski distance of order p (p >= 1).
+func Lp(p float64) Distance { return metric.Lp{P: p} }
+
+// CoPhIR returns the weighted MPEG-7 descriptor-combination distance used
+// by the CoPhIR image collection.
+func CoPhIR() Distance { return metric.NewCoPhIR() }
+
+// DistanceByName resolves a distance function by its Name() string.
+func DistanceByName(name string) (Distance, error) { return metric.ByName(name) }
+
+// DefaultConfig returns a reasonable M-Index configuration for numPivots
+// pivots: dynamic depth up to min(8, numPivots), bucket capacity 200,
+// memory storage, footrule ranking.
+func DefaultConfig(numPivots int) Config {
+	return Config{
+		NumPivots:      numPivots,
+		MaxLevel:       min(8, numPivots),
+		BucketCapacity: 200,
+		Storage:        StorageMemory,
+		Ranking:        RankFootrule,
+	}
+}
+
+// SelectPivots draws n pivots at random (deterministically from seed) from
+// the data collection, the paper's pivot-selection strategy.
+func SelectPivots(seed uint64, dist Distance, data []Object, n int) *PivotSet {
+	rng := rand.New(rand.NewPCG(seed, 0x51E7))
+	return pivot.SelectRandom(rng, dist, data, n)
+}
+
+// SelectPivotsMaxSeparated draws n pivots by greedy farthest-point
+// traversal — an alternative to the paper's random choice that yields more
+// discriminative permutations (see the pivot-selection ablation benchmark).
+func SelectPivotsMaxSeparated(seed uint64, dist Distance, data []Object, n int) *PivotSet {
+	rng := rand.New(rand.NewPCG(seed, 0x51E8))
+	return pivot.SelectMaxSeparated(rng, dist, data, n, 0)
+}
+
+// NewPivotSet wraps explicit pivot vectors.
+func NewPivotSet(dist Distance, pivots []Vector) *PivotSet {
+	return pivot.NewSet(dist, pivots)
+}
+
+// GenerateKey creates a fresh secret key (AES-128-CTR + HMAC-SHA256) for
+// the pivot set. The key must be shared only with authorized clients.
+func GenerateKey(pivots *PivotSet) (*Key, error) {
+	return secret.Generate(pivots, secret.ModeCTRHMAC)
+}
+
+// GenerateKeyMode is GenerateKey with an explicit cipher mode.
+func GenerateKeyMode(pivots *PivotSet, mode secret.Mode) (*Key, error) {
+	return secret.Generate(pivots, mode)
+}
+
+// MarshalKey serializes a key for distribution to authorized clients.
+func MarshalKey(k *Key) ([]byte, error) { return k.Marshal() }
+
+// FitEqualizingTransform attaches a distribution-hiding distance
+// transformation to the key (the paper's future-work privacy level 4,
+// implemented for the precise strategy): object–pivot distances stored on
+// the server are remapped through a keyed strictly monotone equalizing
+// transform, so the server sees an (approximately) uniform distance
+// distribution instead of the data's fingerprint. Query results remain
+// exact; pruning gets conservatively looser. The transform is fitted from
+// sampleSize objects of data (capped at the collection size) and travels
+// inside the marshaled key.
+func FitEqualizingTransform(k *Key, data []Object, sampleSize, knots int) error {
+	if sampleSize > len(data) {
+		sampleSize = len(data)
+	}
+	pivots := k.Pivots()
+	sample := make([]float64, 0, sampleSize*pivots.N())
+	step := 1
+	if sampleSize > 0 {
+		step = max(1, len(data)/sampleSize)
+	}
+	for i := 0; i < len(data); i += step {
+		sample = append(sample, pivots.Distances(data[i].Vec)...)
+	}
+	return k.FitTransform(sample, knots)
+}
+
+// UnmarshalKey reconstructs a key serialized by MarshalKey.
+func UnmarshalKey(blob []byte) (*Key, error) { return secret.Unmarshal(blob) }
+
+// NewEncryptedServer creates a similarity-cloud server for the encrypted
+// deployment: it stores only ciphertexts plus pivot-space metadata and
+// returns candidate sets.
+func NewEncryptedServer(cfg Config) (*Server, error) { return server.NewEncrypted(cfg) }
+
+// NewPlainServer creates the non-encrypted baseline server: it owns the
+// pivots and raw data and answers queries completely.
+func NewPlainServer(cfg Config, pivots *PivotSet) (*Server, error) {
+	return server.NewPlain(cfg, pivots)
+}
+
+// DialEncrypted connects an authorized client to an encrypted server.
+func DialEncrypted(addr string, key *Key, opts ClientOptions) (*EncryptedClient, error) {
+	return core.DialEncrypted(addr, key, opts)
+}
+
+// DialPlain connects a client to a plain server.
+func DialPlain(addr string) (*PlainClient, error) { return core.DialPlain(addr) }
+
+// Recall returns |result ∩ exact| / |exact| in percent.
+func Recall(result, exact []uint64) float64 { return stats.Recall(result, exact) }
+
+// Evaluation data-set generators (synthetic stand-ins for the paper's
+// collections; see DESIGN.md for the substitution rationale).
+
+// Yeast generates the YEAST gene-expression stand-in (2,882 × 17, L1).
+func Yeast() *Dataset { return dataset.Yeast() }
+
+// Human generates the HUMAN gene-expression stand-in (4,026 × 96, L1).
+func Human() *Dataset { return dataset.Human() }
+
+// CoPhIRData generates an n-object CoPhIR image-descriptor stand-in
+// (n × 280, weighted MPEG-7 combination).
+func CoPhIRData(n int) *Dataset { return dataset.CoPhIR(n) }
+
+// ClusteredData generates a generic clustered collection for experiments.
+func ClusteredData(seed uint64, n, dim, clusters int, dist Distance) *Dataset {
+	return dataset.Clustered(seed, n, dim, clusters, dist)
+}
