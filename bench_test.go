@@ -16,12 +16,14 @@ import (
 	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"simcloud/internal/baseline"
 	"simcloud/internal/bench"
 	"simcloud/internal/core"
 	"simcloud/internal/dataset"
+	"simcloud/internal/engine"
 	"simcloud/internal/mindex"
 	"simcloud/internal/pivot"
 	"simcloud/internal/secret"
@@ -335,6 +337,120 @@ func BenchmarkTable9ApproxOneNN(b *testing.B) {
 			return env.triv.KNN(q, env.ds.Dist, 1)
 		})
 	})
+}
+
+// --- Sharded engine scaling (DESIGN.md §Sharding) -----------------------
+
+// shardBenchEntries prepares plain (unencrypted) index entries once, so the
+// benchmark measures pure engine work: routing, locking, splitting, search
+// fan-out and merge.
+var (
+	shardBenchOnce    sync.Once
+	shardBenchEntries []mindex.Entry
+	shardBenchQueries []mindex.ApproxQuery
+	shardBenchDists   [][]float64
+)
+
+func shardBenchSetup() {
+	shardBenchOnce.Do(func() {
+		const pivots = 24
+		ds := dataset.Clustered(2024, 20000, 8, 12, L2())
+		rng := newRNG(2024)
+		pv := pivot.SelectRandom(rng, ds.Dist, ds.Objects, pivots)
+		for _, o := range ds.Objects {
+			dists := pv.Distances(o.Vec)
+			shardBenchEntries = append(shardBenchEntries, mindex.Entry{
+				ID:    o.ID,
+				Perm:  pivot.Permutation(dists),
+				Dists: dists,
+			})
+		}
+		for i := range 64 {
+			q := ds.Objects[(i*311)%ds.Size()].Vec
+			qDists := pv.Distances(q)
+			shardBenchQueries = append(shardBenchQueries, mindex.ApproxQuery{
+				Ranks: pivot.Ranks(pivot.Permutation(qDists)),
+				Dists: qDists,
+			})
+			shardBenchDists = append(shardBenchDists, qDists)
+		}
+	})
+}
+
+func shardBenchConfig(shards int) mindex.Config {
+	return mindex.Config{
+		NumPivots: 24, MaxLevel: 6, BucketCapacity: 200,
+		Storage: mindex.StorageMemory, Ranking: mindex.RankFootrule,
+		Shards: shards,
+	}
+}
+
+// BenchmarkShardedVsSingle measures the sharded engine against the
+// single-lock baseline: bulk-insert throughput and approximate-kNN /
+// range-query latency at 1, 4 and 8 shards. On a multi-core host the
+// sharded inserts and searches spread across the worker pool; on one core
+// the numbers bound the sharding overhead instead.
+func BenchmarkShardedVsSingle(b *testing.B) {
+	shardBenchSetup()
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("insert/shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng, err := engine.New(shardBenchConfig(shards))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := eng.InsertBulk(shardBenchEntries); err != nil {
+					b.Fatal(err)
+				}
+				if eng.Size() != len(shardBenchEntries) {
+					b.Fatal("lost entries")
+				}
+				eng.Close()
+			}
+			b.ReportMetric(float64(len(shardBenchEntries))*float64(b.N)/b.Elapsed().Seconds(), "inserts/s")
+		})
+	}
+	for _, shards := range []int{1, 4, 8} {
+		eng, err := engine.New(shardBenchConfig(shards))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer eng.Close()
+		if err := eng.InsertBulk(shardBenchEntries); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("approx/shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cands, err := eng.ApproxCandidates(shardBenchQueries[i%len(shardBenchQueries)], 600)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(cands) == 0 {
+					b.Fatal("no candidates")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("range/shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.RangeByDists(shardBenchDists[i%len(shardBenchDists)], 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		// Concurrent search throughput: the configuration sharding exists
+		// for. RunParallel drives GOMAXPROCS goroutines against the engine.
+		b.Run(fmt.Sprintf("approx-parallel/shards=%d", shards), func(b *testing.B) {
+			var qi atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(qi.Add(1))
+					if _, err := eng.ApproxCandidates(shardBenchQueries[i%len(shardBenchQueries)], 600); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
 }
 
 // --- Ablations (DESIGN.md §5) ------------------------------------------

@@ -20,6 +20,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"simcloud/internal/engine"
 	"simcloud/internal/mindex"
 	"simcloud/internal/secret"
 	"simcloud/internal/server"
@@ -37,6 +38,7 @@ func main() {
 		ranking  = flag.String("ranking", "footrule", "cell ranking: footrule or distsum")
 		keyFile  = flag.String("key", "", "key file (plain mode only: supplies the pivots)")
 		snapshot = flag.String("snapshot", "", "snapshot file: restore on start if present, save on shutdown (encrypted mode with -storage disk)")
+		shards   = flag.Int("shards", 1, "index shard count (encrypted mode): >1 partitions the M-Index across independently locked shards")
 	)
 	flag.Parse()
 
@@ -45,6 +47,7 @@ func main() {
 		MaxLevel:       min(*maxLevel, *pivots),
 		BucketCapacity: *bucket,
 		DiskPath:       *diskPath,
+		Shards:         *shards,
 	}
 	switch *storage {
 	case "memory":
@@ -75,14 +78,21 @@ func main() {
 	switch *mode {
 	case "encrypted":
 		if *snapshot != "" {
-			if _, statErr := os.Stat(*snapshot); statErr == nil {
-				idx, lerr := mindex.LoadSnapshot(cfg, *snapshot)
+			exists, serr := engine.SnapshotExists(cfg, *snapshot)
+			if serr != nil {
+				// Files of a different shard layout: refuse to silently
+				// start empty over (or mixed with) the persisted data.
+				fmt.Fprintf(os.Stderr, "simserver: %v\n", serr)
+				os.Exit(1)
+			}
+			if exists {
+				eng, lerr := engine.LoadSnapshot(cfg, *snapshot)
 				if lerr != nil {
 					fmt.Fprintf(os.Stderr, "simserver: restoring snapshot: %v\n", lerr)
 					os.Exit(1)
 				}
-				srv = server.NewEncryptedWithIndex(idx)
-				fmt.Printf("simserver: restored %d entries from %s\n", idx.Size(), *snapshot)
+				srv = server.NewEncryptedWithEngine(eng)
+				fmt.Printf("simserver: restored %d entries from %s\n", eng.Size(), *snapshot)
 				break
 			}
 		}
@@ -119,8 +129,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "simserver: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("simserver: %s deployment listening on %s (pivots=%d maxLevel=%d bucket=%d storage=%v)\n",
-		*mode, srv.Addr(), cfg.NumPivots, cfg.MaxLevel, cfg.BucketCapacity, cfg.Storage)
+	fmt.Printf("simserver: %s deployment listening on %s (pivots=%d maxLevel=%d bucket=%d storage=%v shards=%d)\n",
+		*mode, srv.Addr(), cfg.NumPivots, cfg.MaxLevel, cfg.BucketCapacity, cfg.Storage, max(1, cfg.Shards))
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -113,7 +113,14 @@ func main() {
 	fmt.Println("   encrypted objects sharing cells are likely similar; distances stay hidden.")
 }
 
-func firstEntry(idx *mindex.Index) mindex.Entry {
+// entrySource is what both deployments expose for inspection: the bare
+// index of the plain server and the sharded engine of the encrypted one.
+type entrySource interface {
+	AllEntries() ([]mindex.Entry, error)
+	TreeStats() mindex.Stats
+}
+
+func firstEntry(idx entrySource) mindex.Entry {
 	entries, err := idx.AllEntries()
 	if err != nil || len(entries) == 0 {
 		log.Fatal("no entries on server")
@@ -121,4 +128,4 @@ func firstEntry(idx *mindex.Index) mindex.Entry {
 	return entries[0]
 }
 
-func indexStats(idx *mindex.Index) mindex.Stats { return idx.TreeStats() }
+func indexStats(idx entrySource) mindex.Stats { return idx.TreeStats() }

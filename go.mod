@@ -1,0 +1,3 @@
+module simcloud
+
+go 1.24

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"simcloud/internal/metric"
+	"simcloud/internal/mindex"
+	"simcloud/internal/pivot"
+	"simcloud/internal/stats"
+	"simcloud/internal/wire"
+)
+
+// Batched operations: InsertBatch and ApproxKNNBatch chunk their work into
+// frames of Options.BatchChunk items and pipeline the chunks — every
+// request frame is written back to back while a reader goroutine drains the
+// responses — so k operations pay one round-trip latency plus streaming
+// instead of k sequential round trips. The server processes pipelined
+// frames in order (each one fanning out across its index shards), so
+// responses match requests positionally.
+
+// frame is one protocol frame of a pipelined exchange.
+type frame struct {
+	typ     wire.MsgType
+	payload []byte
+}
+
+// exchange pipelines the request frames over the connection and returns the
+// matching response frames in order. Wire time and bytes for the whole
+// flight are accounted to costs as a single round trip (the chunks share
+// the connection; latency is paid once).
+func (c *EncryptedClient) exchange(reqs []frame, costs *stats.Costs) ([]frame, error) {
+	sentBefore, recvBefore := c.conn.BytesWritten(), c.conn.BytesRead()
+	ioStart := time.Now()
+	resps := make([]frame, len(reqs))
+	readDone := make(chan error, 1)
+	go func() {
+		for i := range resps {
+			typ, payload, err := wire.ReadFrame(c.conn)
+			if err != nil {
+				readDone <- err
+				return
+			}
+			resps[i] = frame{typ: typ, payload: payload}
+		}
+		readDone <- nil
+	}()
+	var writeErr error
+	for _, r := range reqs {
+		if err := wire.WriteFrame(c.conn, r.typ, r.payload); err != nil {
+			writeErr = err
+			break
+		}
+	}
+	if writeErr != nil {
+		// The reader may be waiting for responses that will never come;
+		// force its pending read to fail. The deadline is restored after
+		// the single readDone receive below.
+		c.conn.SetReadDeadline(time.Now())
+	}
+	readErr := <-readDone
+	if writeErr != nil {
+		c.conn.SetReadDeadline(time.Time{})
+	}
+	costs.CommTime += time.Since(ioStart)
+	costs.BytesSent += c.conn.BytesWritten() - sentBefore
+	costs.BytesReceived += c.conn.BytesRead() - recvBefore
+	costs.RoundTrips++
+	if writeErr != nil {
+		return nil, writeErr
+	}
+	if readErr != nil {
+		return nil, readErr
+	}
+	return resps, nil
+}
+
+// respError interprets a MsgError response frame (nil for any other type).
+// Callers attach their own chunk context: a server error names the failing
+// item by its index *within one frame*, which is meaningless to the user
+// without the chunk's offset in the original batch.
+func respError(r frame) error {
+	if r.typ != wire.MsgError {
+		return nil
+	}
+	m, derr := wire.DecodeErrorResp(r.payload)
+	if derr != nil {
+		return derr
+	}
+	return &wire.RemoteError{Msg: m.Msg}
+}
+
+// chunkCount returns the number of BatchChunk-sized chunks covering n.
+func (c *EncryptedClient) chunkCount(n int) int {
+	return (n + c.opts.BatchChunk - 1) / c.opts.BatchChunk
+}
+
+// InsertBatch is Insert with chunked pipelining: the prepared entries are
+// shipped as a sequence of MsgInsertEntries frames of Options.BatchChunk
+// entries each, all in flight at once. On a sharded server every chunk is
+// routed to the index shards in parallel, so ingest overlaps transfer,
+// framing and indexing instead of serializing them.
+func (c *EncryptedClient) InsertBatch(objs []metric.Object) (stats.Costs, error) {
+	var costs stats.Costs
+	start := time.Now()
+	if len(objs) == 0 {
+		finish(&costs, start)
+		return costs, nil
+	}
+	entries, err := c.prepareEntries(objs, &costs)
+	if err != nil {
+		return costs, err
+	}
+	chunk := c.opts.BatchChunk
+	reqs := make([]frame, 0, c.chunkCount(len(entries)))
+	for at := 0; at < len(entries); at += chunk {
+		reqs = append(reqs, frame{
+			typ:     wire.MsgInsertEntries,
+			payload: wire.InsertEntriesReq{Entries: entries[at:min(at+chunk, len(entries))]}.Encode(),
+		})
+	}
+	resps, err := c.exchange(reqs, &costs)
+	if err != nil {
+		return costs, err
+	}
+	for ci, r := range resps {
+		if err := respError(r); err != nil {
+			lo := ci * chunk
+			return costs, fmt.Errorf("core: insert chunk %d (objects %d..%d): %w",
+				ci, lo, min(lo+chunk, len(entries))-1, err)
+		}
+		if r.typ != wire.MsgAck {
+			return costs, fmt.Errorf("core: unexpected batch insert response %v", r.typ)
+		}
+		ack, err := wire.DecodeAckResp(r.payload)
+		if err != nil {
+			return costs, err
+		}
+		creditServer(&costs, ack.ServerNanos)
+	}
+	finish(&costs, start)
+	return costs, nil
+}
+
+// ApproxKNNBatch evaluates approximate k-NN for many queries at once: the
+// queries are packed into MsgBatchQuery frames of Options.BatchChunk
+// queries each and pipelined, so the whole workload pays one round-trip
+// latency. Each query reveals exactly what its single-query counterpart
+// reveals (permutation or transformed distance vector). Results are
+// per-query, in input order, each refined locally like ApproxKNN.
+func (c *EncryptedClient) ApproxKNNBatch(qs []metric.Vector, k, candSize int) ([][]Result, stats.Costs, error) {
+	var costs stats.Costs
+	start := time.Now()
+	if k <= 0 || candSize <= 0 {
+		return nil, costs, fmt.Errorf("core: k and candSize must be positive (k=%d, candSize=%d)", k, candSize)
+	}
+	if len(qs) == 0 {
+		finish(&costs, start)
+		return nil, costs, nil
+	}
+
+	queries := make([]wire.BatchQuery, len(qs))
+	for i, q := range qs {
+		distStart := time.Now()
+		qDists := c.key.Pivots().Distances(q) // Alg. 2 line 1, per query
+		costs.DistCompTime += time.Since(distStart)
+		costs.DistComps += int64(c.key.Pivots().N())
+		if c.opts.Ranking == mindex.RankDistSum {
+			queries[i] = wire.BatchQuery{
+				Kind:     wire.BatchApproxDists,
+				Dists:    c.key.TransformDists(qDists),
+				CandSize: uint32(candSize),
+			}
+		} else {
+			queries[i] = wire.BatchQuery{
+				Kind:     wire.BatchApproxPerm,
+				Perm:     pivot.Permutation(qDists), // Alg. 2 line 8
+				CandSize: uint32(candSize),
+			}
+		}
+	}
+	chunk := c.opts.BatchChunk
+	reqs := make([]frame, 0, c.chunkCount(len(queries)))
+	for at := 0; at < len(queries); at += chunk {
+		reqs = append(reqs, frame{
+			typ:     wire.MsgBatchQuery,
+			payload: wire.BatchQueryReq{Queries: queries[at:min(at+chunk, len(queries))]}.Encode(),
+		})
+	}
+	resps, err := c.exchange(reqs, &costs)
+	if err != nil {
+		return nil, costs, err
+	}
+
+	out := make([][]Result, 0, len(qs))
+	for ci, r := range resps {
+		if err := respError(r); err != nil {
+			lo := ci * chunk
+			// The server's "batch query N" counts within this chunk; the
+			// wrapped range rebases it onto the caller's query indices.
+			return nil, costs, fmt.Errorf("core: query chunk %d (queries %d..%d): %w",
+				ci, lo, min(lo+chunk, len(qs))-1, err)
+		}
+		if r.typ != wire.MsgBatchCandidates {
+			return nil, costs, fmt.Errorf("core: unexpected batch query response %v", r.typ)
+		}
+		m, err := wire.DecodeBatchQueryResp(r.payload)
+		if err != nil {
+			return nil, costs, err
+		}
+		creditServer(&costs, m.ServerNanos)
+		for _, cands := range m.Results {
+			qi := len(out)
+			if qi >= len(qs) {
+				return nil, costs, fmt.Errorf("core: server returned more batch results than queries")
+			}
+			refined, err := c.refine(qs[qi], cands, &costs)
+			if err != nil {
+				return nil, costs, err
+			}
+			sortByDist(refined)
+			if len(refined) > k {
+				refined = refined[:k]
+			}
+			out = append(out, refined)
+		}
+	}
+	if len(out) != len(qs) {
+		return nil, costs, fmt.Errorf("core: server returned %d batch results for %d queries", len(out), len(qs))
+	}
+	finish(&costs, start)
+	return out, costs, nil
+}

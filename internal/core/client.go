@@ -71,6 +71,11 @@ type Options struct {
 	// summed CPU time across workers. Default 1 (the paper's single-client
 	// measurement setup).
 	Workers int
+	// BatchChunk is the number of queries (ApproxKNNBatch) or entries
+	// (InsertBatch) carried per pipelined frame. Smaller chunks let the
+	// server start answering earlier; larger chunks amortize more framing.
+	// Default 64.
+	BatchChunk int
 }
 
 func (o *Options) withDefaults() Options {
@@ -86,6 +91,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.Workers == 0 {
 		out.Workers = 1
+	}
+	if out.BatchChunk == 0 {
+		out.BatchChunk = 64
 	}
 	return out
 }
@@ -195,51 +203,61 @@ func (c *EncryptedClient) prepareEntry(o metric.Object, costs *stats.Costs) (min
 	return e, nil
 }
 
+// prepareEntries runs the per-object client work of Algorithm 1 over the
+// whole batch, across Options.Workers goroutines when configured.
+func (c *EncryptedClient) prepareEntries(objs []metric.Object, costs *stats.Costs) ([]mindex.Entry, error) {
+	entries := make([]mindex.Entry, len(objs))
+	if c.opts.Workers <= 1 || len(objs) < 2 {
+		for i, o := range objs {
+			e, err := c.prepareEntry(o, costs)
+			if err != nil {
+				return nil, err
+			}
+			entries[i] = e
+		}
+		return entries, nil
+	}
+	workers := min(c.opts.Workers, len(objs))
+	type workerResult struct {
+		costs stats.Costs
+		err   error
+	}
+	results := make([]workerResult, workers)
+	var wg sync.WaitGroup
+	for w := range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := &results[w]
+			for i := w; i < len(objs); i += workers {
+				e, err := c.prepareEntry(objs[i], &r.costs)
+				if err != nil {
+					r.err = err
+					return
+				}
+				entries[i] = e
+			}
+		}()
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		costs.Accumulate(r.costs)
+	}
+	return entries, nil
+}
+
 // Insert performs the encrypted bulk insert of Algorithm 1: per object, the
 // client computes pivot distances, derives the permutation prefix, encrypts
 // the object, and ships the entries to the server.
 func (c *EncryptedClient) Insert(objs []metric.Object) (stats.Costs, error) {
 	var costs stats.Costs
 	start := time.Now()
-	entries := make([]mindex.Entry, len(objs))
-	if c.opts.Workers <= 1 || len(objs) < 2 {
-		for i, o := range objs {
-			e, err := c.prepareEntry(o, &costs)
-			if err != nil {
-				return costs, err
-			}
-			entries[i] = e
-		}
-	} else {
-		workers := min(c.opts.Workers, len(objs))
-		type shardResult struct {
-			costs stats.Costs
-			err   error
-		}
-		results := make([]shardResult, workers)
-		var wg sync.WaitGroup
-		for w := range workers {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				r := &results[w]
-				for i := w; i < len(objs); i += workers {
-					e, err := c.prepareEntry(objs[i], &r.costs)
-					if err != nil {
-						r.err = err
-						return
-					}
-					entries[i] = e
-				}
-			}()
-		}
-		wg.Wait()
-		for _, r := range results {
-			if r.err != nil {
-				return costs, r.err
-			}
-			costs.Accumulate(r.costs)
-		}
+	entries, err := c.prepareEntries(objs, &costs)
+	if err != nil {
+		return costs, err
 	}
 	respType, resp, err := c.roundTrip(wire.MsgInsertEntries, wire.InsertEntriesReq{Entries: entries}.Encode(), &costs)
 	if err != nil {

@@ -1,0 +1,464 @@
+// Package engine hosts the server-side index engine: a ShardedIndex that
+// partitions the M-Index across independently locked shards and fans
+// searches out across a bounded worker pool, converting the serving hot
+// path from lock-serialized to core-parallel.
+//
+// Sharding invariant (see DESIGN.md §Sharding): an entry whose pivot
+// permutation starts with pivot p is routed to shard p mod N. Every
+// first-level Voronoi cell — the set of objects sharing a closest pivot —
+// is therefore wholly contained in exactly one shard. Because all M-Index
+// pruning and filtering bounds are evaluated per cell and per entry, each
+// shard answers range queries exactly over its partition, and the global
+// range result is the plain concatenation of the per-shard results: no
+// cross-shard re-filtering is ever needed for correctness. Approximate
+// candidates are collected per shard in promise order and merged by
+// (promise, prefix), reproducing Algorithm 4's "next promising Voronoi
+// cell" discipline across partitions.
+//
+// With Shards <= 1 the engine is a transparent wrapper around a single
+// mindex.Index and reproduces its results byte for byte.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"slices"
+	"sort"
+	"sync/atomic"
+
+	"simcloud/internal/mindex"
+)
+
+// ShardedIndex partitions entries across N independent mindex.Index shards
+// keyed by the first element of the pivot permutation. Each shard carries
+// its own lock, so inserts and searches touching different shards proceed
+// in parallel. All operations preserve the single-index semantics.
+type ShardedIndex struct {
+	cfg    mindex.Config
+	shards []*mindex.Index
+	pool   *pool
+	closed atomic.Bool
+}
+
+// New creates an empty sharded index. cfg.Shards selects the partition
+// count (0 and 1 both mean a single shard, the exact pre-sharding
+// behavior). Disk-backed shards each own a shard-NNN subdirectory of
+// cfg.DiskPath; a single shard uses cfg.DiskPath directly, staying
+// compatible with pre-sharding bucket directories and snapshots.
+func New(cfg mindex.Config) (*ShardedIndex, error) {
+	// Per-shard configs are rewritten to Shards=1 before mindex validates
+	// them, so the engine-level shard count must be checked here.
+	if cfg.Shards < 0 || cfg.Shards > mindex.MaxShards {
+		return nil, fmt.Errorf("engine: Shards must be in 0..%d, got %d", mindex.MaxShards, cfg.Shards)
+	}
+	n := max(1, cfg.Shards)
+	shards := make([]*mindex.Index, n)
+	for i := range shards {
+		idx, err := mindex.New(shardConfig(cfg, i, n))
+		if err != nil {
+			for _, prev := range shards[:i] {
+				prev.Close()
+			}
+			return nil, err
+		}
+		shards[i] = idx
+	}
+	return newSharded(cfg, shards), nil
+}
+
+// Wrap adapts an existing single index — typically one restored from a
+// snapshot — into a 1-shard engine.
+func Wrap(idx *mindex.Index) *ShardedIndex {
+	return newSharded(idx.Config(), []*mindex.Index{idx})
+}
+
+func newSharded(cfg mindex.Config, shards []*mindex.Index) *ShardedIndex {
+	s := &ShardedIndex{cfg: cfg, shards: shards}
+	if len(shards) > 1 {
+		s.pool = newPool(min(len(shards), max(1, runtime.GOMAXPROCS(0))))
+	}
+	return s
+}
+
+// shardConfig derives the per-shard index configuration. Shard sub-indexes
+// split their root eagerly: every shard leaf then lies at prefix length
+// >= 1, where its prefix — and therefore its promise value — is identical
+// to the same cell's in an unsharded tree whose root has split, making
+// per-shard promises directly comparable in the cross-shard merge.
+// (Without this, a shard whose root bucket has not overflowed yet would
+// advertise all its entries at promise 0 and crowd out genuinely promising
+// cells of other shards.) The exact-match guarantee therefore holds once
+// the collection exceeds BucketCapacity; below that, an unsharded index
+// still serves its unsplit root bucket in insertion order while shards
+// already serve promise-ordered cells, so candidate lists may differ on
+// tiny collections (result correctness is unaffected — range queries are
+// exact either way).
+func shardConfig(cfg mindex.Config, i, n int) mindex.Config {
+	out := cfg
+	if n == 1 {
+		return out
+	}
+	out.Shards = 1
+	out.EagerRootSplit = true
+	if cfg.Storage == mindex.StorageDisk {
+		out.DiskPath = filepath.Join(cfg.DiskPath, fmt.Sprintf("shard-%03d", i))
+	}
+	return out
+}
+
+// Config returns the engine-level configuration (Shards as requested).
+func (s *ShardedIndex) Config() mindex.Config { return s.cfg }
+
+// NumShards returns the partition count.
+func (s *ShardedIndex) NumShards() int { return len(s.shards) }
+
+// Shard exposes one partition for white-box inspection by tools and tests.
+func (s *ShardedIndex) Shard(i int) *mindex.Index { return s.shards[i] }
+
+// Size returns the total number of indexed entries across all shards.
+func (s *ShardedIndex) Size() int {
+	total := 0
+	for _, sh := range s.shards {
+		total += sh.Size()
+	}
+	return total
+}
+
+// Close releases every shard and stops the worker pool.
+func (s *ShardedIndex) Close() error {
+	s.closed.Store(true)
+	if s.pool != nil {
+		s.pool.close()
+	}
+	var firstErr error
+	for _, sh := range s.shards {
+		if err := sh.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+var errClosed = errors.New("engine: sharded index is closed")
+
+// route maps an entry permutation to its shard: the closest pivot (first
+// permutation element) modulo the shard count, preserving first-level
+// Voronoi-cell locality. The first element is validated here — entries
+// arrive straight off the wire, and a negative element must become an
+// error response, not a negative slice index.
+func (s *ShardedIndex) route(perm []int32) (int, error) {
+	if len(perm) == 0 {
+		return 0, errors.New("engine: entry permutation is empty")
+	}
+	if perm[0] < 0 || int(perm[0]) >= s.cfg.NumPivots {
+		return 0, fmt.Errorf("engine: permutation element %d out of range [0,%d)", perm[0], s.cfg.NumPivots)
+	}
+	return int(perm[0]) % len(s.shards), nil
+}
+
+// fanOut runs fn once per shard through the bounded pool (inline for a
+// single shard).
+func (s *ShardedIndex) fanOut(fn func(i int) error) error {
+	if s.closed.Load() {
+		return errClosed
+	}
+	if s.pool == nil {
+		return fn(0)
+	}
+	return s.pool.run(len(s.shards), fn)
+}
+
+// Insert routes the entry to its shard. Entries for different shards can be
+// inserted concurrently without contending on a lock.
+func (s *ShardedIndex) Insert(e mindex.Entry) error {
+	if s.closed.Load() {
+		return errClosed
+	}
+	i, err := s.route(e.Perm)
+	if err != nil {
+		return err
+	}
+	return s.shards[i].Insert(e)
+}
+
+// InsertBulk groups the batch by shard (preserving per-shard arrival order)
+// and inserts the groups in parallel through the worker pool.
+func (s *ShardedIndex) InsertBulk(entries []mindex.Entry) error {
+	if len(s.shards) == 1 {
+		if s.closed.Load() {
+			return errClosed
+		}
+		return s.shards[0].InsertBulk(entries)
+	}
+	groups := make([][]mindex.Entry, len(s.shards))
+	for _, e := range entries {
+		i, err := s.route(e.Perm)
+		if err != nil {
+			return err
+		}
+		groups[i] = append(groups[i], e)
+	}
+	return s.fanOut(func(i int) error {
+		if len(groups[i]) == 0 {
+			return nil
+		}
+		return s.shards[i].InsertBulk(groups[i])
+	})
+}
+
+// RangeByDists fans the precise range query out to every shard and
+// concatenates the per-shard candidate sets (exact: each first-level cell
+// lives in exactly one shard, and all pruning bounds are per-cell).
+func (s *ShardedIndex) RangeByDists(qDists []float64, r float64) ([]mindex.Entry, error) {
+	if len(s.shards) == 1 {
+		if s.closed.Load() {
+			return nil, errClosed
+		}
+		return s.shards[0].RangeByDists(qDists, r)
+	}
+	per := make([][]mindex.Entry, len(s.shards))
+	err := s.fanOut(func(i int) error {
+		out, err := s.shards[i].RangeByDists(qDists, r)
+		per[i] = out
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return slices.Concat(per...), nil
+}
+
+// ApproxCandidates fans the approximate query out to every shard, each
+// collecting up to candSize promise-ranked candidates, and merges the
+// streams by (promise, prefix, shard) into one globally ranked list trimmed
+// to candSize — the cross-shard equivalent of Algorithm 4's cell ordering.
+func (s *ShardedIndex) ApproxCandidates(q mindex.ApproxQuery, candSize int) ([]mindex.Entry, error) {
+	if len(s.shards) == 1 {
+		if s.closed.Load() {
+			return nil, errClosed
+		}
+		return s.shards[0].ApproxCandidates(q, candSize)
+	}
+	per := make([][]mindex.RankedCandidate, len(s.shards))
+	err := s.fanOut(func(i int) error {
+		out, err := s.shards[i].ApproxCandidatesRanked(q, candSize)
+		per[i] = out
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := mergeRanked(per)
+	if len(merged) > candSize {
+		merged = merged[:candSize]
+	}
+	out := make([]mindex.Entry, len(merged))
+	for i, rc := range merged {
+		out[i] = rc.Entry
+	}
+	return out, nil
+}
+
+// mergeRanked flattens per-shard candidate lists (each already in promise
+// order) into one list ordered by (promise, prefix, shard). The stable sort
+// keeps entries of the same cell in bucket order, so the merged ranking is
+// fully deterministic.
+func mergeRanked(per [][]mindex.RankedCandidate) []mindex.RankedCandidate {
+	type tagged struct {
+		rc    mindex.RankedCandidate
+		shard int
+	}
+	total := 0
+	for _, p := range per {
+		total += len(p)
+	}
+	all := make([]tagged, 0, total)
+	for i, p := range per {
+		for _, rc := range p {
+			all = append(all, tagged{rc: rc, shard: i})
+		}
+	}
+	sort.SliceStable(all, func(a, b int) bool {
+		x, y := all[a], all[b]
+		if x.rc.Promise != y.rc.Promise {
+			return x.rc.Promise < y.rc.Promise
+		}
+		if !slices.Equal(x.rc.Prefix, y.rc.Prefix) {
+			return mindex.PrefixLess(x.rc.Prefix, y.rc.Prefix)
+		}
+		return x.shard < y.shard
+	})
+	out := make([]mindex.RankedCandidate, len(all))
+	for i, t := range all {
+		out[i] = t.rc
+	}
+	return out
+}
+
+// FirstCellCandidates returns the entries of the globally most promising
+// non-empty Voronoi cell: each shard nominates its best cell, and the
+// winner is chosen by (promise, prefix, shard).
+func (s *ShardedIndex) FirstCellCandidates(q mindex.ApproxQuery) ([]mindex.Entry, error) {
+	if len(s.shards) == 1 {
+		if s.closed.Load() {
+			return nil, errClosed
+		}
+		return s.shards[0].FirstCellCandidates(q)
+	}
+	type firstCell struct {
+		entries []mindex.Entry
+		promise float64
+		prefix  []int32
+	}
+	per := make([]firstCell, len(s.shards))
+	err := s.fanOut(func(i int) error {
+		entries, promise, prefix, err := s.shards[i].FirstCellRanked(q)
+		per[i] = firstCell{entries: entries, promise: promise, prefix: prefix}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	best := -1
+	for i, fc := range per {
+		if fc.entries == nil {
+			continue
+		}
+		if best < 0 || fc.promise < per[best].promise ||
+			(fc.promise == per[best].promise && mindex.PrefixLess(fc.prefix, per[best].prefix)) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, nil
+	}
+	return per[best].entries, nil
+}
+
+// AllEntries returns every stored entry, shard by shard (the trivial
+// download-all baseline).
+func (s *ShardedIndex) AllEntries() ([]mindex.Entry, error) {
+	if s.closed.Load() {
+		return nil, errClosed
+	}
+	per := make([][]mindex.Entry, len(s.shards))
+	for i, sh := range s.shards {
+		out, err := sh.AllEntries()
+		if err != nil {
+			return nil, err
+		}
+		per[i] = out
+	}
+	return slices.Concat(per...), nil
+}
+
+// TreeStats aggregates the per-shard cell-tree statistics: counts sum,
+// depth and bucket maxima take the max over shards.
+func (s *ShardedIndex) TreeStats() mindex.Stats {
+	var agg mindex.Stats
+	for _, sh := range s.shards {
+		st := sh.TreeStats()
+		agg.Entries += st.Entries
+		agg.Leaves += st.Leaves
+		agg.InnerNodes += st.InnerNodes
+		agg.TotalBucket += st.TotalBucket
+		agg.MaxDepth = max(agg.MaxDepth, st.MaxDepth)
+		agg.MaxBucket = max(agg.MaxBucket, st.MaxBucket)
+	}
+	return agg
+}
+
+
+// SaveSnapshot persists the engine to disk-backed snapshot files: a single
+// shard writes the pre-sharding format at path (fully compatible with
+// mindex.LoadSnapshot); N > 1 shards write one snapshot per shard at
+// path.shard-NNN.
+func (s *ShardedIndex) SaveSnapshot(path string) error {
+	if len(s.shards) == 1 {
+		return s.shards[0].SaveSnapshot(path)
+	}
+	for i, sh := range s.shards {
+		if err := sh.SaveSnapshot(shardSnapshotPath(path, i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadSnapshot restores an engine saved by SaveSnapshot. cfg must match the
+// saved configuration, including the shard count: a snapshot saved with a
+// different shard count is rejected loudly (loading a subset of shard files
+// would silently drop data; loading on top of stale files would mix index
+// generations).
+func LoadSnapshot(cfg mindex.Config, path string) (*ShardedIndex, error) {
+	n := max(1, cfg.Shards)
+	if err := checkSnapshotShape(n, path); err != nil {
+		return nil, err
+	}
+	if n == 1 {
+		idx, err := mindex.LoadSnapshot(cfg, path)
+		if err != nil {
+			return nil, err
+		}
+		eng := Wrap(idx)
+		eng.cfg = cfg
+		return eng, nil
+	}
+	shards := make([]*mindex.Index, n)
+	for i := range shards {
+		idx, err := mindex.LoadSnapshot(shardConfig(cfg, i, n), shardSnapshotPath(path, i))
+		if err != nil {
+			for _, prev := range shards[:i] {
+				prev.Close()
+			}
+			return nil, err
+		}
+		shards[i] = idx
+	}
+	return newSharded(cfg, shards), nil
+}
+
+// checkSnapshotShape rejects a load whose shard count disagrees with the
+// files on disk: a bare base file alongside an expected sharded layout (or
+// vice versa), or more shard files than cfg.Shards.
+func checkSnapshotShape(n int, path string) error {
+	if n == 1 {
+		if _, err := os.Stat(shardSnapshotPath(path, 0)); err == nil {
+			return fmt.Errorf("engine: snapshot %s was saved sharded (%s exists); set Config.Shards to the saved count",
+				path, shardSnapshotPath(path, 0))
+		}
+		return nil
+	}
+	if _, err := os.Stat(path); err == nil {
+		return fmt.Errorf("engine: snapshot %s was saved with a single shard; set Config.Shards to 1 or remove the stale file", path)
+	}
+	if _, err := os.Stat(shardSnapshotPath(path, n)); err == nil {
+		return fmt.Errorf("engine: snapshot %s has more shard files than Config.Shards=%d (%s exists)",
+			path, n, shardSnapshotPath(path, n))
+	}
+	return nil
+}
+
+// SnapshotExists reports whether a snapshot saved with cfg's shard count is
+// present at path. It errors when files of a different shard layout sit
+// there instead — restarting with a changed shard count must fail loudly,
+// not silently start an empty index over the old data.
+func SnapshotExists(cfg mindex.Config, path string) (bool, error) {
+	n := max(1, cfg.Shards)
+	if err := checkSnapshotShape(n, path); err != nil {
+		return false, err
+	}
+	probe := path
+	if n > 1 {
+		probe = shardSnapshotPath(path, 0)
+	}
+	_, err := os.Stat(probe)
+	return err == nil, nil
+}
+
+func shardSnapshotPath(path string, i int) string {
+	return fmt.Sprintf("%s.shard-%03d", path, i)
+}

@@ -1,0 +1,74 @@
+package engine
+
+import "sync"
+
+// pool is a bounded worker pool shared by every fan-out operation of one
+// ShardedIndex. A fixed set of workers drains a single task channel, so the
+// number of goroutines touching shards at any moment is capped regardless
+// of how many searches are in flight — concurrent fan-outs interleave their
+// tasks instead of multiplying goroutines.
+type pool struct {
+	tasks chan func()
+	// mu makes close safe against in-flight run calls: run submits under
+	// the read lock, close closes the channel under the write lock, so a
+	// Close racing a search yields errClosed instead of a send-on-closed-
+	// channel panic.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// newPool starts workers goroutines draining the task channel.
+func newPool(workers int) *pool {
+	p := &pool{tasks: make(chan func())}
+	for range workers {
+		go func() {
+			for fn := range p.tasks {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// close stops the workers once all queued tasks have drained. Idempotent;
+// blocks until no run call is mid-submission.
+func (p *pool) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+}
+
+// run executes fn(0..n-1) on the pool and blocks until all calls returned,
+// reporting the error of the lowest-numbered failing task (deterministic
+// regardless of scheduling). A pool closed before or during submission
+// yields errClosed.
+func (p *pool) run(n int, fn func(i int) error) error {
+	if n == 1 {
+		return fn(0)
+	}
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return errClosed
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := range n {
+		p.tasks <- func() {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}
+	}
+	p.mu.RUnlock()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

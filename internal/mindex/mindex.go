@@ -91,6 +91,18 @@ type Config struct {
 	DiskPath string
 	// Ranking selects the approximate-search cell ordering.
 	Ranking RankStrategy
+	// Shards partitions the index across this many independently locked
+	// sub-indexes keyed by the first permutation element. The field is
+	// consumed by internal/engine — a bare Index always behaves as one
+	// shard. 0 means 1 (the pre-sharding behavior).
+	Shards int
+	// EagerRootSplit splits the root cell on the first insert instead of
+	// waiting for BucketCapacity overflow, so every leaf lies at prefix
+	// length >= 1. internal/engine sets it on shard sub-indexes: it makes a
+	// shard's cells (and their promise values) coincide exactly with the
+	// corresponding cells of an unsharded tree, which keeps the cross-shard
+	// promise merge faithful to Algorithm 4's global cell ordering.
+	EagerRootSplit bool
 }
 
 func (c Config) validate() error {
@@ -115,8 +127,14 @@ func (c Config) validate() error {
 	if c.Ranking != RankFootrule && c.Ranking != RankDistSum {
 		return fmt.Errorf("mindex: unknown ranking strategy %d", c.Ranking)
 	}
+	if c.Shards < 0 || c.Shards > MaxShards {
+		return fmt.Errorf("mindex: Shards must be in 0..%d, got %d", MaxShards, c.Shards)
+	}
 	return nil
 }
+
+// MaxShards bounds Config.Shards against absurd partition counts.
+const MaxShards = 1 << 10
 
 // Entry is one indexed record as stored on the (possibly untrusted) server.
 //
@@ -283,7 +301,9 @@ func (ix *Index) insertAt(n *node, e Entry) error {
 	if err := ix.store.Append(n.bucket, e); err != nil {
 		return err
 	}
-	if n.count > ix.cfg.BucketCapacity && n.level() < ix.cfg.MaxLevel {
+	overflow := n.count > ix.cfg.BucketCapacity ||
+		(ix.cfg.EagerRootSplit && n.level() == 0)
+	if overflow && n.level() < ix.cfg.MaxLevel {
 		return ix.split(n)
 	}
 	return nil

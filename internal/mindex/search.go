@@ -130,11 +130,14 @@ func (q rankedQueue) Less(i, j int) bool {
 	if q[i].promise != q[j].promise {
 		return q[i].promise < q[j].promise
 	}
-	return prefixLess(q[i].n.prefix, q[j].n.prefix)
+	return PrefixLess(q[i].n.prefix, q[j].n.prefix)
 }
 
-// prefixLess compares cell prefixes lexicographically, shorter first.
-func prefixLess(a, b []int32) bool {
+// PrefixLess compares cell prefixes lexicographically, shorter first — the
+// deterministic tie-break used wherever cells of equal promise must be
+// ordered (the traversal queue here, and the cross-shard candidate merge in
+// internal/engine).
+func PrefixLess(a, b []int32) bool {
 	for k := range min(len(a), len(b)) {
 		if a[k] != b[k] {
 			return a[k] < b[k]
@@ -161,6 +164,53 @@ type ApproxQuery struct {
 	Dists []float64
 }
 
+// validateApprox checks that the query carries what the configured ranking
+// strategy needs.
+func (ix *Index) validateApprox(q ApproxQuery) error {
+	switch ix.cfg.Ranking {
+	case RankFootrule:
+		if len(q.Ranks) != ix.cfg.NumPivots {
+			return fmt.Errorf("mindex: footrule ranking needs %d pivot ranks, got %d",
+				ix.cfg.NumPivots, len(q.Ranks))
+		}
+	case RankDistSum:
+		if len(q.Dists) != ix.cfg.NumPivots {
+			return fmt.Errorf("mindex: distsum ranking needs %d pivot distances, got %d",
+				ix.cfg.NumPivots, len(q.Dists))
+		}
+	}
+	return nil
+}
+
+// approxCollect visits leaf cells in promise order and emits their entries
+// (with the source cell's promise and prefix) until at least candSize have
+// been emitted — the traversal shared by ApproxCandidates and
+// ApproxCandidatesRanked. The caller holds no lock.
+func (ix *Index) approxCollect(q ApproxQuery, candSize int,
+	emit func(entries []Entry, promise float64, prefix []int32)) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	pq := &rankedQueue{{n: ix.root, promise: 0}}
+	heap.Init(pq)
+	emitted := 0
+	for pq.Len() > 0 && emitted < candSize {
+		item := heap.Pop(pq).(rankedNode)
+		if item.n.isLeaf() {
+			entries, err := ix.store.Load(item.n.bucket)
+			if err != nil {
+				return err
+			}
+			emit(entries, item.promise, item.n.prefix)
+			emitted += len(entries)
+			continue
+		}
+		for _, child := range item.n.children {
+			heap.Push(pq, rankedNode{n: child, promise: ix.promise(child, q)})
+		}
+	}
+	return nil
+}
+
 // ApproxCandidates evaluates the server side of the approximate k-NN query
 // (Algorithm 4 of the paper): Voronoi cells are visited in order of their
 // promise value and their entries collected until the candidate set reaches
@@ -171,36 +221,51 @@ func (ix *Index) ApproxCandidates(q ApproxQuery, candSize int) ([]Entry, error) 
 	if candSize <= 0 {
 		return nil, fmt.Errorf("mindex: candidate size must be positive, got %d", candSize)
 	}
-	switch ix.cfg.Ranking {
-	case RankFootrule:
-		if len(q.Ranks) != ix.cfg.NumPivots {
-			return nil, fmt.Errorf("mindex: footrule ranking needs %d pivot ranks, got %d",
-				ix.cfg.NumPivots, len(q.Ranks))
-		}
-	case RankDistSum:
-		if len(q.Dists) != ix.cfg.NumPivots {
-			return nil, fmt.Errorf("mindex: distsum ranking needs %d pivot distances, got %d",
-				ix.cfg.NumPivots, len(q.Dists))
-		}
+	if err := ix.validateApprox(q); err != nil {
+		return nil, err
 	}
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	pq := &rankedQueue{{n: ix.root, promise: 0}}
-	heap.Init(pq)
 	out := make([]Entry, 0, candSize)
-	for pq.Len() > 0 && len(out) < candSize {
-		item := heap.Pop(pq).(rankedNode)
-		if item.n.isLeaf() {
-			entries, err := ix.store.Load(item.n.bucket)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, entries...)
-			continue
+	err := ix.approxCollect(q, candSize, func(entries []Entry, _ float64, _ []int32) {
+		out = append(out, entries...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(out) > candSize {
+		out = out[:candSize]
+	}
+	return out, nil
+}
+
+// RankedCandidate is one approximate-search candidate annotated with the
+// promise value and prefix of its source cell. The annotations let a
+// sharded engine merge per-shard candidate streams into one globally
+// promise-ordered list (ties broken by prefix, then shard), reproducing the
+// cell-visit discipline of Algorithm 4 across index partitions.
+type RankedCandidate struct {
+	Entry   Entry
+	Promise float64
+	Prefix  []int32
+}
+
+// ApproxCandidatesRanked is ApproxCandidates with the source-cell promise
+// and prefix attached to every candidate. The list is ordered exactly like
+// the ApproxCandidates result.
+func (ix *Index) ApproxCandidatesRanked(q ApproxQuery, candSize int) ([]RankedCandidate, error) {
+	if candSize <= 0 {
+		return nil, fmt.Errorf("mindex: candidate size must be positive, got %d", candSize)
+	}
+	if err := ix.validateApprox(q); err != nil {
+		return nil, err
+	}
+	out := make([]RankedCandidate, 0, candSize)
+	err := ix.approxCollect(q, candSize, func(entries []Entry, promise float64, prefix []int32) {
+		for _, e := range entries {
+			out = append(out, RankedCandidate{Entry: e, Promise: promise, Prefix: prefix})
 		}
-		for _, child := range item.n.children {
-			heap.Push(pq, rankedNode{n: child, promise: ix.promise(child, q)})
-		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	if len(out) > candSize {
 		out = out[:candSize]
@@ -224,6 +289,15 @@ func (ix *Index) promise(n *node, q ApproxQuery) float64 {
 // (Section 5.4), where "the server-side M-Index was limited to access only
 // one M-Index Voronoi cell which then forms the candidate set".
 func (ix *Index) FirstCellCandidates(q ApproxQuery) ([]Entry, error) {
+	entries, _, _, err := ix.FirstCellRanked(q)
+	return entries, err
+}
+
+// FirstCellRanked returns the entries of the single most promising
+// non-empty leaf cell together with the cell's promise value and prefix, so
+// a sharded engine can pick the globally most promising first cell among
+// the per-shard winners. An empty index yields nil entries.
+func (ix *Index) FirstCellRanked(q ApproxQuery) ([]Entry, float64, []int32, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	pq := &rankedQueue{{n: ix.root, promise: 0}}
@@ -234,11 +308,12 @@ func (ix *Index) FirstCellCandidates(q ApproxQuery) ([]Entry, error) {
 			if item.n.count == 0 {
 				continue // skip empty cells; the experiment wants a non-empty one
 			}
-			return ix.store.Load(item.n.bucket)
+			entries, err := ix.store.Load(item.n.bucket)
+			return entries, item.promise, item.n.prefix, err
 		}
 		for _, child := range item.n.children {
 			heap.Push(pq, rankedNode{n: child, promise: ix.promise(child, q)})
 		}
 	}
-	return nil, nil
+	return nil, 0, nil, nil
 }

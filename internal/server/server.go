@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"simcloud/internal/engine"
 	"simcloud/internal/metric"
 	"simcloud/internal/mindex"
 	"simcloud/internal/pivot"
@@ -52,7 +53,7 @@ func (m Mode) String() string {
 // Server is a similarity-cloud server instance.
 type Server struct {
 	mode  Mode
-	enc   *mindex.Index
+	enc   *engine.ShardedIndex
 	plain *mindex.Plain
 	timed *metric.Timed // instruments the plain server's distance function
 
@@ -62,31 +63,44 @@ type Server struct {
 	fdh      map[uint64][][]byte
 	raw      map[uint64][]byte
 
+	// connMu guards the listener, the connection registry and the closed
+	// flag: Start, acceptLoop registration, serveConn deregistration and
+	// Close all synchronize here, so a Close racing a Start or a freshly
+	// accepted connection can neither leak a socket nor double-close.
+	connMu sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
-	connMu sync.Mutex
-	wg     sync.WaitGroup
 	closed bool
+	wg     sync.WaitGroup
 
 	// Logf receives connection-level failures; defaults to log.Printf.
 	Logf func(format string, args ...any)
 }
 
-// NewEncrypted creates a server hosting an encrypted-deployment M-Index.
+// NewEncrypted creates a server hosting an encrypted-deployment M-Index
+// engine: cfg.Shards > 1 partitions the index across independently locked
+// shards served by a fan-out worker pool (see internal/engine).
 func NewEncrypted(cfg mindex.Config) (*Server, error) {
-	idx, err := mindex.New(cfg)
+	eng, err := engine.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return NewEncryptedWithIndex(idx), nil
+	return NewEncryptedWithEngine(eng), nil
 }
 
 // NewEncryptedWithIndex creates an encrypted-deployment server around an
-// existing index — typically one restored from a snapshot after a restart.
+// existing single index — typically one restored from a snapshot after a
+// restart — wrapped as a 1-shard engine.
 func NewEncryptedWithIndex(idx *mindex.Index) *Server {
+	return NewEncryptedWithEngine(engine.Wrap(idx))
+}
+
+// NewEncryptedWithEngine creates an encrypted-deployment server around an
+// existing sharded engine.
+func NewEncryptedWithEngine(eng *engine.ShardedIndex) *Server {
 	return &Server{
 		mode:     ModeEncrypted,
-		enc:      idx,
+		enc:      eng,
 		ehiNodes: make(map[uint64][]byte),
 		fdh:      make(map[uint64][][]byte),
 		raw:      make(map[uint64][]byte),
@@ -119,9 +133,9 @@ func NewPlain(cfg mindex.Config, pivots *pivot.Set) (*Server, error) {
 // Mode returns the deployment mode.
 func (s *Server) Mode() Mode { return s.mode }
 
-// Index exposes the underlying encrypted-deployment index (nil in plain
-// mode) for white-box inspection by tools and tests.
-func (s *Server) Index() *mindex.Index { return s.enc }
+// Index exposes the underlying encrypted-deployment index engine (nil in
+// plain mode) for white-box inspection by tools and tests.
+func (s *Server) Index() *engine.ShardedIndex { return s.enc }
 
 // PlainIndex exposes the underlying plain-deployment index (nil in
 // encrypted mode).
@@ -134,28 +148,49 @@ func (s *Server) Start(addr string) error {
 	if err != nil {
 		return err
 	}
+	s.connMu.Lock()
+	if s.closed {
+		s.connMu.Unlock()
+		ln.Close()
+		return errors.New("server: already closed")
+	}
+	if s.ln != nil {
+		s.connMu.Unlock()
+		ln.Close()
+		return errors.New("server: already started")
+	}
 	s.ln = ln
 	s.conns = make(map[net.Conn]struct{})
+	// Add under the lock: a Close between Unlock and Add would reach
+	// wg.Wait with a zero counter while the Add races it (WaitGroup
+	// misuse), and could tear down the engine before acceptLoop is
+	// accounted for.
 	s.wg.Add(1)
-	go s.acceptLoop()
+	s.connMu.Unlock()
+	go s.acceptLoop(ln)
 	return nil
 }
 
 // Addr returns the listening address (valid after Start).
 func (s *Server) Addr() string {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
 	if s.ln == nil {
 		return ""
 	}
 	return s.ln.Addr().String()
 }
 
-func (s *Server) acceptLoop() {
+func (s *Server) acceptLoop(ln net.Listener) {
 	defer s.wg.Done()
 	for {
-		conn, err := s.ln.Accept()
+		conn, err := ln.Accept()
 		if err != nil {
 			return // listener closed
 		}
+		// Register under the lock before serving: once Close holds connMu,
+		// either this connection is in the registry (Close closes it) or
+		// closed is already observed here (we close it) — never neither.
 		s.connMu.Lock()
 		if s.closed {
 			s.connMu.Unlock()
@@ -163,13 +198,15 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		s.conns[conn] = struct{}{}
-		s.connMu.Unlock()
 		s.wg.Add(1)
+		s.connMu.Unlock()
 		go s.serveConn(conn)
 	}
 }
 
 // Close stops the listener, closes open connections and releases the index.
+// It is idempotent and safe to call concurrently with Start, acceptLoop
+// registration and in-flight requests.
 func (s *Server) Close() error {
 	s.connMu.Lock()
 	if s.closed {
@@ -360,6 +397,25 @@ func (s *Server) handle(typ wire.MsgType, payload []byte, start time.Time, distB
 			ServerNanos: s.serverNanos(start), Entries: cands,
 		}.Encode(), nil
 
+	case wire.MsgBatchQuery:
+		if s.enc == nil {
+			return 0, nil, errNeedEncrypted
+		}
+		req, err := wire.DecodeBatchQueryReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		results := make([][]mindex.Entry, len(req.Queries))
+		for i, q := range req.Queries {
+			results[i], err = s.evalBatchQuery(q)
+			if err != nil {
+				return 0, nil, fmt.Errorf("server: batch query %d: %w", i, err)
+			}
+		}
+		return wire.MsgBatchCandidates, wire.BatchQueryResp{
+			ServerNanos: s.serverNanos(start), Results: results,
+		}.Encode(), nil
+
 	case wire.MsgRangePlain:
 		if s.plain == nil {
 			return 0, nil, errNeedPlain
@@ -516,4 +572,28 @@ func (s *Server) handle(typ wire.MsgType, payload []byte, start time.Time, distB
 		}.Encode(), nil
 	}
 	return 0, nil, fmt.Errorf("server: unsupported request type %v", typ)
+}
+
+// evalBatchQuery evaluates one query of a batched request against the index
+// engine — the same three evaluations the single-query messages perform.
+// Each query fans out across all index shards internally.
+func (s *Server) evalBatchQuery(q wire.BatchQuery) ([]mindex.Entry, error) {
+	switch q.Kind {
+	case wire.BatchRange:
+		return s.enc.RangeByDists(q.Dists, q.Radius)
+	case wire.BatchApproxPerm:
+		if !pivot.ValidPermutation(q.Perm, s.enc.Config().NumPivots) {
+			return nil, fmt.Errorf("request permutation is not a permutation of %d pivots",
+				s.enc.Config().NumPivots)
+		}
+		return s.enc.ApproxCandidates(
+			mindex.ApproxQuery{Ranks: pivot.Ranks(q.Perm)}, int(q.CandSize))
+	case wire.BatchApproxDists:
+		return s.enc.ApproxCandidates(
+			mindex.ApproxQuery{
+				Dists: q.Dists,
+				Ranks: pivot.Ranks(pivot.Permutation(q.Dists)),
+			}, int(q.CandSize))
+	}
+	return nil, fmt.Errorf("unknown batch query kind %d", q.Kind)
 }

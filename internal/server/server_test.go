@@ -4,6 +4,7 @@ import (
 	"math/rand/v2"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -262,6 +263,241 @@ func TestAddrBeforeStart(t *testing.T) {
 	}
 	if ModePlain.String() != "plain" || Mode(9).String() == "" {
 		t.Fatal("mode strings broken")
+	}
+}
+
+func insertTestEntries(t *testing.T, conn net.Conn, n int) {
+	t.Helper()
+	entries := make([]mindex.Entry, n)
+	for i := range entries {
+		perm := []int32{0, 1, 2, 3, 4, 5}
+		perm[0], perm[i%6] = perm[i%6], perm[0]
+		dists := make([]float64, 6)
+		for j := range dists {
+			dists[j] = float64((i+j)%17) + 0.5
+		}
+		entries[i] = mindex.Entry{ID: uint64(i + 1), Perm: perm, Dists: dists, Payload: []byte{byte(i)}}
+	}
+	respType, _ := request(t, conn, wire.MsgInsertEntries,
+		wire.InsertEntriesReq{Entries: entries}.Encode())
+	if respType != wire.MsgAck {
+		t.Fatalf("insert: got %v", respType)
+	}
+}
+
+// TestBatchQuery: one frame carrying a range, an approx-perm and an
+// approx-dists query must return three candidate sets matching the
+// single-query responses.
+func TestBatchQuery(t *testing.T) {
+	srv := startEncrypted(t)
+	conn := dial(t, srv)
+	insertTestEntries(t, conn, 60)
+
+	qDists := []float64{1, 2, 3, 4, 5, 6}
+	perm := []int32{2, 0, 1, 3, 4, 5}
+	batch := wire.BatchQueryReq{Queries: []wire.BatchQuery{
+		{Kind: wire.BatchRange, Dists: qDists, Radius: 5},
+		{Kind: wire.BatchApproxPerm, Perm: perm, CandSize: 15},
+		{Kind: wire.BatchApproxDists, Dists: qDists, CandSize: 10},
+	}}
+	respType, resp := request(t, conn, wire.MsgBatchQuery, batch.Encode())
+	if respType != wire.MsgBatchCandidates {
+		t.Fatalf("batch query: got %v", respType)
+	}
+	m, err := wire.DecodeBatchQueryResp(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Results) != 3 {
+		t.Fatalf("batch returned %d results, want 3", len(m.Results))
+	}
+
+	// Each batched result must equal its single-query counterpart.
+	respType, resp = request(t, conn, wire.MsgRangeDists,
+		wire.RangeDistsReq{Dists: qDists, Radius: 5}.Encode())
+	if respType != wire.MsgCandidates {
+		t.Fatalf("range: got %v", respType)
+	}
+	single, err := wire.DecodeCandidatesResp(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Results[0]) != len(single.Entries) {
+		t.Fatalf("batched range returned %d entries, single %d", len(m.Results[0]), len(single.Entries))
+	}
+	respType, resp = request(t, conn, wire.MsgApproxPerm,
+		wire.ApproxPermReq{Perm: perm, CandSize: 15}.Encode())
+	if respType != wire.MsgCandidates {
+		t.Fatalf("approx: got %v", respType)
+	}
+	single, err = wire.DecodeCandidatesResp(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Results[1]) != len(single.Entries) {
+		t.Fatalf("batched approx returned %d entries, single %d", len(m.Results[1]), len(single.Entries))
+	}
+	for i := range single.Entries {
+		if m.Results[1][i].ID != single.Entries[i].ID {
+			t.Fatalf("batched approx candidate %d = id %d, single = id %d",
+				i, m.Results[1][i].ID, single.Entries[i].ID)
+		}
+	}
+}
+
+// TestBatchQueryErrors: invalid sub-queries fail the whole batch with an
+// error response naming the offending query.
+func TestBatchQueryErrors(t *testing.T) {
+	srv := startEncrypted(t)
+	conn := dial(t, srv)
+	expectError(t, conn, wire.MsgBatchQuery, wire.BatchQueryReq{Queries: []wire.BatchQuery{
+		{Kind: wire.BatchApproxPerm, Perm: []int32{0, 0, 1, 2, 3, 4}, CandSize: 5},
+	}}.Encode(), "batch query 0")
+	// Malformed payload bytes are a codec error, not a crash.
+	expectError(t, conn, wire.MsgBatchQuery, []byte{0xFF, 0xFF, 0xFF, 0xFF}, "")
+}
+
+// TestShardedServer: a server over a sharded engine answers the protocol
+// exactly like the default single-shard one.
+func TestShardedServer(t *testing.T) {
+	cfg := testCfg()
+	cfg.Shards = 4
+	srv, err := NewEncrypted(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Logf = func(string, ...any) {}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	conn := dial(t, srv)
+	insertTestEntries(t, conn, 80)
+	if got := srv.Index().NumShards(); got != 4 {
+		t.Fatalf("NumShards = %d", got)
+	}
+	if got := srv.Index().Size(); got != 80 {
+		t.Fatalf("Size = %d", got)
+	}
+	respType, resp := request(t, conn, wire.MsgApproxPerm,
+		wire.ApproxPermReq{Perm: []int32{1, 0, 2, 3, 4, 5}, CandSize: 20}.Encode())
+	if respType != wire.MsgCandidates {
+		t.Fatalf("approx on sharded server: got %v", respType)
+	}
+	m, err := wire.DecodeCandidatesResp(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Entries) != 20 {
+		t.Fatalf("sharded approx returned %d candidates, want 20", len(m.Entries))
+	}
+}
+
+// TestHostilePermutationInsert: a wire entry with a negative or
+// out-of-range first permutation element must produce an error response —
+// on a sharded server a negative shard index would otherwise panic the
+// process (remote DoS).
+func TestHostilePermutationInsert(t *testing.T) {
+	cfg := testCfg()
+	cfg.Shards = 4
+	srv, err := NewEncrypted(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Logf = func(string, ...any) {}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	conn := dial(t, srv)
+	expectError(t, conn, wire.MsgInsertEntries, wire.InsertEntriesReq{
+		Entries: []mindex.Entry{{ID: 1, Perm: []int32{-1, 0, 1, 2, 3}}},
+	}.Encode(), "out of range")
+	// Server must still be alive and serving.
+	insertTestEntries(t, conn, 10)
+	if got := srv.Index().Size(); got != 10 {
+		t.Fatalf("size after hostile insert = %d", got)
+	}
+}
+
+// TestCloseRacingConnections: Close racing fresh connection registration
+// must neither leak a connection nor deadlock — every accepted conn ends up
+// closed and the registry drains (the connMu hygiene regression test).
+func TestCloseRacingConnections(t *testing.T) {
+	for round := range 20 {
+		srv, err := NewEncrypted(testCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Logf = func(string, ...any) {}
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		addr := srv.Addr()
+		var wg sync.WaitGroup
+		for range 8 {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				conn, err := net.Dial("tcp", addr)
+				if err != nil {
+					return // listener already closed: fine
+				}
+				defer conn.Close()
+				// Fire a request; the response may be an answer, a reset or
+				// nothing depending on how far Close got. All are fine — only
+				// leaks and races are not.
+				_ = wire.WriteFrame(conn, wire.MsgDownloadAll, nil)
+				_, _, _ = wire.ReadFrame(conn)
+			}()
+		}
+		if round%2 == 0 {
+			time.Sleep(time.Duration(round%5) * 100 * time.Microsecond)
+		}
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		srv.connMu.Lock()
+		leaked := len(srv.conns)
+		srv.connMu.Unlock()
+		if leaked != 0 {
+			t.Fatalf("round %d: %d connections leaked past Close", round, leaked)
+		}
+	}
+}
+
+// TestStartAfterCloseRefused: a closed server must not come back to life
+// with a fresh listener that nothing will ever close.
+func TestStartAfterCloseRefused(t *testing.T) {
+	srv, err := NewEncrypted(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err == nil {
+		t.Fatal("start after close succeeded")
+	}
+}
+
+// TestStartTwiceRefused: a second Start must not replace the listener and
+// connection registry of the first (leaked listener, orphaned conns).
+func TestStartTwiceRefused(t *testing.T) {
+	srv := startEncrypted(t)
+	addr := srv.Addr()
+	if err := srv.Start("127.0.0.1:0"); err == nil {
+		t.Fatal("second start succeeded")
+	}
+	if srv.Addr() != addr {
+		t.Fatalf("second start replaced the listener: %s -> %s", addr, srv.Addr())
+	}
+	// The original listener still serves.
+	conn := dial(t, srv)
+	respType, _ := request(t, conn, wire.MsgDownloadAll, nil)
+	if respType != wire.MsgCandidates {
+		t.Fatalf("server unhealthy after refused second start: %v", respType)
 	}
 }
 

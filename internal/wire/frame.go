@@ -74,6 +74,13 @@ const (
 	MsgGetRaw
 	// MsgRawItems returns raw-data blobs plus server time.
 	MsgRawItems
+
+	// MsgBatchQuery carries several encrypted queries (range and/or
+	// approximate) in one frame, so one round trip amortizes framing and
+	// latency across k queries.
+	MsgBatchQuery
+	// MsgBatchCandidates returns one candidate set per batched query.
+	MsgBatchCandidates
 )
 
 var msgNames = map[MsgType]string{
@@ -84,6 +91,7 @@ var msgNames = map[MsgType]string{
 	MsgAck: "ack", MsgGetNode: "get-node", MsgNodeBlob: "node-blob", MsgPutNodes: "put-nodes",
 	MsgFDHQuery: "fdh-query", MsgPutFDH: "put-fdh", MsgDownloadAll: "download-all",
 	MsgPutRaw: "put-raw", MsgGetRaw: "get-raw", MsgRawItems: "raw-items",
+	MsgBatchQuery: "batch-query", MsgBatchCandidates: "batch-candidates",
 }
 
 // String implements fmt.Stringer.

@@ -62,6 +62,11 @@ func FuzzDecodeRequests(f *testing.F) {
 	f.Add(InsertEntriesReq{Entries: []mindex.Entry{{ID: 1, Perm: []int32{0}}}}.Encode())
 	f.Add(PutNodesReq{RootID: 1, Nodes: []EHINode{{ID: 1, Blob: []byte{2}}}}.Encode())
 	f.Add(PutFDHReq{Items: []FDHItem{{Key: 3, Payload: []byte{4}}}}.Encode())
+	f.Add(BatchQueryReq{Queries: []BatchQuery{
+		{Kind: BatchRange, Dists: []float64{1}, Radius: 2},
+		{Kind: BatchApproxPerm, Perm: []int32{0, 1}, CandSize: 3},
+	}}.Encode())
+	f.Add(BatchQueryResp{ServerNanos: 1, Results: [][]mindex.Entry{{{ID: 1, Perm: []int32{0}}}}}.Encode())
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// None of these may panic; errors are fine.
@@ -83,5 +88,7 @@ func FuzzDecodeRequests(f *testing.F) {
 		_, _ = DecodeNodeBlobResp(data)
 		_, _ = DecodePutFDHReq(data)
 		_, _ = DecodeFDHQueryReq(data)
+		_, _ = DecodeBatchQueryReq(data)
+		_, _ = DecodeBatchQueryResp(data)
 	})
 }

@@ -598,6 +598,129 @@ func DecodeRawItemsResp(p []byte) (RawItemsResp, error) {
 	return m, r.Err()
 }
 
+// Batch query kinds carried by a BatchQueryReq. Each kind mirrors one of
+// the single-query encrypted requests and reveals exactly the same
+// information per query.
+const (
+	// BatchRange is a precise range query (pivot distances + radius).
+	BatchRange uint8 = iota + 1
+	// BatchApproxPerm is an approximate k-NN candidate request under the
+	// footrule ranking (pivot permutation + candidate size).
+	BatchApproxPerm
+	// BatchApproxDists is an approximate k-NN candidate request under the
+	// distance-sum ranking (pivot distances + candidate size).
+	BatchApproxDists
+)
+
+// BatchQuery is one query of a batched request: a tagged union over the
+// three encrypted query shapes.
+type BatchQuery struct {
+	Kind     uint8
+	Perm     []int32   // BatchApproxPerm
+	Dists    []float64 // BatchRange, BatchApproxDists
+	Radius   float64   // BatchRange
+	CandSize uint32    // BatchApproxPerm, BatchApproxDists
+}
+
+// BatchQueryReq carries k encrypted queries in one frame, amortizing one
+// round trip (and one frame header) over the whole batch. The server
+// answers with a BatchQueryResp holding one candidate set per query, in
+// request order.
+type BatchQueryReq struct {
+	Queries []BatchQuery
+}
+
+// Encode serializes the request payload.
+func (m BatchQueryReq) Encode() []byte {
+	var b Buffer
+	b.U32(uint32(len(m.Queries)))
+	for _, q := range m.Queries {
+		b.U8(q.Kind)
+		switch q.Kind {
+		case BatchRange:
+			b.F64Slice(q.Dists)
+			b.F64(q.Radius)
+		case BatchApproxPerm:
+			b.I32Slice(q.Perm)
+			b.U32(q.CandSize)
+		case BatchApproxDists:
+			b.F64Slice(q.Dists)
+			b.U32(q.CandSize)
+		}
+	}
+	return b.B
+}
+
+// DecodeBatchQueryReq parses a BatchQueryReq payload.
+func DecodeBatchQueryReq(p []byte) (BatchQueryReq, error) {
+	r := NewReader(p)
+	n := int(r.U32())
+	// Each query occupies at least 5 bytes (kind + one length prefix).
+	if n < 0 || n > len(p)/5+1 {
+		return BatchQueryReq{}, ErrCodec
+	}
+	m := BatchQueryReq{Queries: make([]BatchQuery, 0, n)}
+	for range n {
+		q := BatchQuery{Kind: r.U8()}
+		switch q.Kind {
+		case BatchRange:
+			q.Dists = r.F64Slice()
+			q.Radius = r.F64()
+		case BatchApproxPerm:
+			q.Perm = r.I32Slice()
+			q.CandSize = r.U32()
+		case BatchApproxDists:
+			q.Dists = r.F64Slice()
+			q.CandSize = r.U32()
+		default:
+			return BatchQueryReq{}, ErrCodec
+		}
+		if r.err != nil {
+			break
+		}
+		m.Queries = append(m.Queries, q)
+	}
+	return m, r.Err()
+}
+
+// BatchQueryResp returns the candidate sets of a batched query, parallel to
+// the request's query list. ServerNanos covers the whole batch.
+type BatchQueryResp struct {
+	ServerNanos uint64
+	Results     [][]mindex.Entry
+}
+
+// Encode serializes the response payload.
+func (m BatchQueryResp) Encode() []byte {
+	var b Buffer
+	b.U64(m.ServerNanos)
+	b.U32(uint32(len(m.Results)))
+	for _, entries := range m.Results {
+		appendEntries(&b, entries)
+	}
+	return b.B
+}
+
+// DecodeBatchQueryResp parses a BatchQueryResp payload.
+func DecodeBatchQueryResp(p []byte) (BatchQueryResp, error) {
+	r := NewReader(p)
+	m := BatchQueryResp{ServerNanos: r.U64()}
+	n := int(r.U32())
+	// Each result occupies at least its 4-byte entry count.
+	if n < 0 || n > len(p)/4+1 {
+		return m, ErrCodec
+	}
+	m.Results = make([][]mindex.Entry, 0, n)
+	for range n {
+		entries := readEntries(r)
+		if r.err != nil {
+			break
+		}
+		m.Results = append(m.Results, entries)
+	}
+	return m, r.Err()
+}
+
 // FDHQueryReq fetches the encrypted objects stored under the given keys.
 type FDHQueryReq struct {
 	Keys []uint64

@@ -223,6 +223,43 @@ func TestMessageRoundTrips(t *testing.T) {
 			t.Fatalf("round trip: %+v, %v", out, err)
 		}
 	})
+	t.Run("batch-query", func(t *testing.T) {
+		in := BatchQueryReq{Queries: []BatchQuery{
+			{Kind: BatchRange, Dists: []float64{1, 2}, Radius: 0.5},
+			{Kind: BatchApproxPerm, Perm: []int32{1, 0, 2}, CandSize: 40},
+			{Kind: BatchApproxDists, Dists: []float64{3}, CandSize: 7},
+		}}
+		out, err := DecodeBatchQueryReq(in.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(out, in) {
+			t.Fatalf("round trip: %+v", out)
+		}
+	})
+	t.Run("batch-query-unknown-kind", func(t *testing.T) {
+		var b Buffer
+		b.U32(1)
+		b.U8(99)
+		if _, err := DecodeBatchQueryReq(b.B); err == nil {
+			t.Fatal("unknown batch kind accepted")
+		}
+	})
+	t.Run("batch-candidates", func(t *testing.T) {
+		in := BatchQueryResp{ServerNanos: 77, Results: [][]mindex.Entry{
+			sampleEntries(),
+			nil,
+			{{ID: 9, Perm: []int32{1}}},
+		}}
+		out, err := DecodeBatchQueryResp(in.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.ServerNanos != 77 || len(out.Results) != 3 ||
+			len(out.Results[0]) != 2 || len(out.Results[1]) != 0 || out.Results[2][0].ID != 9 {
+			t.Fatalf("round trip: %+v", out)
+		}
+	})
 	t.Run("results", func(t *testing.T) {
 		in := ResultsResp{ServerNanos: 1, DistNanos: 2, Results: []mindex.Result{
 			{ID: 1, Dist: 0.5, Vec: metric.Vector{1}},

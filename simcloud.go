@@ -31,6 +31,16 @@
 // bytes on the wire): precise range, precise k-NN (approximate pass + range
 // ρk), and approximate k-NN with a tunable candidate-set size.
 //
+// # Scaling out
+//
+// For heavy concurrent traffic the server-side index can be partitioned:
+// Config.Shards > 1 (or DefaultShardedConfig) splits the M-Index across
+// independently locked shards keyed by the first permutation element, with
+// searches fanned out over a bounded worker pool and merged by cell promise
+// — result sets are preserved (see DESIGN.md §Sharding). On the client,
+// EncryptedClient.InsertBatch and ApproxKNNBatch pipeline chunked frames so
+// many operations share one round trip.
+//
 // Subpackages under internal implement the substrates: the metric-space
 // framework, the M-Index, the encryption layer, the wire protocol, the
 // compared baseline techniques (EHI, FDH, trivial download), the synthetic
@@ -130,6 +140,18 @@ func DefaultConfig(numPivots int) Config {
 		Storage:        StorageMemory,
 		Ranking:        RankFootrule,
 	}
+}
+
+// DefaultShardedConfig is DefaultConfig with the index partitioned across
+// the given number of independently locked shards (see Config.Shards):
+// inserts hash-route by the first permutation element and searches fan out
+// in parallel, converting the server hot path from lock-serialized to
+// core-parallel while preserving result sets. Shards <= 1 is exactly
+// DefaultConfig.
+func DefaultShardedConfig(numPivots, shards int) Config {
+	cfg := DefaultConfig(numPivots)
+	cfg.Shards = shards
+	return cfg
 }
 
 // SelectPivots draws n pivots at random (deterministically from seed) from
