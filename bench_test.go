@@ -453,6 +453,70 @@ func BenchmarkShardedVsSingle(b *testing.B) {
 	}
 }
 
+// BenchmarkChurn measures the mutable index at steady state: each round
+// tombstones the oldest batch of entries, inserts a fresh batch under new
+// IDs, and runs one approximate query — the sustained insert/delete
+// workload an append-only index cannot express. Auto-compaction is on
+// (fraction 0.25), so the numbers include the periodic shard rebuilds that
+// keep tombstones from accumulating. The reported churn-ops/s counts
+// deletes + inserts.
+func BenchmarkChurn(b *testing.B) {
+	shardBenchSetup()
+	const population = 10000
+	const batch = 100
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := shardBenchConfig(shards)
+			cfg.AutoCompactFraction = 0.25
+			eng, err := engine.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			if err := eng.InsertBulk(shardBenchEntries[:population]); err != nil {
+				b.Fatal(err)
+			}
+			// FIFO of live entries: each round deletes the oldest batch and
+			// appends the fresh one, holding the live set at steady state.
+			fifo := make([]mindex.Entry, population)
+			copy(fifo, shardBenchEntries[:population])
+			nextID := uint64(1) << 32 // fresh IDs, disjoint from the data set's
+			src := population         // recycle pool cursor for fresh pivot metadata
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				deleted, err := eng.Delete(fifo[:batch])
+				if err != nil {
+					b.Fatal(err)
+				}
+				if deleted != batch {
+					b.Fatalf("deleted %d of %d", deleted, batch)
+				}
+				fifo = fifo[batch:]
+				fresh := make([]mindex.Entry, batch)
+				for j := range fresh {
+					e := shardBenchEntries[src%len(shardBenchEntries)]
+					src++
+					e.ID = nextID
+					nextID++
+					fresh[j] = e
+				}
+				if err := eng.InsertBulk(fresh); err != nil {
+					b.Fatal(err)
+				}
+				fifo = append(fifo, fresh...)
+				if _, err := eng.ApproxCandidates(shardBenchQueries[i%len(shardBenchQueries)], 600); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if eng.Size() != population {
+				b.Fatalf("steady state drifted to %d entries", eng.Size())
+			}
+			b.ReportMetric(float64(2*batch)*float64(b.N)/b.Elapsed().Seconds(), "churn-ops/s")
+		})
+	}
+}
+
 // --- Ablations (DESIGN.md §5) ------------------------------------------
 
 // BenchmarkAblationPromise compares the two cell-ranking strategies at

@@ -12,8 +12,11 @@
 //	# Precise k-NN (approximate pass + range ρk):
 //	simclient -addr :4040 -key yeast.key -op knn -data yeast.simcdat -query 5 -k 10
 //
+//	# Delete objects 100..199 of the collection from the index:
+//	simclient -addr :4040 -key yeast.key -op delete -data yeast.simcdat -from 100 -to 200
+//
 // With -plain the same operations run against a plain (non-encrypted)
-// server; no key is needed.
+// server; no key is needed. Deletion is an encrypted-deployment operation.
 package main
 
 import (
@@ -31,12 +34,14 @@ func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:4040", "server address")
 		keyFile  = flag.String("key", "", "secret key file (encrypted mode)")
-		op       = flag.String("op", "", "operation: insert, approx, knn, range")
+		op       = flag.String("op", "", "operation: insert, approx, knn, range, delete")
 		data     = flag.String("data", "", "collection file (source of objects and queries)")
 		queryIdx = flag.Int("query", 0, "index of the query object within the collection")
 		k        = flag.Int("k", 10, "number of nearest neighbors")
 		cand     = flag.Int("cand", 500, "candidate set size for approximate search")
 		radius   = flag.Float64("radius", 1, "range query radius")
+		from     = flag.Int("from", 0, "first collection index of the -op delete range")
+		to       = flag.Int("to", -1, "one past the last collection index of the -op delete range (-1: end of collection)")
 		plain    = flag.Bool("plain", false, "talk to a plain (non-encrypted) server")
 		maxLevel = flag.Int("max-level", 8, "index max level (must match the server)")
 		dists    = flag.Bool("store-dists", false, "insert with full pivot-distance vectors (precise strategy)")
@@ -98,6 +103,9 @@ func main() {
 		case "range":
 			res, costs, err := client.Range(q, *radius)
 			report("range", res, costs, err)
+		case "delete":
+			fmt.Fprintln(os.Stderr, "simclient: -op delete requires the encrypted deployment (drop -plain)")
+			os.Exit(2)
 		default:
 			fmt.Fprintf(os.Stderr, "simclient: unknown op %q\n", *op)
 			os.Exit(2)
@@ -137,6 +145,21 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("inserted %d encrypted objects\ncosts: %s\n", ds.Size(), costs)
+	case "delete":
+		lo, hi := *from, *to
+		if hi < 0 {
+			hi = ds.Size()
+		}
+		if lo < 0 || lo > hi || hi > ds.Size() {
+			fmt.Fprintf(os.Stderr, "simclient: delete range [%d,%d) out of collection bounds [0,%d)\n", lo, hi, ds.Size())
+			os.Exit(2)
+		}
+		deleted, costs, err := client.DeleteBatch(ds.Objects[lo:hi])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simclient: delete: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("deleted %d of %d referenced objects\ncosts: %s\n", deleted, hi-lo, costs)
 	case "approx":
 		res, costs, err := client.ApproxKNN(q, *k, *cand)
 		report("approx-knn", res, costs, err)

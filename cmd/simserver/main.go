@@ -39,15 +39,17 @@ func main() {
 		keyFile  = flag.String("key", "", "key file (plain mode only: supplies the pivots)")
 		snapshot = flag.String("snapshot", "", "snapshot file: restore on start if present, save on shutdown (encrypted mode with -storage disk)")
 		shards   = flag.Int("shards", 1, "index shard count (encrypted mode): >1 partitions the M-Index across independently locked shards")
+		autoComp = flag.Float64("auto-compact", 0, "compact a shard when its tombstoned fraction reaches this value in [0,1); 0 leaves compaction to restarts")
 	)
 	flag.Parse()
 
 	cfg := mindex.Config{
-		NumPivots:      *pivots,
-		MaxLevel:       min(*maxLevel, *pivots),
-		BucketCapacity: *bucket,
-		DiskPath:       *diskPath,
-		Shards:         *shards,
+		NumPivots:           *pivots,
+		MaxLevel:            min(*maxLevel, *pivots),
+		BucketCapacity:      *bucket,
+		DiskPath:            *diskPath,
+		Shards:              *shards,
+		AutoCompactFraction: *autoComp,
 	}
 	switch *storage {
 	case "memory":
@@ -88,7 +90,10 @@ func main() {
 			if exists {
 				eng, lerr := engine.LoadSnapshot(cfg, *snapshot)
 				if lerr != nil {
-					fmt.Fprintf(os.Stderr, "simserver: restoring snapshot: %v\n", lerr)
+					// A snapshot that exists but cannot be restored must
+					// never be overwritten by the empty index an oblivious
+					// start would save on shutdown: exit before serving.
+					fmt.Fprintf(os.Stderr, "simserver: restoring snapshot: %v (refusing to start and overwrite it)\n", lerr)
 					os.Exit(1)
 				}
 				srv = server.NewEncryptedWithEngine(eng)
@@ -132,19 +137,31 @@ func main() {
 	fmt.Printf("simserver: %s deployment listening on %s (pivots=%d maxLevel=%d bucket=%d storage=%v shards=%d)\n",
 		*mode, srv.Addr(), cfg.NumPivots, cfg.MaxLevel, cfg.BucketCapacity, cfg.Storage, max(1, cfg.Shards))
 
-	sig := make(chan os.Signal, 1)
+	// SIGINT/SIGTERM trigger the same snapshot-saving shutdown as a clean
+	// exit; a second signal while the snapshot is being written forces an
+	// immediate exit (the half-written file is a .tmp sibling — the
+	// previous snapshot survives, see mindex.SaveSnapshot).
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("\nsimserver: shutting down")
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "simserver: second signal, exiting without saving")
+		os.Exit(1)
+	}()
+	exitCode := 0
 	if *snapshot != "" && srv.Index() != nil {
 		if err := srv.Index().SaveSnapshot(*snapshot); err != nil {
 			fmt.Fprintf(os.Stderr, "simserver: saving snapshot: %v\n", err)
+			exitCode = 1
 		} else {
 			fmt.Printf("simserver: saved %d entries to %s\n", srv.Index().Size(), *snapshot)
 		}
 	}
 	if err := srv.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "simserver: close: %v\n", err)
-		os.Exit(1)
+		exitCode = 1
 	}
+	os.Exit(exitCode)
 }

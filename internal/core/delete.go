@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"simcloud/internal/metric"
+	"simcloud/internal/mindex"
+	"simcloud/internal/pivot"
+	"simcloud/internal/stats"
+	"simcloud/internal/wire"
+)
+
+// Deletion: the encrypted similarity cloud is mutable. To delete an object
+// the client recomputes its pivot permutation (it holds the plaintext and
+// the pivots) and ships {ID, permutation prefix} references — exactly the
+// routing metadata the original insert revealed, so deletion leaks nothing
+// new to the server. The server tombstones the entries immediately and
+// reclaims the storage on its next compaction.
+
+// deleteRefs performs the per-object client work of a delete: pivot
+// distances (for the permutation) and the routing prefix. No encryption is
+// involved — only the reference leaves the client.
+func (c *EncryptedClient) deleteRefs(objs []metric.Object, costs *stats.Costs) []mindex.Entry {
+	pv := c.key.Pivots()
+	refs := make([]mindex.Entry, len(objs))
+	for i, o := range objs {
+		distStart := time.Now()
+		dists := pv.Distances(o.Vec)
+		costs.DistCompTime += time.Since(distStart)
+		costs.DistComps += int64(pv.N())
+		refs[i] = mindex.Entry{ID: o.ID, Perm: pivot.Prefix(pivot.Permutation(dists), c.opts.PrefixLen)}
+	}
+	return refs
+}
+
+// Delete removes the given objects from the encrypted index in one round
+// trip. Objects the server does not know (or already deleted) are skipped;
+// the count of entries actually deleted is returned.
+func (c *EncryptedClient) Delete(objs []metric.Object) (int, stats.Costs, error) {
+	var costs stats.Costs
+	start := time.Now()
+	if len(objs) == 0 {
+		finish(&costs, start)
+		return 0, costs, nil
+	}
+	refs := c.deleteRefs(objs, &costs)
+	respType, resp, err := c.roundTrip(wire.MsgDeleteEntries,
+		wire.DeleteEntriesReq{Refs: refs}.Encode(), &costs)
+	if err != nil {
+		return 0, costs, err
+	}
+	if respType != wire.MsgDeleteAck {
+		return 0, costs, fmt.Errorf("core: unexpected delete response %v", respType)
+	}
+	ack, err := wire.DecodeDeleteAckResp(resp)
+	if err != nil {
+		return 0, costs, err
+	}
+	creditServer(&costs, ack.ServerNanos)
+	finish(&costs, start)
+	return int(ack.Deleted), costs, nil
+}
+
+// DeleteBatch is Delete with chunked pipelining: the references are
+// shipped as a sequence of MsgDeleteEntries frames of Options.BatchChunk
+// references each, all in flight at once — the mutation mirror of
+// InsertBatch, sharing its cost accounting (one round trip for the whole
+// flight).
+func (c *EncryptedClient) DeleteBatch(objs []metric.Object) (int, stats.Costs, error) {
+	var costs stats.Costs
+	start := time.Now()
+	if len(objs) == 0 {
+		finish(&costs, start)
+		return 0, costs, nil
+	}
+	refs := c.deleteRefs(objs, &costs)
+	chunk := c.opts.BatchChunk
+	reqs := make([]frame, 0, c.chunkCount(len(refs)))
+	for at := 0; at < len(refs); at += chunk {
+		reqs = append(reqs, frame{
+			typ:     wire.MsgDeleteEntries,
+			payload: wire.DeleteEntriesReq{Refs: refs[at:min(at+chunk, len(refs))]}.Encode(),
+		})
+	}
+	resps, err := c.exchange(reqs, &costs)
+	if err != nil {
+		return 0, costs, err
+	}
+	deleted := 0
+	for ci, r := range resps {
+		if err := respError(r); err != nil {
+			lo := ci * chunk
+			return deleted, costs, fmt.Errorf("core: delete chunk %d (objects %d..%d): %w",
+				ci, lo, min(lo+chunk, len(refs))-1, err)
+		}
+		if r.typ != wire.MsgDeleteAck {
+			return deleted, costs, fmt.Errorf("core: unexpected batch delete response %v", r.typ)
+		}
+		ack, err := wire.DecodeDeleteAckResp(r.payload)
+		if err != nil {
+			return deleted, costs, err
+		}
+		deleted += int(ack.Deleted)
+		creditServer(&costs, ack.ServerNanos)
+	}
+	finish(&costs, start)
+	return deleted, costs, nil
+}

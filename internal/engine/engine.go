@@ -173,6 +173,13 @@ func (s *ShardedIndex) fanOut(fn func(i int) error) error {
 
 // Insert routes the entry to its shard. Entries for different shards can be
 // inserted concurrently without contending on a lock.
+//
+// Entry IDs must be unique across the whole engine, but the duplicate
+// check (mindex.ErrDuplicateID) runs only inside the routed shard: a
+// duplicate whose permutation routes to a different shard — the object
+// moved in pivot space since its first insert — is not detected and would
+// leave two live records. Use Update whenever an ID may already be
+// indexed; it retires old copies on every shard.
 func (s *ShardedIndex) Insert(e mindex.Entry) error {
 	if s.closed.Load() {
 		return errClosed
@@ -207,6 +214,140 @@ func (s *ShardedIndex) InsertBulk(entries []mindex.Entry) error {
 		}
 		return s.shards[i].InsertBulk(groups[i])
 	})
+}
+
+// Delete tombstones the referenced entries. Each reference carries the
+// entry's ID plus its permutation prefix, whose first element routes the
+// delete to the shard that stored the entry — exactly the pivot-space
+// metadata an insert reveals, and nothing more. References to unknown (or
+// already deleted) IDs are skipped; the count of entries actually deleted
+// is returned. When Config.AutoCompactFraction is set, shards whose dead
+// fraction crosses it are compacted in the same pass.
+func (s *ShardedIndex) Delete(refs []mindex.Entry) (int, error) {
+	if s.closed.Load() {
+		return 0, errClosed
+	}
+	groups := make([][]uint64, len(s.shards))
+	for _, ref := range refs {
+		i, err := s.route(ref.Perm)
+		if err != nil {
+			return 0, err
+		}
+		groups[i] = append(groups[i], ref.ID)
+	}
+	var deleted atomic.Int64
+	err := s.fanOut(func(i int) error {
+		if len(groups[i]) == 0 {
+			return nil
+		}
+		n, err := s.shards[i].Delete(groups[i])
+		if err != nil {
+			return err
+		}
+		deleted.Add(int64(n))
+		return s.maybeCompact(i)
+	})
+	return int(deleted.Load()), err
+}
+
+// DeleteIDs tombstones entries by bare ID, fanning the whole list out to
+// every shard (IDs unknown to a shard are ignored). Use Delete when the
+// permutations are at hand — it touches only the owning shards.
+func (s *ShardedIndex) DeleteIDs(ids []uint64) (int, error) {
+	if s.closed.Load() {
+		return 0, errClosed
+	}
+	var deleted atomic.Int64
+	err := s.fanOut(func(i int) error {
+		n, err := s.shards[i].Delete(ids)
+		if err != nil {
+			return err
+		}
+		deleted.Add(int64(n))
+		return s.maybeCompact(i)
+	})
+	return int(deleted.Load()), err
+}
+
+// Update replaces the entry carrying e.ID with e: the replacement is
+// upserted into its routed shard atomically (mindex.Index.Update holds
+// the shard lock across delete + insert, so within one shard no search
+// observes the entry absent and concurrent Updates serialize), and the
+// old record is then retired from every other shard — the object may have
+// moved in pivot space, landing the fresh entry elsewhere. An unknown ID
+// makes Update a plain insert. The replacement is fully validated before
+// anything is touched, and any failure leaves the previous record intact
+// (at worst old and new are briefly visible together while a reported
+// cleanup error is retried), so Update never destroys the entry it was
+// meant to replace. Concurrent Updates of the same ID whose replacements
+// route to different shards are not serialized against each other —
+// callers needing per-ID linearizability across shard moves must
+// serialize their own writers.
+func (s *ShardedIndex) Update(e mindex.Entry) error {
+	if s.closed.Load() {
+		return errClosed
+	}
+	i, err := s.route(e.Perm)
+	if err != nil {
+		return err
+	}
+	if err := s.shards[i].CheckEntry(e); err != nil {
+		return err
+	}
+	// Upsert the replacement first, then retire old copies on the other
+	// shards. A failure in the cleanup pass leaves the old copy briefly
+	// visible alongside the new one (and is reported) — transient
+	// duplication, never loss of the entry.
+	if err := s.shards[i].Update(e); err != nil {
+		return err
+	}
+	return s.fanOut(func(j int) error {
+		if j == i {
+			return nil
+		}
+		if _, err := s.shards[j].Delete([]uint64{e.ID}); err != nil {
+			return err
+		}
+		return s.maybeCompact(j)
+	})
+}
+
+// Compact compacts every shard: tombstoned entries are physically dropped
+// and cells that deletion left underfull are merged back into their
+// parents, shard by shard behind each shard's own lock. Afterwards each
+// shard is byte-identical to a fresh shard built from its surviving
+// entries (see mindex.Index.Compact).
+func (s *ShardedIndex) Compact() error {
+	return s.fanOut(func(i int) error { return s.shards[i].Compact() })
+}
+
+// maybeCompact applies the auto-compaction policy to one shard after a
+// delete pass: compact once tombstones reach AutoCompactFraction of the
+// shard's stored entries.
+func (s *ShardedIndex) maybeCompact(i int) error {
+	f := s.cfg.AutoCompactFraction
+	if f <= 0 {
+		return nil
+	}
+	sh := s.shards[i]
+	dead := sh.Dead()
+	if dead == 0 {
+		return nil
+	}
+	if float64(dead) >= f*float64(sh.Size()+dead) {
+		return sh.Compact()
+	}
+	return nil
+}
+
+// Dead returns the total number of tombstoned entries awaiting compaction
+// across all shards.
+func (s *ShardedIndex) Dead() int {
+	total := 0
+	for _, sh := range s.shards {
+		total += sh.Dead()
+	}
+	return total
 }
 
 // RangeByDists fans the precise range query out to every shard and
@@ -358,19 +499,36 @@ func (s *ShardedIndex) AllEntries() ([]mindex.Entry, error) {
 // TreeStats aggregates the per-shard cell-tree statistics: counts sum,
 // depth and bucket maxima take the max over shards.
 func (s *ShardedIndex) TreeStats() mindex.Stats {
-	var agg mindex.Stats
-	for _, sh := range s.shards {
-		st := sh.TreeStats()
-		agg.Entries += st.Entries
-		agg.Leaves += st.Leaves
-		agg.InnerNodes += st.InnerNodes
-		agg.TotalBucket += st.TotalBucket
-		agg.MaxDepth = max(agg.MaxDepth, st.MaxDepth)
-		agg.MaxBucket = max(agg.MaxBucket, st.MaxBucket)
-	}
-	return agg
+	return s.Stats().Total
 }
 
+// Stats reports the engine's live/dead entry counts and tree shape, both
+// aggregated and per shard (Shards[i] describes shard i).
+type Stats struct {
+	Total  mindex.Stats
+	Shards []mindex.Stats
+}
+
+// Stats collects per-shard tree statistics plus their aggregate — the
+// operational view of a mutable deployment (live entries, tombstones
+// awaiting compaction, bucket occupancy per shard). Each shard is walked
+// exactly once and Total is derived from the same snapshot, so Total
+// always equals the sum of Shards even under concurrent mutation.
+func (s *ShardedIndex) Stats() Stats {
+	out := Stats{Shards: make([]mindex.Stats, len(s.shards))}
+	for i, sh := range s.shards {
+		st := sh.TreeStats()
+		out.Shards[i] = st
+		out.Total.Entries += st.Entries
+		out.Total.Dead += st.Dead
+		out.Total.Leaves += st.Leaves
+		out.Total.InnerNodes += st.InnerNodes
+		out.Total.TotalBucket += st.TotalBucket
+		out.Total.MaxDepth = max(out.Total.MaxDepth, st.MaxDepth)
+		out.Total.MaxBucket = max(out.Total.MaxBucket, st.MaxBucket)
+	}
+	return out
+}
 
 // SaveSnapshot persists the engine to disk-backed snapshot files: a single
 // shard writes the pre-sharding format at path (fully compatible with

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"simcloud/internal/dataset"
@@ -581,5 +583,396 @@ func TestCloseRacingSearches(t *testing.T) {
 			t.Fatal(err)
 		}
 		wg.Wait()
+	}
+}
+
+// --- Mutability ---------------------------------------------------------
+
+// mutationLog tracks what the surviving index contents should be after an
+// interleaving of inserts, deletes and updates: records in arrival order,
+// each either alive or superseded.
+type mutationLog struct {
+	records []mindex.Entry
+	dead    []bool
+	alive   map[uint64]int // live ID -> index into records
+}
+
+func newMutationLog() *mutationLog {
+	return &mutationLog{alive: map[uint64]int{}}
+}
+
+func (l *mutationLog) insert(e mindex.Entry) {
+	l.records = append(l.records, e)
+	l.dead = append(l.dead, false)
+	l.alive[e.ID] = len(l.records) - 1
+}
+
+func (l *mutationLog) delete(id uint64) {
+	l.dead[l.alive[id]] = true
+	delete(l.alive, id)
+}
+
+func (l *mutationLog) update(e mindex.Entry) {
+	if at, ok := l.alive[e.ID]; ok {
+		l.dead[at] = true
+	}
+	l.insert(e)
+}
+
+// survivors returns the live records in arrival order — the exact insert
+// sequence a rebuilt reference index must replay.
+func (l *mutationLog) survivors() []mindex.Entry {
+	out := make([]mindex.Entry, 0, len(l.alive))
+	for i, e := range l.records {
+		if !l.dead[i] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func (l *mutationLog) randomLive(rng *rand.Rand) (uint64, bool) {
+	if len(l.alive) == 0 {
+		return 0, false
+	}
+	// Deterministic choice: pick the k-th smallest live ID.
+	ids := make([]uint64, 0, len(l.alive))
+	for id := range l.alive {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids[rng.IntN(len(ids))], true
+}
+
+// TestMutationEquivalence is the headline guarantee of the mutable index:
+// after any interleaving of inserts, deletes, updates and compactions —
+// ended by a full Compact — range candidate sets and ranked approximate
+// candidate lists are byte-identical to those of a fresh engine into which
+// only the surviving entries were inserted, in their original arrival
+// order. Exercised on 1 and 4 shards.
+func TestMutationEquivalence(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			w := newWorld(t, 21, 1600, 8)
+			rng := rand.New(rand.NewPCG(21, uint64(shards)))
+			eng, err := New(testCfg(shards))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+
+			log := newMutationLog()
+			next := 0
+			for step := 0; step < 2600 && next < len(w.entries); step++ {
+				switch p := rng.Float64(); {
+				case p < 0.55: // insert the next fresh entry
+					e := w.entries[next]
+					next++
+					if err := eng.Insert(e); err != nil {
+						t.Fatal(err)
+					}
+					log.insert(e)
+				case p < 0.80: // delete a random live entry, routed by its perm
+					id, ok := log.randomLive(rng)
+					if !ok {
+						continue
+					}
+					ref := mindex.Entry{ID: id, Perm: log.records[log.alive[id]].Perm}
+					n, err := eng.Delete([]mindex.Entry{ref})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if n != 1 {
+						t.Fatalf("step %d: deleted %d entries for a live ID", step, n)
+					}
+					log.delete(id)
+				case p < 0.92: // update: same ID, fresh pivot metadata (the object moved)
+					id, ok := log.randomLive(rng)
+					if !ok || next >= len(w.entries) {
+						continue
+					}
+					donor := w.entries[next]
+					next++
+					ne := mindex.Entry{ID: id, Perm: donor.Perm, Dists: donor.Dists}
+					if err := eng.Update(ne); err != nil {
+						t.Fatal(err)
+					}
+					log.update(ne)
+				default: // interleaved compaction
+					if err := eng.Compact(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if eng.Size() != len(log.alive) {
+					t.Fatalf("step %d: size = %d, want %d live", step, eng.Size(), len(log.alive))
+				}
+			}
+			if err := eng.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			if eng.Dead() != 0 {
+				t.Fatalf("dead = %d after final compact", eng.Dead())
+			}
+
+			fresh, err := New(testCfg(shards))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fresh.Close()
+			for _, e := range log.survivors() {
+				if err := fresh.Insert(e); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			if a, b := eng.TreeStats(), fresh.TreeStats(); a != b {
+				t.Fatalf("tree stats diverge:\n mutated %+v\n rebuilt %+v", a, b)
+			}
+			for qi, q := range w.queries {
+				qDists, aq := w.query(q)
+				for _, r := range []float64{2, 6, 1e9} {
+					got, err := eng.RangeByDists(qDists, r)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := fresh.RangeByDists(qDists, r)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("query %d: range(r=%g) diverges (%d vs %d candidates)", qi, r, len(got), len(want))
+					}
+				}
+				got, err := eng.ApproxCandidates(aq, 400)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := fresh.ApproxCandidates(aq, 400)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("query %d: approx candidate lists diverge", qi)
+				}
+				gotFC, err := eng.FirstCellCandidates(aq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantFC, err := fresh.FirstCellCandidates(aq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(gotFC, wantFC) {
+					t.Fatalf("query %d: first-cell candidates diverge", qi)
+				}
+			}
+		})
+	}
+}
+
+// TestMutationEquivalenceAutoCompact repeats a shorter interleaving with
+// the auto-compaction policy enabled: background shard compactions must
+// not change the final (explicitly compacted) state.
+func TestMutationEquivalenceAutoCompact(t *testing.T) {
+	w := newWorld(t, 22, 800, 4)
+	cfg := testCfg(4)
+	cfg.AutoCompactFraction = 0.2
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	rng := rand.New(rand.NewPCG(22, 5))
+	log := newMutationLog()
+	next := 0
+	for step := 0; step < 1200 && next < len(w.entries); step++ {
+		if rng.Float64() < 0.6 {
+			e := w.entries[next]
+			next++
+			if err := eng.Insert(e); err != nil {
+				t.Fatal(err)
+			}
+			log.insert(e)
+			continue
+		}
+		id, ok := log.randomLive(rng)
+		if !ok {
+			continue
+		}
+		ref := mindex.Entry{ID: id, Perm: log.records[log.alive[id]].Perm}
+		if _, err := eng.Delete([]mindex.Entry{ref}); err != nil {
+			t.Fatal(err)
+		}
+		log.delete(id)
+	}
+	if err := eng.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	for _, e := range log.survivors() {
+		if err := fresh.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a, b := eng.TreeStats(), fresh.TreeStats(); a != b {
+		t.Fatalf("tree stats diverge under auto-compaction:\n mutated %+v\n rebuilt %+v", a, b)
+	}
+	qDists, aq := w.query(w.queries[0])
+	got, err := eng.RangeByDists(qDists, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.RangeByDists(qDists, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("range candidates diverge under auto-compaction")
+	}
+	gotA, err := eng.ApproxCandidates(aq, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA, err := fresh.ApproxCandidates(aq, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotA, wantA) {
+		t.Fatal("approx candidates diverge under auto-compaction")
+	}
+}
+
+// TestMutationRaceHammer drives concurrent inserts, routed deletes,
+// compactions and searches against a sharded engine (run under -race in
+// CI). Each mutator owns a disjoint ID range, so the final live count is
+// exactly checkable.
+func TestMutationRaceHammer(t *testing.T) {
+	w := newWorld(t, 23, 2000, 4)
+	eng, err := New(testCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	const mutators = 4
+	perMutator := len(w.entries) / mutators
+	var inserted, deleted atomic.Int64
+	var mutWg, searchWg sync.WaitGroup
+	stop := make(chan struct{})
+	for m := range mutators {
+		mutWg.Add(1)
+		go func() {
+			defer mutWg.Done()
+			rng := rand.New(rand.NewPCG(23, uint64(m)))
+			own := w.entries[m*perMutator : (m+1)*perMutator]
+			live := make([]mindex.Entry, 0, len(own))
+			for _, e := range own {
+				if err := eng.Insert(e); err != nil {
+					t.Error(err)
+					return
+				}
+				inserted.Add(1)
+				live = append(live, e)
+				// Occasionally delete one of this mutator's own entries.
+				if len(live) > 10 && rng.Float64() < 0.3 {
+					at := rng.IntN(len(live))
+					victim := live[at]
+					live = append(live[:at], live[at+1:]...)
+					n, err := eng.Delete([]mindex.Entry{{ID: victim.ID, Perm: victim.Perm}})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					deleted.Add(int64(n))
+				}
+				if rng.Float64() < 0.01 {
+					if err := eng.Compact(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Searchers hammer all query paths while the mutators run.
+	for r := range 3 {
+		searchWg.Add(1)
+		go func() {
+			defer searchWg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				qDists, aq := w.query(w.queries[(r+i)%len(w.queries)])
+				if _, err := eng.RangeByDists(qDists, 5); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := eng.ApproxCandidates(aq, 100); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// Wait for the mutators, then stop the searchers.
+	mutWg.Wait()
+	close(stop)
+	searchWg.Wait()
+
+	if err := eng.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	want := int(inserted.Load() - deleted.Load())
+	if eng.Size() != want {
+		t.Fatalf("final size = %d, want %d (%d inserted, %d deleted)",
+			eng.Size(), want, inserted.Load(), deleted.Load())
+	}
+	if eng.Dead() != 0 {
+		t.Fatalf("dead = %d after final compact", eng.Dead())
+	}
+}
+
+// TestUpdateRejectsInvalidReplacementWithoutDataLoss: an Update whose
+// replacement entry fails validation must leave the existing record
+// searchable — the old record may only be tombstoned after the new one is
+// known to be insertable.
+func TestUpdateRejectsInvalidReplacementWithoutDataLoss(t *testing.T) {
+	w := newWorld(t, 24, 300, 2)
+	eng, err := New(testCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.InsertBulk(w.entries); err != nil {
+		t.Fatal(err)
+	}
+	victim := w.entries[0]
+	// Valid routing prefix, but shorter than MaxLevel: route() passes,
+	// shard insert validation must fail — before the delete happens.
+	bad := mindex.Entry{ID: victim.ID, Perm: victim.Perm[:1]}
+	if err := eng.Update(bad); err == nil {
+		t.Fatal("invalid update accepted")
+	}
+	if eng.Size() != len(w.entries) {
+		t.Fatalf("size = %d after failed update, want %d", eng.Size(), len(w.entries))
+	}
+	qDists, _ := w.query(w.ds.Objects[0].Vec)
+	cands, err := eng.RangeByDists(qDists, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range cands {
+		found = found || e.ID == victim.ID
+	}
+	if !found {
+		t.Fatal("failed update destroyed the existing entry")
 	}
 }

@@ -23,6 +23,7 @@ package mindex
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"simcloud/internal/metric"
@@ -103,6 +104,11 @@ type Config struct {
 	// corresponding cells of an unsharded tree, which keeps the cross-shard
 	// promise merge faithful to Algorithm 4's global cell ordering.
 	EagerRootSplit bool
+	// AutoCompactFraction, when positive, lets internal/engine compact a
+	// shard as soon as its tombstoned entries reach this fraction of the
+	// stored (live + dead) entries. A bare Index never compacts on its own;
+	// 0 disables the policy everywhere.
+	AutoCompactFraction float64
 }
 
 func (c Config) validate() error {
@@ -130,6 +136,9 @@ func (c Config) validate() error {
 	if c.Shards < 0 || c.Shards > MaxShards {
 		return fmt.Errorf("mindex: Shards must be in 0..%d, got %d", MaxShards, c.Shards)
 	}
+	if c.AutoCompactFraction < 0 || c.AutoCompactFraction >= 1 {
+		return fmt.Errorf("mindex: AutoCompactFraction must be in [0,1), got %g", c.AutoCompactFraction)
+	}
 	return nil
 }
 
@@ -153,13 +162,42 @@ type Entry struct {
 // Index is a thread-safe M-Index over Entries. All operations use only
 // pivot-space information carried by the entries and queries; see the
 // package comment.
+//
+// The index is mutable: Delete marks entries dead through an ID-keyed
+// tombstone set (searches skip them immediately), Update replaces an
+// entry's record, and Compact physically drops tombstoned entries while
+// collapsing subtrees that deletion left underfull. Entry IDs must be
+// unique among live entries; Insert rejects a duplicate of a live ID and
+// physically purges the dead twin when re-inserting a tombstoned one.
 type Index struct {
 	mu      sync.RWMutex
 	cfg     Config
 	store   BucketStore
 	root    *node
 	weights []float64
-	size    int
+	size    int // live entries
+	dead    int // tombstoned entries still physically stored
+
+	// tombstones holds the IDs of deleted-but-not-yet-compacted entries.
+	tombstones map[uint64]struct{}
+	// loc maps every physically stored entry (live or tombstoned) to its
+	// leaf cell and arrival sequence number. nil after a snapshot restore
+	// until the first mutation rebuilds it from the buckets (queries never
+	// need it).
+	loc     map[uint64]entryLoc
+	nextSeq uint64
+	// dirty records that deletions or updates have driven the tree away
+	// from the canonical shape a fresh build of the surviving entries would
+	// have; Compact restores it.
+	dirty bool
+}
+
+// entryLoc locates one stored entry: its leaf cell and the monotonically
+// increasing arrival sequence number that Compact uses to preserve
+// insertion order when it rebuilds buckets.
+type entryLoc struct {
+	leaf *node
+	seq  uint64
 }
 
 // node is a cell of the dynamic Voronoi cell tree. A node is either a leaf
@@ -167,16 +205,23 @@ type Index struct {
 // permutation element.
 type node struct {
 	prefix   []int32
+	parent   *node           // nil for the root
 	children map[int32]*node // nil for leaves
 	bucket   BucketID
-	count    int // objects in this subtree
+	count    int // objects in this subtree, tombstoned included
+	dead     int // tombstoned objects in this subtree
 
 	// Ball bounds: min/max distance from subtree objects to the cell's
 	// defining pivot (the last prefix element). Valid only while every
-	// inserted entry carried a distance vector.
+	// inserted entry carried a distance vector. Deletions leave the bounds
+	// untouched — they then cover a superset of the live entries, which
+	// keeps pruning correct (conservative) until Compact recomputes them.
 	rmin, rmax  float64
 	boundsValid bool
 }
+
+// live returns the number of non-tombstoned entries in the subtree.
+func (n *node) live() int { return n.count - n.dead }
 
 func (n *node) isLeaf() bool { return n.children == nil }
 
@@ -207,9 +252,11 @@ func New(cfg Config) (*Index, error) {
 		}
 	}
 	idx := &Index{
-		cfg:     cfg,
-		store:   store,
-		weights: pivot.FootruleWeights(cfg.MaxLevel),
+		cfg:        cfg,
+		store:      store,
+		weights:    pivot.FootruleWeights(cfg.MaxLevel),
+		tombstones: make(map[uint64]struct{}),
+		loc:        make(map[uint64]entryLoc),
 	}
 	rootBucket, err := store.Create()
 	if err != nil {
@@ -222,11 +269,19 @@ func New(cfg Config) (*Index, error) {
 // Config returns the index configuration.
 func (ix *Index) Config() Config { return ix.cfg }
 
-// Size returns the number of indexed entries.
+// Size returns the number of live (non-tombstoned) indexed entries.
 func (ix *Index) Size() int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	return ix.size
+}
+
+// Dead returns the number of tombstoned entries still physically stored
+// (they disappear on Compact).
+func (ix *Index) Dead() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.dead
 }
 
 // Close releases the bucket storage.
@@ -236,10 +291,15 @@ func (ix *Index) Close() error {
 	return ix.store.Close()
 }
 
-// Insert adds an entry to the index — the server side of the paper's insert
-// operation (Figure 4): locate the leaf cell of the entry's permutation
-// prefix, store the entry, split the leaf if it overflows.
-func (ix *Index) Insert(e Entry) error {
+// ErrDuplicateID reports an Insert whose entry ID is already live in the
+// index. Use Update to replace an existing entry.
+var ErrDuplicateID = errors.New("mindex: entry ID already indexed")
+
+// CheckEntry validates an entry's pivot-space metadata against the index
+// configuration without mutating anything — the same checks Insert
+// applies. Update runs it before tombstoning the entry it replaces, so an
+// invalid replacement cannot destroy the existing record.
+func (ix *Index) CheckEntry(e Entry) error {
 	if len(e.Perm) < ix.cfg.MaxLevel {
 		return fmt.Errorf("mindex: entry permutation has %d elements, need at least MaxLevel=%d",
 			len(e.Perm), ix.cfg.MaxLevel)
@@ -252,8 +312,38 @@ func (ix *Index) Insert(e Entry) error {
 	if e.Dists != nil && len(e.Dists) != ix.cfg.NumPivots {
 		return fmt.Errorf("mindex: entry has %d pivot distances, want %d", len(e.Dists), ix.cfg.NumPivots)
 	}
+	return nil
+}
+
+// Insert adds an entry to the index — the server side of the paper's insert
+// operation (Figure 4): locate the leaf cell of the entry's permutation
+// prefix, store the entry, split the leaf if it overflows. Inserting an ID
+// that is live fails with ErrDuplicateID; inserting an ID that is
+// tombstoned first purges the dead record, so at most one physical entry
+// ever carries a given ID.
+func (ix *Index) Insert(e Entry) error {
+	if err := ix.CheckEntry(e); err != nil {
+		return err
+	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	return ix.insertLocked(e)
+}
+
+// insertLocked is the body of Insert once the entry is validated and the
+// write lock is held (shared with Update).
+func (ix *Index) insertLocked(e Entry) error {
+	if err := ix.ensureLoc(); err != nil {
+		return err
+	}
+	if _, ok := ix.loc[e.ID]; ok {
+		if _, gone := ix.tombstones[e.ID]; !gone {
+			return fmt.Errorf("%w: %d", ErrDuplicateID, e.ID)
+		}
+		if err := ix.purgeLocked(e.ID); err != nil {
+			return err
+		}
+	}
 	if err := ix.insertAt(ix.root, e); err != nil {
 		return err
 	}
@@ -285,6 +375,7 @@ func (ix *Index) insertAt(n *node, e Entry) error {
 			}
 			child = &node{
 				prefix:      appendPrefix(n.prefix, key),
+				parent:      n,
 				bucket:      b,
 				boundsValid: true,
 			}
@@ -301,6 +392,8 @@ func (ix *Index) insertAt(n *node, e Entry) error {
 	if err := ix.store.Append(n.bucket, e); err != nil {
 		return err
 	}
+	ix.loc[e.ID] = entryLoc{leaf: n, seq: ix.nextSeq}
+	ix.nextSeq++
 	overflow := n.count > ix.cfg.BucketCapacity ||
 		(ix.cfg.EagerRootSplit && n.level() == 0)
 	if overflow && n.level() < ix.cfg.MaxLevel {
@@ -357,15 +450,23 @@ func (ix *Index) split(n *node) error {
 			}
 			child = &node{
 				prefix:      appendPrefix(n.prefix, key),
+				parent:      n,
 				bucket:      b,
 				boundsValid: true,
 			}
 			n.children[key] = child
 		}
 		child.count++
+		if _, gone := ix.tombstones[e.ID]; gone {
+			child.dead++
+		}
 		child.updateBounds(e)
 		if err := ix.store.Append(child.bucket, e); err != nil {
 			return err
+		}
+		if l, ok := ix.loc[e.ID]; ok {
+			l.leaf = child
+			ix.loc[e.ID] = l
 		}
 	}
 	// A pathological split can put everything into one child (all objects
@@ -388,9 +489,286 @@ func appendPrefix(prefix []int32, key int32) []int32 {
 	return out
 }
 
-// Stats summarizes the tree shape, used by tooling and tests.
+// sortedChildKeys returns the node's child keys in ascending order — the
+// deterministic traversal order used by snapshots, the loc rebuild and
+// Compact (map iteration order must never leak into persisted or rebuilt
+// state).
+func sortedChildKeys(n *node) []int32 {
+	keys := make([]int32, 0, len(n.children))
+	for k := range n.children {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// ensureLoc builds the entry-location map when it is missing (after a
+// snapshot restore). Queries never need it; the first mutation pays one
+// walk over all buckets. Sequence numbers are assigned in deterministic
+// tree order (preorder, children by ascending key, bucket order), so a
+// later Compact rebuilds restored entries in that same order. Callers hold
+// the write lock.
+func (ix *Index) ensureLoc() error {
+	if ix.loc != nil {
+		return nil
+	}
+	loc := make(map[uint64]entryLoc, ix.size+ix.dead)
+	var walk func(n *node) error
+	walk = func(n *node) error {
+		if n.isLeaf() {
+			entries, err := ix.store.Load(n.bucket)
+			if err != nil {
+				return err
+			}
+			for _, e := range entries {
+				loc[e.ID] = entryLoc{leaf: n, seq: ix.nextSeq}
+				ix.nextSeq++
+			}
+			return nil
+		}
+		for _, k := range sortedChildKeys(n) {
+			if err := walk(n.children[k]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(ix.root); err != nil {
+		return err
+	}
+	ix.loc = loc
+	return nil
+}
+
+// purgeLocked physically removes the tombstoned entry id from its bucket
+// and repairs the count/dead bookkeeping along its path. Callers hold the
+// write lock and have verified the tombstone.
+func (ix *Index) purgeLocked(id uint64) error {
+	l := ix.loc[id]
+	entries, err := ix.store.Load(l.leaf.bucket)
+	if err != nil {
+		return err
+	}
+	kept := entries[:0]
+	removed := 0
+	for _, e := range entries {
+		if e.ID == id {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	if removed > 0 {
+		if err := ix.store.Replace(l.leaf.bucket, kept); err != nil {
+			return err
+		}
+		for n := l.leaf; n != nil; n = n.parent {
+			n.count -= removed
+			n.dead -= removed
+		}
+		ix.dead -= removed
+	}
+	delete(ix.tombstones, id)
+	delete(ix.loc, id)
+	ix.dirty = true
+	return nil
+}
+
+// Delete tombstones the entries with the given IDs: they vanish from every
+// search immediately, and Compact later reclaims their storage. IDs that
+// are unknown or already tombstoned are skipped; the count of entries
+// actually deleted is returned.
+func (ix *Index) Delete(ids []uint64) (int, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.deleteLocked(ids)
+}
+
+// deleteLocked is the body of Delete once the write lock is held (shared
+// with Update).
+func (ix *Index) deleteLocked(ids []uint64) (int, error) {
+	if err := ix.ensureLoc(); err != nil {
+		return 0, err
+	}
+	deleted := 0
+	for _, id := range ids {
+		l, ok := ix.loc[id]
+		if !ok {
+			continue
+		}
+		if _, gone := ix.tombstones[id]; gone {
+			continue
+		}
+		ix.tombstones[id] = struct{}{}
+		for n := l.leaf; n != nil; n = n.parent {
+			n.dead++
+		}
+		ix.size--
+		ix.dead++
+		ix.dirty = true
+		deleted++
+	}
+	return deleted, nil
+}
+
+// Update replaces the entry carrying e.ID with e — the delete + re-insert
+// of a mutable similarity cloud, performed atomically under one lock
+// acquisition: no search ever observes the entry absent, and concurrent
+// Updates of the same ID serialize instead of tripping over each other's
+// tombstones. The old record (which may live in a different cell when the
+// object moved in pivot space) is tombstoned and physically purged before
+// the fresh entry is filed; an unknown ID makes Update a plain insert.
+// The replacement is validated first, so an invalid e leaves the existing
+// record untouched.
+func (ix *Index) Update(e Entry) error {
+	if err := ix.CheckEntry(e); err != nil {
+		return err
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	tombstoned, err := ix.deleteLocked([]uint64{e.ID})
+	if err != nil {
+		return err
+	}
+	if err := ix.insertLocked(e); err != nil {
+		// Resurrect the old record when it is still physically present
+		// (the tombstone is pure bookkeeping until a purge or compaction
+		// touches the bucket), so a failed insert does not destroy the
+		// entry it was meant to replace.
+		if tombstoned == 1 {
+			if l, ok := ix.loc[e.ID]; ok {
+				if _, gone := ix.tombstones[e.ID]; gone {
+					delete(ix.tombstones, e.ID)
+					for n := l.leaf; n != nil; n = n.parent {
+						n.dead--
+					}
+					ix.size++
+					ix.dead--
+				}
+			}
+		}
+		return err
+	}
+	return nil
+}
+
+// Compact physically drops every tombstoned entry and merges underfull
+// cells back into their parents by rebuilding the cell tree from the
+// surviving entries in arrival order. The post-compaction index is
+// byte-identical — tree shape, ball bounds, bucket order, and therefore
+// every range candidate set and ranked approximate candidate list — to a
+// fresh index into which only the survivors were inserted (in their
+// original arrival order). A no-op on an index untouched by deletions.
+func (ix *Index) Compact() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if !ix.dirty {
+		return nil
+	}
+	if err := ix.ensureLoc(); err != nil {
+		return err
+	}
+	// Gather the survivors without touching the live tree, so any error
+	// up to the final bucket swap leaves the pre-compact index intact.
+	type seqEntry struct {
+		e   Entry
+		seq uint64
+	}
+	live := make([]seqEntry, 0, ix.size)
+	var oldBuckets []BucketID
+	var gather func(n *node) error
+	gather = func(n *node) error {
+		if n.isLeaf() {
+			oldBuckets = append(oldBuckets, n.bucket)
+			entries, err := ix.store.Load(n.bucket)
+			if err != nil {
+				return err
+			}
+			for _, e := range entries {
+				if _, gone := ix.tombstones[e.ID]; gone {
+					continue
+				}
+				live = append(live, seqEntry{e: e, seq: ix.loc[e.ID].seq})
+			}
+			return nil
+		}
+		for _, c := range n.children {
+			if err := gather(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := gather(ix.root); err != nil {
+		return err
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].seq < live[j].seq })
+
+	// Rebuild into fresh buckets. On any failure the previous tree,
+	// tombstones and bookkeeping are restored and the partially built
+	// buckets are released (best effort) — the index stays consistent.
+	oldRoot, oldLoc, oldTombstones := ix.root, ix.loc, ix.tombstones
+	oldSize, oldDead := ix.size, ix.dead
+	rollback := func() {
+		ix.freeSubtreeBuckets(ix.root)
+		ix.root, ix.loc, ix.tombstones = oldRoot, oldLoc, oldTombstones
+		ix.size, ix.dead = oldSize, oldDead
+	}
+	rootBucket, err := ix.store.Create()
+	if err != nil {
+		return err
+	}
+	ix.root = &node{bucket: rootBucket, rmin: 0, rmax: 0, boundsValid: true}
+	ix.tombstones = make(map[uint64]struct{})
+	ix.loc = make(map[uint64]entryLoc, len(live))
+	ix.size = 0
+	ix.dead = 0
+	for _, se := range live {
+		if err := ix.insertAt(ix.root, se.e); err != nil {
+			rollback()
+			return err
+		}
+		ix.size++
+	}
+	ix.dirty = false
+	// Only now retire the old buckets. A failing Free leaks the bucket
+	// but the rebuilt index is already fully consistent, so the error is
+	// reported without rolling anything back.
+	var firstErr error
+	for _, b := range oldBuckets {
+		if err := ix.store.Free(b); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// freeSubtreeBuckets releases every bucket of a partially built subtree
+// during a Compact rollback; errors are ignored (best effort on an
+// already-failing path).
+func (ix *Index) freeSubtreeBuckets(n *node) {
+	if n == nil {
+		return
+	}
+	if n.isLeaf() {
+		ix.store.Free(n.bucket)
+		return
+	}
+	for _, c := range n.children {
+		ix.freeSubtreeBuckets(c)
+	}
+}
+
+// Stats summarizes the tree shape, used by tooling and tests. Entries
+// counts live entries only; Dead counts tombstoned entries still stored
+// (bucket figures include them until Compact reclaims the space).
 type Stats struct {
 	Entries     int
+	Dead        int
 	Leaves      int
 	InnerNodes  int
 	MaxDepth    int
@@ -404,6 +782,7 @@ func (ix *Index) TreeStats() Stats {
 	defer ix.mu.RUnlock()
 	var s Stats
 	s.Entries = ix.size
+	s.Dead = ix.dead
 	var walk func(n *node)
 	walk = func(n *node) {
 		if n.level() > s.MaxDepth {

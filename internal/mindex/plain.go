@@ -153,6 +153,9 @@ func (p *Plain) KNN(q metric.Vector, k int) ([]Result, error) {
 				return nil, err
 			}
 			for _, e := range entries {
+				if _, gone := ix.tombstones[e.ID]; gone {
+					continue
+				}
 				if e.Dists != nil && pivot.LowerBound(qDists, e.Dists) > radius {
 					continue
 				}
@@ -225,8 +228,8 @@ func (p *Plain) ApproxKNN(q metric.Vector, k, candSize int) ([]Result, error) {
 	return sortResults(out, k), nil
 }
 
-// AllEntries returns every stored entry (used by the trivial download-all
-// baseline and diagnostics). The order is unspecified.
+// AllEntries returns every live stored entry (used by the trivial
+// download-all baseline and diagnostics). The order is unspecified.
 func (ix *Index) AllEntries() ([]Entry, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -238,7 +241,7 @@ func (ix *Index) AllEntries() ([]Entry, error) {
 			if err != nil {
 				return err
 			}
-			out = append(out, entries...)
+			out = append(out, ix.liveOnly(entries)...)
 			return nil
 		}
 		for _, c := range n.children {
@@ -269,6 +272,9 @@ func (p *Plain) BruteForceKNN(q metric.Vector, k int) ([]Result, error) {
 				return err
 			}
 			for _, e := range entries {
+				if _, gone := ix.tombstones[e.ID]; gone {
+					continue
+				}
 				out = append(out, Result{ID: e.ID, Dist: p.Pivots.Dist.Dist(q, e.Vec), Vec: e.Vec})
 			}
 			return nil

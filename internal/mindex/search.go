@@ -31,11 +31,17 @@ func (ix *Index) RangeByDists(qDists []float64, r float64) ([]Entry, error) {
 	var visit func(n *node) error
 	visit = func(n *node) error {
 		if n.isLeaf() {
+			if n.live() == 0 {
+				return nil
+			}
 			entries, err := ix.store.Load(n.bucket)
 			if err != nil {
 				return err
 			}
 			for _, e := range entries {
+				if _, gone := ix.tombstones[e.ID]; gone {
+					continue
+				}
 				// Pivot filtering (Algorithm 3, lines 5–7): discard when the
 				// triangle-inequality lower bound exceeds the radius.
 				if e.Dists != nil && pivot.LowerBound(qDists, e.Dists) > r {
@@ -45,7 +51,12 @@ func (ix *Index) RangeByDists(qDists []float64, r float64) ([]Entry, error) {
 			}
 			return nil
 		}
-		for key, child := range n.children {
+		// Children are visited in ascending key order, so the candidate
+		// list is fully deterministic (map iteration order must not leak
+		// into results — it would break response reproducibility and the
+		// compaction equivalence guarantee).
+		for _, key := range sortedChildKeys(n) {
+			child := n.children[key]
 			if ix.pruneCell(child, key, n, qDists, r) {
 				continue
 			}
@@ -182,9 +193,9 @@ func (ix *Index) validateApprox(q ApproxQuery) error {
 	return nil
 }
 
-// approxCollect visits leaf cells in promise order and emits their entries
-// (with the source cell's promise and prefix) until at least candSize have
-// been emitted — the traversal shared by ApproxCandidates and
+// approxCollect visits leaf cells in promise order and emits their live
+// entries (with the source cell's promise and prefix) until at least
+// candSize have been emitted — the traversal shared by ApproxCandidates and
 // ApproxCandidatesRanked. The caller holds no lock.
 func (ix *Index) approxCollect(q ApproxQuery, candSize int,
 	emit func(entries []Entry, promise float64, prefix []int32)) error {
@@ -196,10 +207,14 @@ func (ix *Index) approxCollect(q ApproxQuery, candSize int,
 	for pq.Len() > 0 && emitted < candSize {
 		item := heap.Pop(pq).(rankedNode)
 		if item.n.isLeaf() {
+			if item.n.live() == 0 {
+				continue
+			}
 			entries, err := ix.store.Load(item.n.bucket)
 			if err != nil {
 				return err
 			}
+			entries = ix.liveOnly(entries)
 			emit(entries, item.promise, item.n.prefix)
 			emitted += len(entries)
 			continue
@@ -209,6 +224,23 @@ func (ix *Index) approxCollect(q ApproxQuery, candSize int,
 		}
 	}
 	return nil
+}
+
+// liveOnly filters tombstoned entries out of a freshly loaded bucket
+// (in place — Load returns a private copy). With no tombstones pending it
+// returns the slice untouched.
+func (ix *Index) liveOnly(entries []Entry) []Entry {
+	if len(ix.tombstones) == 0 {
+		return entries
+	}
+	out := entries[:0]
+	for _, e := range entries {
+		if _, gone := ix.tombstones[e.ID]; gone {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
 }
 
 // ApproxCandidates evaluates the server side of the approximate k-NN query
@@ -305,11 +337,14 @@ func (ix *Index) FirstCellRanked(q ApproxQuery) ([]Entry, float64, []int32, erro
 	for pq.Len() > 0 {
 		item := heap.Pop(pq).(rankedNode)
 		if item.n.isLeaf() {
-			if item.n.count == 0 {
+			if item.n.live() == 0 {
 				continue // skip empty cells; the experiment wants a non-empty one
 			}
 			entries, err := ix.store.Load(item.n.bucket)
-			return entries, item.promise, item.n.prefix, err
+			if err != nil {
+				return nil, 0, nil, err
+			}
+			return ix.liveOnly(entries), item.promise, item.n.prefix, nil
 		}
 		for _, child := range item.n.children {
 			heap.Push(pq, rankedNode{n: child, promise: ix.promise(child, q)})

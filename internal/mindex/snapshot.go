@@ -8,6 +8,8 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"simcloud/internal/pivot"
 )
@@ -16,17 +18,22 @@ import (
 // small metadata file and reattach to its bucket directory after a restart,
 // so an outsourced deployment does not re-ingest the collection. Bucket
 // payloads already live in the DiskStore directory; the snapshot holds the
-// tree shape, per-node bounds and per-bucket entry counts.
+// tree shape, per-node bounds, per-bucket entry counts, and — since
+// version 2 — the tombstone set of deleted-but-not-compacted entries.
 //
 // Snapshot file format (little endian):
 //
 //	magic    [8]byte "SIMCSNAP"
-//	version  uint8 (1)
+//	version  uint8 (1 or 2)
 //	numPivots, maxLevel, bucketCapacity uint32
 //	ranking  uint8
-//	size     uint64  (total entries)
+//	size     uint64  (live entries)
 //	nextBkt  uint64  (DiskStore allocation cursor)
+//	v2 only: dirty uint8 | deadCount uint64 | tombstoned IDs uint64 × deadCount
 //	tree     preorder node records (see writeNode)
+//
+// Version 1 files (written before the index became mutable) load as
+// tombstone-free indexes.
 
 var snapMagic = [8]byte{'S', 'I', 'M', 'C', 'S', 'N', 'A', 'P'}
 
@@ -35,6 +42,8 @@ var ErrSnapshot = errors.New("mindex: invalid snapshot")
 
 // SaveSnapshot writes the index metadata to path. Only disk-backed indexes
 // can be snapshotted — a memory store loses its buckets with the process.
+// The file is written to a temporary sibling and renamed into place, so an
+// interrupted save never truncates an existing snapshot.
 func (ix *Index) SaveSnapshot(path string) error {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -45,6 +54,26 @@ func (ix *Index) SaveSnapshot(path string) error {
 	if err := ds.Sync(); err != nil {
 		return err
 	}
+	tmp := path + ".tmp"
+	if err := ix.writeSnapshot(tmp, ds); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Persist the rename itself: without the directory fsync a crash can
+	// still forget that the new file replaced the old one.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		syncErr := dir.Sync()
+		dir.Close()
+		return syncErr
+	}
+	return nil
+}
+
+func (ix *Index) writeSnapshot(path string, ds *DiskStore) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -54,14 +83,29 @@ func (ix *Index) SaveSnapshot(path string) error {
 		f.Close()
 		return err
 	}
-	hdr := make([]byte, 0, 64)
-	hdr = append(hdr, 1) // version
+	hdr := make([]byte, 0, 64+8*len(ix.tombstones))
+	hdr = append(hdr, 2) // version
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(ix.cfg.NumPivots))
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(ix.cfg.MaxLevel))
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(ix.cfg.BucketCapacity))
 	hdr = append(hdr, byte(ix.cfg.Ranking))
 	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(ix.size))
 	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(ds.NextID()))
+	dirty := byte(0)
+	if ix.dirty {
+		dirty = 1
+	}
+	hdr = append(hdr, dirty)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(ix.tombstones)))
+	// Deterministic tombstone order: ascending ID.
+	dead := make([]uint64, 0, len(ix.tombstones))
+	for id := range ix.tombstones {
+		dead = append(dead, id)
+	}
+	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+	for _, id := range dead {
+		hdr = binary.LittleEndian.AppendUint64(hdr, id)
+	}
 	if _, err := w.Write(hdr); err != nil {
 		f.Close()
 		return err
@@ -74,6 +118,13 @@ func (ix *Index) SaveSnapshot(path string) error {
 		f.Close()
 		return err
 	}
+	// The data must be on stable storage before the caller renames this
+	// file over the previous snapshot — otherwise a power cut can replace
+	// the only good snapshot with a truncated one.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
 	return f.Close()
 }
 
@@ -82,6 +133,7 @@ func (ix *Index) SaveSnapshot(path string) error {
 //	prefixLen uint16 | prefix int32s
 //	kind      uint8  (0 internal, 1 leaf)
 //	count     uint32
+//	dead      uint32 (version 2 only)
 //	rmin, rmax float64 | boundsValid uint8
 //	leaf:     bucket uint64
 //	internal: childCount uint16 | children...
@@ -97,6 +149,7 @@ func writeNode(w io.Writer, n *node) error {
 	}
 	buf = append(buf, kind)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(n.count))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n.dead))
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(n.rmin))
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(n.rmax))
 	valid := byte(0)
@@ -114,16 +167,7 @@ func writeNode(w io.Writer, n *node) error {
 		return err
 	}
 	// Deterministic child order: ascending key.
-	keys := make([]int32, 0, len(n.children))
-	for k := range n.children {
-		keys = append(keys, k)
-	}
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
-	for _, k := range keys {
+	for _, k := range sortedChildKeys(n) {
 		if err := writeNode(w, n.children[k]); err != nil {
 			return err
 		}
@@ -151,8 +195,9 @@ func LoadSnapshot(cfg Config, path string) (*Index, error) {
 	if magic != snapMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrSnapshot)
 	}
-	if v := r.u8(); v != 1 {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrSnapshot, v)
+	version := r.u8()
+	if version != 1 && version != 2 {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrSnapshot, version)
 	}
 	numPivots := int(r.u32())
 	maxLevel := int(r.u32())
@@ -160,6 +205,21 @@ func LoadSnapshot(cfg Config, path string) (*Index, error) {
 	ranking := RankStrategy(r.u8())
 	size := int(r.u64())
 	next := BucketID(r.u64())
+	dirty := false
+	tombstones := make(map[uint64]struct{})
+	if version == 2 {
+		dirty = r.u8() == 1
+		deadCount := int(r.u64())
+		if r.err != nil || deadCount < 0 || deadCount > len(r.buf)/8 {
+			return nil, fmt.Errorf("%w: implausible tombstone count", ErrSnapshot)
+		}
+		for range deadCount {
+			tombstones[r.u64()] = struct{}{}
+		}
+		if len(tombstones) != deadCount {
+			return nil, fmt.Errorf("%w: duplicate tombstone IDs", ErrSnapshot)
+		}
+	}
 	if r.err != nil {
 		return nil, fmt.Errorf("%w: truncated header", ErrSnapshot)
 	}
@@ -168,23 +228,31 @@ func LoadSnapshot(cfg Config, path string) (*Index, error) {
 		return nil, fmt.Errorf("%w: snapshot parameters (pivots=%d level=%d bucket=%d ranking=%v) do not match config",
 			ErrSnapshot, numPivots, maxLevel, bucketCap, ranking)
 	}
-	root, counts, err := readNode(r, 0)
+	root, counts, err := readNode(r, 0, int(version))
 	if err != nil {
 		return nil, err
 	}
 	if r.err != nil || len(r.buf) != 0 {
 		return nil, fmt.Errorf("%w: trailing or missing bytes", ErrSnapshot)
 	}
+	if root.dead != len(tombstones) || root.count != size+root.dead {
+		return nil, fmt.Errorf("%w: entry counts disagree (tree %d/%d dead, header %d live + %d tombstones)",
+			ErrSnapshot, root.count, root.dead, size, len(tombstones))
+	}
 	store, err := ReopenDiskStore(cfg.DiskPath, counts, next)
 	if err != nil {
 		return nil, err
 	}
 	ix := &Index{
-		cfg:     cfg,
-		store:   store,
-		root:    root,
-		weights: pivot.FootruleWeights(cfg.MaxLevel),
-		size:    size,
+		cfg:        cfg,
+		store:      store,
+		root:       root,
+		weights:    pivot.FootruleWeights(cfg.MaxLevel),
+		size:       size,
+		dead:       len(tombstones),
+		tombstones: tombstones,
+		// loc stays nil: the first mutation rebuilds it from the buckets.
+		dirty: dirty,
 	}
 	return ix, nil
 }
@@ -214,7 +282,7 @@ func (r *snapReader) f64() float64 {
 
 const maxSnapshotDepth = 1 << 10
 
-func readNode(r *snapReader, depth int) (*node, map[BucketID]int, error) {
+func readNode(r *snapReader, depth, version int) (*node, map[BucketID]int, error) {
 	if depth > maxSnapshotDepth {
 		return nil, nil, fmt.Errorf("%w: tree deeper than %d", ErrSnapshot, maxSnapshotDepth)
 	}
@@ -228,13 +296,20 @@ func readNode(r *snapReader, depth int) (*node, map[BucketID]int, error) {
 	}
 	kind := r.u8()
 	count := int(r.u32())
+	dead := 0
+	if version >= 2 {
+		dead = int(r.u32())
+	}
 	rmin := r.f64()
 	rmax := r.f64()
 	valid := r.u8() == 1
 	if r.err != nil {
 		return nil, nil, fmt.Errorf("%w: truncated node", ErrSnapshot)
 	}
-	n := &node{prefix: prefix, count: count, rmin: rmin, rmax: rmax, boundsValid: valid}
+	if dead > count {
+		return nil, nil, fmt.Errorf("%w: node with %d dead of %d entries", ErrSnapshot, dead, count)
+	}
+	n := &node{prefix: prefix, count: count, dead: dead, rmin: rmin, rmax: rmax, boundsValid: valid}
 	counts := make(map[BucketID]int)
 	switch kind {
 	case 1:
@@ -251,13 +326,14 @@ func readNode(r *snapReader, depth int) (*node, map[BucketID]int, error) {
 		}
 		n.children = make(map[int32]*node, childCount)
 		for range childCount {
-			child, childCounts, err := readNode(r, depth+1)
+			child, childCounts, err := readNode(r, depth+1, version)
 			if err != nil {
 				return nil, nil, err
 			}
 			if len(child.prefix) != len(prefix)+1 {
 				return nil, nil, fmt.Errorf("%w: child depth mismatch", ErrSnapshot)
 			}
+			child.parent = n
 			n.children[child.lastPivot()] = child
 			for id, c := range childCounts {
 				counts[id] = c

@@ -139,6 +139,118 @@ func TestSnapshotSupportsFurtherInserts(t *testing.T) {
 	_ = ds
 }
 
+// TestSnapshotTombstoneRoundTrip: a snapshot taken after deletions must
+// carry the tombstone set — the restored index keeps hiding the deleted
+// entries, keeps refusing duplicate IDs, and still compacts.
+func TestSnapshotTombstoneRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(t.TempDir(), "index.snap")
+	p, ds := buildDisk(t, dir, 68, 700)
+	pv := p.Pivots
+
+	gone := map[uint64]bool{}
+	var victims []uint64
+	for i := 0; i < 700; i += 4 {
+		victims = append(victims, ds.Objects[i].ID)
+		gone[ds.Objects[i].ID] = true
+	}
+	if _, err := p.Idx.Delete(victims); err != nil {
+		t.Fatal(err)
+	}
+	origStats := p.Idx.TreeStats()
+	if err := p.Idx.SaveSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Idx.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testConfig(8)
+	cfg.Storage = StorageDisk
+	cfg.DiskPath = dir
+	idx, err := LoadSnapshot(cfg, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	if idx.Size() != 700-len(victims) || idx.Dead() != len(victims) {
+		t.Fatalf("restored size/dead = %d/%d, want %d/%d",
+			idx.Size(), idx.Dead(), 700-len(victims), len(victims))
+	}
+	if st := idx.TreeStats(); st != origStats {
+		t.Fatalf("restored stats %+v != original %+v", st, origStats)
+	}
+
+	// Tombstoned entries stay invisible after the restart.
+	cands, err := idx.RangeByDists(pv.Distances(ds.Objects[2].Vec), 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != idx.Size() {
+		t.Fatalf("restored range returned %d candidates, want %d", len(cands), idx.Size())
+	}
+	for _, e := range cands {
+		if gone[e.ID] {
+			t.Fatalf("restored index surfaced deleted entry %d", e.ID)
+		}
+	}
+
+	// Mutations after restore rebuild the location map from the buckets:
+	// live duplicates are still rejected, tombstoned IDs re-insert, and
+	// further deletes work.
+	liveID := ds.Objects[1].ID
+	dists := pv.Distances(ds.Objects[1].Vec)
+	dup := Entry{ID: liveID, Perm: pivot.Permutation(dists), Dists: dists}
+	if err := idx.Insert(dup); err == nil {
+		t.Fatal("restored index accepted a live duplicate ID")
+	}
+	reDists := pv.Distances(ds.Objects[0].Vec)
+	re := Entry{ID: ds.Objects[0].ID, Perm: pivot.Permutation(reDists), Dists: reDists}
+	if err := idx.Insert(re); err != nil {
+		t.Fatalf("re-insert of tombstoned ID after restore: %v", err)
+	}
+	if n, err := idx.Delete([]uint64{liveID}); err != nil || n != 1 {
+		t.Fatalf("delete after restore = %d, %v", n, err)
+	}
+
+	// Compaction after restore drops every tombstone.
+	if err := idx.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Dead() != 0 {
+		t.Fatalf("dead = %d after post-restore compact", idx.Dead())
+	}
+	want := 700 - len(victims) + 1 - 1 // re-inserted one victim, deleted one live
+	if idx.Size() != want {
+		t.Fatalf("size after compact = %d, want %d", idx.Size(), want)
+	}
+	all, err := idx.AllEntries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != want {
+		t.Fatalf("AllEntries after compact = %d, want %d", len(all), want)
+	}
+
+	// And the compacted state snapshots and restores again (version 2
+	// with an empty tombstone set).
+	snap2 := filepath.Join(t.TempDir(), "index2.snap")
+	if err := idx.SaveSnapshot(snap2); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	idx2, err := LoadSnapshot(cfg, snap2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx2.Close()
+	if idx2.Size() != want || idx2.Dead() != 0 {
+		t.Fatalf("second restore size/dead = %d/%d, want %d/0", idx2.Size(), idx2.Dead(), want)
+	}
+}
+
 func TestSnapshotRejectsMemoryStore(t *testing.T) {
 	idx, err := New(testConfig(6))
 	if err != nil {

@@ -25,6 +25,9 @@ type BucketStore interface {
 	Append(id BucketID, e Entry) error
 	// Load returns all entries of a bucket.
 	Load(id BucketID) ([]Entry, error)
+	// Replace overwrites a bucket's contents (compaction and update purges
+	// rewrite buckets after dropping dead entries).
+	Replace(id BucketID, entries []Entry) error
 	// Free releases a bucket (after a split has redistributed it).
 	Free(id BucketID) error
 	// Close releases all resources.
@@ -75,6 +78,19 @@ func (s *MemStore) Load(id BucketID) ([]Entry, error) {
 	out := make([]Entry, len(entries))
 	copy(out, entries)
 	return out, nil
+}
+
+// Replace implements BucketStore.
+func (s *MemStore) Replace(id BucketID, entries []Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.buckets[id]; !ok {
+		return fmt.Errorf("mindex: replace of unknown bucket %d", id)
+	}
+	out := make([]Entry, len(entries))
+	copy(out, entries)
+	s.buckets[id] = out
+	return nil
 }
 
 // Free implements BucketStore.
@@ -299,6 +315,72 @@ func (s *DiskStore) Load(id BucketID) ([]Entry, error) {
 		return nil, fmt.Errorf("mindex: bucket %d holds %d entries, expected %d", id, len(entries), count)
 	}
 	return entries, nil
+}
+
+// Replace implements BucketStore. The bucket file is rewritten through a
+// temporary file and renamed into place, so a crash mid-rewrite leaves the
+// previous contents intact.
+func (s *DiskStore) Replace(id BucketID, entries []Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("mindex: disk store closed")
+	}
+	if _, ok := s.counts[id]; !ok {
+		return fmt.Errorf("mindex: replace of unknown bucket %d", id)
+	}
+	// Retire the append handle; the rewrite below replaces the file it
+	// pointed at.
+	if err := s.closeHandle(id); err != nil {
+		return err
+	}
+	tmp := s.path(id) + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<14)
+	for i := range entries {
+		if _, err := w.Write(EncodeEntry(entries[i])); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	// Reach stable storage before the rename replaces the old contents —
+	// a power cut must never swap a good bucket for a truncated one.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, s.path(id)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Make the rename itself durable: a purge that later stops being
+	// reflected in the tombstone set (snapshots persist after this) must
+	// not be undone by a power cut resurrecting the old bucket contents.
+	dir, err := os.Open(s.dir)
+	if err != nil {
+		return err
+	}
+	syncErr := dir.Sync()
+	dir.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	s.counts[id] = len(entries)
+	return nil
 }
 
 // Free implements BucketStore.

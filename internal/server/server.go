@@ -319,6 +319,25 @@ func (s *Server) handle(typ wire.MsgType, payload []byte, start time.Time, distB
 			DistNanos:   s.distNanos(distBefore),
 		}.Encode(), nil
 
+	case wire.MsgDeleteEntries:
+		if s.enc == nil {
+			return 0, nil, errNeedEncrypted
+		}
+		req, err := wire.DecodeDeleteEntriesReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		// The engine validates each reference's routing prefix; hostile
+		// permutation elements become an error response, never a panic or a
+		// misrouted tombstone.
+		deleted, err := s.enc.Delete(req.Refs)
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgDeleteAck, wire.DeleteAckResp{
+			ServerNanos: s.serverNanos(start), Deleted: uint32(deleted),
+		}.Encode(), nil
+
 	case wire.MsgRangeDists:
 		if s.enc == nil {
 			return 0, nil, errNeedEncrypted

@@ -143,6 +143,80 @@ func TestInvalidPermutationRejected(t *testing.T) {
 		"permutation")
 }
 
+// TestDeleteDispatch drives the delete path over the wire: insert entries,
+// tombstone a subset, verify searches stop returning them and the ack
+// reports the exact count. Hostile references (empty or out-of-range
+// routing prefixes) must come back as error responses.
+func TestDeleteDispatch(t *testing.T) {
+	srv := startEncrypted(t)
+	conn := dial(t, srv)
+
+	entries := []mindex.Entry{
+		{ID: 1, Perm: []int32{0, 1, 2}, Payload: []byte("a")},
+		{ID: 2, Perm: []int32{1, 2, 3}, Payload: []byte("b")},
+		{ID: 3, Perm: []int32{2, 3, 4}, Payload: []byte("c")},
+		{ID: 4, Perm: []int32{3, 4, 5}, Payload: []byte("d")},
+	}
+	respType, _ := request(t, conn, wire.MsgInsertEntries, wire.InsertEntriesReq{Entries: entries}.Encode())
+	if respType != wire.MsgAck {
+		t.Fatalf("insert response = %v", respType)
+	}
+
+	// Delete entries 2 and 3, plus an unknown reference (skipped).
+	refs := []mindex.Entry{
+		{ID: 2, Perm: entries[1].Perm},
+		{ID: 3, Perm: entries[2].Perm},
+		{ID: 99, Perm: []int32{5, 0, 1}},
+	}
+	respType, resp := request(t, conn, wire.MsgDeleteEntries, wire.DeleteEntriesReq{Refs: refs}.Encode())
+	if respType != wire.MsgDeleteAck {
+		t.Fatalf("delete response = %v", respType)
+	}
+	ack, err := wire.DecodeDeleteAckResp(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Deleted != 2 {
+		t.Fatalf("deleted = %d, want 2", ack.Deleted)
+	}
+	if srv.Index().Size() != 2 || srv.Index().Dead() != 2 {
+		t.Fatalf("index size/dead = %d/%d, want 2/2", srv.Index().Size(), srv.Index().Dead())
+	}
+
+	// The tombstoned entries are gone from query responses.
+	respType, resp = request(t, conn, wire.MsgRangeDists,
+		wire.RangeDistsReq{Dists: make([]float64, 6), Radius: 1e18}.Encode())
+	if respType != wire.MsgCandidates {
+		t.Fatalf("range response = %v", respType)
+	}
+	cands, err := wire.DecodeCandidatesResp(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands.Entries) != 2 {
+		t.Fatalf("range returned %d candidates, want 2", len(cands.Entries))
+	}
+	for _, e := range cands.Entries {
+		if e.ID == 2 || e.ID == 3 {
+			t.Fatalf("deleted entry %d still served", e.ID)
+		}
+	}
+
+	// Hostile references are rejected with an error response, and the
+	// connection stays usable.
+	expectError(t, conn, wire.MsgDeleteEntries,
+		wire.DeleteEntriesReq{Refs: []mindex.Entry{{ID: 7, Perm: []int32{-1, 0, 1}}}}.Encode(),
+		"out of range")
+	expectError(t, conn, wire.MsgDeleteEntries,
+		wire.DeleteEntriesReq{Refs: []mindex.Entry{{ID: 7}}}.Encode(),
+		"permutation is empty")
+	expectError(t, conn, wire.MsgDeleteEntries, []byte{0xFF, 0xFF}, "")
+	if respType, _ := request(t, conn, wire.MsgDeleteEntries,
+		wire.DeleteEntriesReq{Refs: nil}.Encode()); respType != wire.MsgDeleteAck {
+		t.Fatalf("connection unusable after hostile delete: %v", respType)
+	}
+}
+
 func TestEHIBlobStore(t *testing.T) {
 	srv := startEncrypted(t)
 	conn := dial(t, srv)

@@ -81,6 +81,14 @@ const (
 	MsgBatchQuery
 	// MsgBatchCandidates returns one candidate set per batched query.
 	MsgBatchCandidates
+
+	// MsgDeleteEntries tombstones indexed entries. Each reference carries
+	// an entry ID plus its permutation prefix (the same pivot-space routing
+	// metadata an insert reveals); batchable like MsgInsertEntries.
+	MsgDeleteEntries
+	// MsgDeleteAck acknowledges a delete, carrying the count of entries
+	// actually tombstoned plus server time.
+	MsgDeleteAck
 )
 
 var msgNames = map[MsgType]string{
@@ -92,6 +100,7 @@ var msgNames = map[MsgType]string{
 	MsgFDHQuery: "fdh-query", MsgPutFDH: "put-fdh", MsgDownloadAll: "download-all",
 	MsgPutRaw: "put-raw", MsgGetRaw: "get-raw", MsgRawItems: "raw-items",
 	MsgBatchQuery: "batch-query", MsgBatchCandidates: "batch-candidates",
+	MsgDeleteEntries: "delete-entries", MsgDeleteAck: "delete-ack",
 }
 
 // String implements fmt.Stringer.

@@ -67,6 +67,11 @@ func FuzzDecodeRequests(f *testing.F) {
 		{Kind: BatchApproxPerm, Perm: []int32{0, 1}, CandSize: 3},
 	}}.Encode())
 	f.Add(BatchQueryResp{ServerNanos: 1, Results: [][]mindex.Entry{{{ID: 1, Perm: []int32{0}}}}}.Encode())
+	f.Add(DeleteEntriesReq{Refs: []mindex.Entry{
+		{ID: 7, Perm: []int32{1, 0, 2}},
+		{ID: 8, Perm: []int32{2, 1, 0}},
+	}}.Encode())
+	f.Add(DeleteAckResp{ServerNanos: 9, Deleted: 2}.Encode())
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// None of these may panic; errors are fine.
@@ -90,5 +95,7 @@ func FuzzDecodeRequests(f *testing.F) {
 		_, _ = DecodeFDHQueryReq(data)
 		_, _ = DecodeBatchQueryReq(data)
 		_, _ = DecodeBatchQueryResp(data)
+		_, _ = DecodeDeleteEntriesReq(data)
+		_, _ = DecodeDeleteAckResp(data)
 	})
 }

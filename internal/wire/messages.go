@@ -97,6 +97,52 @@ func DecodeInsertObjectsReq(p []byte) (InsertObjectsReq, error) {
 	return m, r.Err()
 }
 
+// DeleteEntriesReq tombstones the referenced entries (encrypted
+// deployment). Each reference is an entry record carrying only the ID and
+// the permutation prefix — the prefix's first element routes the delete to
+// the owning index shard, so a delete reveals exactly the pivot-space
+// metadata the original insert already revealed. The request reuses the
+// entry codec and is batchable exactly like InsertEntriesReq.
+type DeleteEntriesReq struct {
+	Refs []mindex.Entry
+}
+
+// Encode serializes the request payload.
+func (m DeleteEntriesReq) Encode() []byte {
+	var b Buffer
+	appendEntries(&b, m.Refs)
+	return b.B
+}
+
+// DecodeDeleteEntriesReq parses a DeleteEntriesReq payload.
+func DecodeDeleteEntriesReq(p []byte) (DeleteEntriesReq, error) {
+	r := NewReader(p)
+	m := DeleteEntriesReq{Refs: readEntries(r)}
+	return m, r.Err()
+}
+
+// DeleteAckResp acknowledges a delete: Deleted counts the entries actually
+// tombstoned (references to unknown or already-deleted IDs are skipped).
+type DeleteAckResp struct {
+	ServerNanos uint64
+	Deleted     uint32
+}
+
+// Encode serializes the response payload.
+func (m DeleteAckResp) Encode() []byte {
+	var b Buffer
+	b.U64(m.ServerNanos)
+	b.U32(m.Deleted)
+	return b.B
+}
+
+// DecodeDeleteAckResp parses a DeleteAckResp payload.
+func DecodeDeleteAckResp(p []byte) (DeleteAckResp, error) {
+	r := NewReader(p)
+	m := DeleteAckResp{ServerNanos: r.U64(), Deleted: r.U32()}
+	return m, r.Err()
+}
+
 // RangeDistsReq is the encrypted precise range query: pivot distances and
 // radius only — the query object never leaves the client.
 type RangeDistsReq struct {

@@ -167,6 +167,26 @@ func TestMessageRoundTrips(t *testing.T) {
 			t.Fatalf("round trip: %+v", out)
 		}
 	})
+	t.Run("delete-entries", func(t *testing.T) {
+		in := DeleteEntriesReq{Refs: []mindex.Entry{
+			{ID: 9, Perm: []int32{2, 0, 1}},
+			{ID: 10, Perm: []int32{0, 1, 2}},
+		}}
+		out, err := DecodeDeleteEntriesReq(in.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(out.Refs, in.Refs) {
+			t.Fatalf("round trip: %+v", out)
+		}
+	})
+	t.Run("delete-ack", func(t *testing.T) {
+		in := DeleteAckResp{ServerNanos: 77, Deleted: 3}
+		out, err := DecodeDeleteAckResp(in.Encode())
+		if err != nil || out != in {
+			t.Fatalf("round trip: %+v, %v", out, err)
+		}
+	})
 	t.Run("range-dists", func(t *testing.T) {
 		in := RangeDistsReq{Dists: []float64{1, 2, 3}, Radius: 4.5}
 		out, err := DecodeRangeDistsReq(in.Encode())
@@ -329,6 +349,8 @@ func TestQuickDecodersRobust(t *testing.T) {
 			p = p[:2048]
 		}
 		_, _ = DecodeInsertEntriesReq(p)
+		_, _ = DecodeDeleteEntriesReq(p)
+		_, _ = DecodeDeleteAckResp(p)
 		_, _ = DecodeRangeDistsReq(p)
 		_, _ = DecodeApproxPermReq(p)
 		_, _ = DecodeCandidatesResp(p)

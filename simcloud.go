@@ -31,6 +31,16 @@
 // bytes on the wire): precise range, precise k-NN (approximate pass + range
 // ρk), and approximate k-NN with a tunable candidate-set size.
 //
+// # Mutability
+//
+// The index is mutable: EncryptedClient.Delete and DeleteBatch tombstone
+// entries by {ID, permutation prefix} — the same pivot-space metadata an
+// insert reveals — and the server compacts tombstones away either on
+// demand or automatically (Config.AutoCompactFraction). After compaction
+// the index is byte-identical to one freshly built from the surviving
+// entries (see DESIGN.md §Mutability), so churn workloads (sustained
+// insert/delete at steady state) preserve exact search semantics.
+//
 // # Scaling out
 //
 // For heavy concurrent traffic the server-side index can be partitioned:
