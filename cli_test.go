@@ -18,7 +18,7 @@ import (
 func buildTools(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
-	for _, tool := range []string{"simdatagen", "simkeygen", "simserver", "simclient", "simbench"} {
+	for _, tool := range []string{"simdatagen", "simkeygen", "simserver", "simclient", "simbench", "simcoord"} {
 		out := filepath.Join(dir, tool)
 		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+tool)
 		cmd.Dir = "."
@@ -243,5 +243,71 @@ func TestSimbenchTables1And2(t *testing.T) {
 	out = run(t, filepath.Join(bins, "simbench"), "-table", "2")
 	if !strings.Contains(out, "disk") || !strings.Contains(out, "100") {
 		t.Fatalf("table 2 output:\n%s", out)
+	}
+}
+
+// TestCommandLineClusterPipeline drives the multi-node deployment story of
+// the README: three simserver nodes, a simcoord federating them, and the
+// unchanged simclient talking to the coordinator's address.
+func TestCommandLineClusterPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped with -short")
+	}
+	bins := buildTools(t)
+	work := t.TempDir()
+	data := filepath.Join(work, "demo.simcdat")
+	keyFile := filepath.Join(work, "demo.key")
+	run(t, filepath.Join(bins, "simdatagen"),
+		"-name", "clustered", "-n", "600", "-dim", "8", "-clusters", "5",
+		"-dist", "L2", "-seed", "11", "-out", data)
+	run(t, filepath.Join(bins, "simkeygen"),
+		"-data", data, "-pivots", "10", "-out", keyFile)
+
+	// Three encrypted nodes; multi-node clusters require -eager-root-split.
+	var nodeAddrs []string
+	for range 3 {
+		addr := freePort(t)
+		srv := exec.Command(filepath.Join(bins, "simserver"),
+			"-mode", "encrypted", "-addr", addr, "-pivots", "10", "-max-level", "4",
+			"-eager-root-split")
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			srv.Process.Kill()
+			srv.Wait()
+		}()
+		waitListening(t, addr)
+		nodeAddrs = append(nodeAddrs, addr)
+	}
+
+	coordAddr := freePort(t)
+	coord := exec.Command(filepath.Join(bins, "simcoord"),
+		"-addr", coordAddr, "-nodes", strings.Join(nodeAddrs, ","))
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		coord.Process.Kill()
+		coord.Wait()
+	}()
+	waitListening(t, coordAddr)
+
+	// The unchanged client sees one similarity cloud.
+	client := filepath.Join(bins, "simclient")
+	out := run(t, client, "-addr", coordAddr, "-key", keyFile, "-max-level", "4",
+		"-op", "insert", "-data", data)
+	if !strings.Contains(out, "inserted 600 encrypted objects") {
+		t.Fatalf("insert output: %s", out)
+	}
+	out = run(t, client, "-addr", coordAddr, "-key", keyFile, "-max-level", "4",
+		"-op", "approx", "-data", data, "-query", "5", "-k", "3", "-cand", "60")
+	if !strings.Contains(out, "approx-knn: 3 results") || !strings.Contains(out, "id=5") {
+		t.Fatalf("approx output: %s", out)
+	}
+	out = run(t, client, "-addr", coordAddr, "-key", keyFile, "-max-level", "4",
+		"-op", "delete", "-data", data, "-from", "5", "-to", "6")
+	if !strings.Contains(out, "deleted 1") {
+		t.Fatalf("delete output: %s", out)
 	}
 }

@@ -11,6 +11,12 @@
 //
 // The index parameters must match what clients were configured with (number
 // of pivots, max level).
+//
+// A simserver is also the node role of a multi-node cluster: simcoord
+// federates several simservers behind one address (see cmd/simcoord).
+// Nodes of a multi-node cluster must run with -eager-root-split (or
+// -shards > 1, which implies it) so their promise values stay comparable
+// in the coordinator's cross-node merge.
 package main
 
 import (
@@ -40,6 +46,7 @@ func main() {
 		snapshot = flag.String("snapshot", "", "snapshot file: restore on start if present, save on shutdown (encrypted mode with -storage disk)")
 		shards   = flag.Int("shards", 1, "index shard count (encrypted mode): >1 partitions the M-Index across independently locked shards")
 		autoComp = flag.Float64("auto-compact", 0, "compact a shard when its tombstoned fraction reaches this value in [0,1); 0 leaves compaction to restarts")
+		eager    = flag.Bool("eager-root-split", false, "split the root cell on the first insert; required when this server joins a multi-node simcoord cluster (implied by -shards > 1)")
 	)
 	flag.Parse()
 
@@ -49,6 +56,7 @@ func main() {
 		BucketCapacity:      *bucket,
 		DiskPath:            *diskPath,
 		Shards:              *shards,
+		EagerRootSplit:      *eager,
 		AutoCompactFraction: *autoComp,
 	}
 	switch *storage {

@@ -1,0 +1,71 @@
+package simcloud
+
+// TestMarkdownLinks is the repo's docs gate: every intra-repo link in
+// every markdown file must resolve to an existing file or directory, so
+// README/DESIGN/EXPERIMENTS cannot silently rot as files move. CI runs it
+// in the docs job; locally: go test -run TestMarkdownLinks .
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches [text](target); target must not contain spaces or a
+// closing parenthesis (the markdown this repo writes).
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func TestMarkdownLinks(t *testing.T) {
+	checked := 0
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == ".claude" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".md") {
+			return nil
+		}
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(blob), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"),
+				strings.HasPrefix(target, "#"):
+				continue // external or in-page; not this test's business
+			}
+			// Drop an in-file anchor; the file part must still exist.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+				if target == "" {
+					continue
+				}
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s): %v", path, m[1], resolved, err)
+			}
+			checked++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 {
+		t.Fatal("no intra-repo markdown links found — the checker is not seeing the docs")
+	}
+	t.Logf("checked %d intra-repo links", checked)
+}

@@ -1,0 +1,538 @@
+package cluster_test
+
+// End-to-end tests of the multi-node coordinator, run in-process over
+// loopback TCP: equivalence of a federated cluster with a single server,
+// and the failure paths the coordinator must handle (node down at connect,
+// node death mid-batch with retry-with-exclusion, key-mismatch rejection).
+
+import (
+	"net"
+	"slices"
+	"strings"
+	"testing"
+	"time"
+
+	"simcloud"
+	"simcloud/internal/cluster"
+	"simcloud/internal/core"
+	"simcloud/internal/metric"
+	"simcloud/internal/pivot"
+	"simcloud/internal/server"
+	"simcloud/internal/wire"
+)
+
+const (
+	testPivots = 8
+	testBucket = 64
+)
+
+// testWorld is a generated collection plus the data owner's secret key.
+type testWorld struct {
+	data *simcloud.Dataset
+	key  *simcloud.Key
+}
+
+func newWorld(t *testing.T, n int) *testWorld {
+	t.Helper()
+	data := simcloud.ClusteredData(7, n, 12, 9, simcloud.L2())
+	pivots := simcloud.SelectPivots(7, data.Dist, data.Objects, testPivots)
+	key, err := simcloud.GenerateKey(pivots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testWorld{data: data, key: key}
+}
+
+func nodeConfig(eager bool) simcloud.Config {
+	cfg := simcloud.DefaultConfig(testPivots)
+	cfg.BucketCapacity = testBucket
+	cfg.EagerRootSplit = eager
+	return cfg
+}
+
+// startServer starts an encrypted server and registers its teardown.
+func startServer(t *testing.T, cfg simcloud.Config) *server.Server {
+	t.Helper()
+	srv, err := server.NewEncrypted(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// startCluster starts n encrypted nodes plus a coordinator fronting them.
+func startCluster(t *testing.T, n int, eager bool) ([]*server.Server, *cluster.Coordinator) {
+	t.Helper()
+	nodes := make([]*server.Server, n)
+	addrs := make([]string, n)
+	for i := range nodes {
+		nodes[i] = startServer(t, nodeConfig(eager))
+		addrs[i] = nodes[i].Addr()
+	}
+	coord, err := cluster.New(addrs, cluster.Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+	return nodes, coord
+}
+
+func dial(t *testing.T, addr string, key *simcloud.Key) *core.EncryptedClient {
+	t.Helper()
+	client, err := core.DialEncrypted(addr, key, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return client
+}
+
+// rawRoundTrip drives one frame exchange over a fresh connection — the
+// white-box view of a server's candidate responses, bypassing client-side
+// refinement so candidate order is observable.
+func rawRoundTrip(t *testing.T, addr string, typ wire.MsgType, payload []byte) (wire.MsgType, []byte) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.WriteFrame(conn, typ, payload); err != nil {
+		t.Fatal(err)
+	}
+	respType, resp, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return respType, resp
+}
+
+// approxCandidateIDs returns the ranked approximate candidate ID list the
+// server at addr serves for query q — the exact list the acceptance
+// criterion compares across deployments.
+func approxCandidateIDs(t *testing.T, addr string, w *testWorld, q metric.Vector, candSize int) []uint64 {
+	t.Helper()
+	perm := pivot.Permutation(w.key.Pivots().Distances(q))
+	respType, resp := rawRoundTrip(t, addr, wire.MsgApproxPerm,
+		wire.ApproxPermReq{Perm: perm, CandSize: uint32(candSize)}.Encode())
+	if respType != wire.MsgCandidates {
+		t.Fatalf("unexpected response %v", respType)
+	}
+	m, err := wire.DecodeCandidatesResp(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]uint64, len(m.Entries))
+	for i, e := range m.Entries {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// firstCellIDs returns the most promising cell's entry IDs as a sorted set.
+func firstCellIDs(t *testing.T, addr string, w *testWorld, q metric.Vector) []uint64 {
+	t.Helper()
+	perm := pivot.Permutation(w.key.Pivots().Distances(q))
+	respType, resp := rawRoundTrip(t, addr, wire.MsgFirstCell, wire.FirstCellReq{Perm: perm}.Encode())
+	if respType != wire.MsgCandidates {
+		t.Fatalf("unexpected response %v", respType)
+	}
+	m, err := wire.DecodeCandidatesResp(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]uint64, len(m.Entries))
+	for i, e := range m.Entries {
+		ids[i] = e.ID
+	}
+	slices.Sort(ids)
+	return ids
+}
+
+// TestClusterEquivalence asserts the acceptance criterion: a 3-node
+// cluster returns the same ranked approximate candidate list as a single
+// simserver over the same data, and a 1-node cluster is transparent too.
+// Range queries must return the same result set, and refined k-NN answers
+// must match exactly.
+func TestClusterEquivalence(t *testing.T) {
+	w := newWorld(t, 1500)
+	ref := startServer(t, nodeConfig(false))
+	refClient := dial(t, ref.Addr(), w.key)
+	if _, err := refClient.InsertBatch(w.data.Objects); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, nodes := range []int{1, 3} {
+		// A 1-node cluster needs no eager root split (there is no
+		// cross-node merge); multi-node clusters require it.
+		_, coord := startCluster(t, nodes, nodes > 1)
+		client := dial(t, coord.Addr(), w.key)
+		if _, err := client.InsertBatch(w.data.Objects); err != nil {
+			t.Fatal(err)
+		}
+
+		queries := []int{3, 123, 456, 789, 1011, 1313}
+		for _, qi := range queries {
+			q := w.data.Objects[qi].Vec
+
+			// Ranked candidate lists must match element for element.
+			want := approxCandidateIDs(t, ref.Addr(), w, q, 200)
+			got := approxCandidateIDs(t, coord.Addr(), w, q, 200)
+			if !slices.Equal(got, want) {
+				t.Fatalf("%d-node cluster: query %d: candidate list diverges from single server\n got %v\nwant %v",
+					nodes, qi, got, want)
+			}
+
+			// The single most promising cell must be the same cell.
+			if got, want := firstCellIDs(t, coord.Addr(), w, q), firstCellIDs(t, ref.Addr(), w, q); !slices.Equal(got, want) {
+				t.Fatalf("%d-node cluster: query %d: first cell diverges", nodes, qi)
+			}
+
+			// Refined answers (through the unchanged client) match too.
+			wantRes, _, err := refClient.ApproxKNN(q, 10, 200)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotRes, _, err := client.ApproxKNN(q, 10, 200)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(gotRes) != len(wantRes) {
+				t.Fatalf("%d-node cluster: query %d: %d results vs %d", nodes, qi, len(gotRes), len(wantRes))
+			}
+			for i := range gotRes {
+				if gotRes[i].ID != wantRes[i].ID || gotRes[i].Dist != wantRes[i].Dist {
+					t.Fatalf("%d-node cluster: query %d: result %d diverges: %d@%g vs %d@%g",
+						nodes, qi, i, gotRes[i].ID, gotRes[i].Dist, wantRes[i].ID, wantRes[i].Dist)
+				}
+			}
+
+			// Precise range: same exact result set.
+			wantRange, _, err := refClient.Range(q, 2.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotRange, _, err := client.Range(q, 2.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantIDs := resultIDs(wantRange)
+			gotIDs := resultIDs(gotRange)
+			if !slices.Equal(gotIDs, wantIDs) {
+				t.Fatalf("%d-node cluster: query %d: range result diverges (%d vs %d ids)",
+					nodes, qi, len(gotIDs), len(wantIDs))
+			}
+		}
+
+		// Batched queries go through the same merge.
+		qs := make([]metric.Vector, 0, len(queries))
+		for _, qi := range queries {
+			qs = append(qs, w.data.Objects[qi].Vec)
+		}
+		wantBatch, _, err := refClient.ApproxKNNBatch(qs, 10, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotBatch, _, err := client.ApproxKNNBatch(qs, 10, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantBatch {
+			if !slices.Equal(resultIDList(gotBatch[i]), resultIDList(wantBatch[i])) {
+				t.Fatalf("%d-node cluster: batch query %d diverges", nodes, i)
+			}
+		}
+	}
+}
+
+func resultIDs(rs []core.Result) []uint64 {
+	ids := resultIDList(rs)
+	slices.Sort(ids)
+	return ids
+}
+
+func resultIDList(rs []core.Result) []uint64 {
+	ids := make([]uint64, len(rs))
+	for i, r := range rs {
+		ids[i] = r.ID
+	}
+	return ids
+}
+
+// TestClusterDelete checks that deletes route through the coordinator and
+// disappear from federated query results.
+func TestClusterDelete(t *testing.T) {
+	w := newWorld(t, 600)
+	_, coord := startCluster(t, 3, true)
+	client := dial(t, coord.Addr(), w.key)
+	if _, err := client.InsertBatch(w.data.Objects); err != nil {
+		t.Fatal(err)
+	}
+	victims := w.data.Objects[100:150]
+	deleted, _, err := client.DeleteBatch(victims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted != len(victims) {
+		t.Fatalf("deleted %d of %d", deleted, len(victims))
+	}
+	q := victims[0].Vec
+	res, _, err := client.ApproxKNN(q, 5, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gone := make(map[uint64]bool, len(victims))
+	for _, v := range victims {
+		gone[v.ID] = true
+	}
+	for _, r := range res {
+		if gone[r.ID] {
+			t.Fatalf("deleted entry %d still returned", r.ID)
+		}
+	}
+}
+
+// TestNodeDownAtConnect: a coordinator must refuse to assemble over an
+// unreachable node.
+func TestNodeDownAtConnect(t *testing.T) {
+	up := startServer(t, nodeConfig(true))
+	// Grab a port that nothing listens on.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+	if _, err := cluster.New([]string{up.Addr(), deadAddr}, cluster.Options{Logf: t.Logf}); err == nil {
+		t.Fatal("cluster.New succeeded with an unreachable node")
+	} else if !strings.Contains(err.Error(), deadAddr) {
+		t.Fatalf("error does not name the unreachable node: %v", err)
+	}
+}
+
+// TestNodeDiesMidBatch: when a node dies during a batch insert, the
+// coordinator re-routes the failed portion to the survivors and the whole
+// batch lands.
+func TestNodeDiesMidBatch(t *testing.T) {
+	w := newWorld(t, 1200)
+	nodes, coord := startCluster(t, 3, true)
+	client := dial(t, coord.Addr(), w.key)
+
+	first, second := w.data.Objects[:600], w.data.Objects[600:]
+	if _, err := client.InsertBatch(first); err != nil {
+		t.Fatal(err)
+	}
+	sizes := make([]int, 3)
+	total0 := 0
+	for i, n := range nodes {
+		sizes[i] = n.Index().Size()
+		total0 += sizes[i]
+	}
+	if total0 != len(first) {
+		t.Fatalf("first batch: %d entries landed, want %d", total0, len(first))
+	}
+
+	// Kill node 1 under the coordinator, then keep inserting. The
+	// coordinator discovers the death on the failing round trip and
+	// re-routes every affected entry to the survivors.
+	nodes[1].Close()
+	if _, err := client.InsertBatch(second); err != nil {
+		t.Fatalf("insert after node death: %v", err)
+	}
+	live := coord.LiveNodes()
+	if len(live) != 2 {
+		t.Fatalf("coordinator sees %d live nodes, want 2 (%v)", len(live), live)
+	}
+	got := nodes[0].Index().Size() + nodes[2].Index().Size()
+	want := sizes[0] + sizes[2] + len(second)
+	if got != want {
+		t.Fatalf("survivors hold %d entries, want %d", got, want)
+	}
+
+	// Queries keep working over the survivors.
+	res, _, err := client.ApproxKNN(second[0].Vec, 5, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no results from surviving nodes")
+	}
+
+	// Deletes on a degraded cluster must still reach entries that live on
+	// the survivors: placement is a mix of mod-3 (pre-death) and mod-2
+	// (re-routed) routing, so refs are broadcast. Every second-batch entry
+	// is on a survivor by construction and must actually die.
+	deleted, _, err := client.DeleteBatch(second[:50])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted != 50 {
+		t.Fatalf("degraded delete removed %d of 50 surviving-node entries", deleted)
+	}
+	if got := nodes[0].Index().Size() + nodes[2].Index().Size(); got != want-50 {
+		t.Fatalf("survivors hold %d entries after delete, want %d", got, want-50)
+	}
+}
+
+// TestKeyMismatchRejection: nodes that disagree on the index shape (or run
+// the wrong deployment) are rejected at assembly time.
+func TestKeyMismatchRejection(t *testing.T) {
+	base := startServer(t, nodeConfig(true))
+
+	t.Run("different pivot count", func(t *testing.T) {
+		other := simcloud.DefaultConfig(16)
+		other.BucketCapacity = testBucket
+		other.EagerRootSplit = true
+		mismatched := startServer(t, other)
+		_, err := cluster.New([]string{base.Addr(), mismatched.Addr()}, cluster.Options{Logf: t.Logf})
+		if err == nil || !strings.Contains(err.Error(), "key-incompatible") {
+			t.Fatalf("want key-incompatible error, got %v", err)
+		}
+	})
+
+	t.Run("plain node", func(t *testing.T) {
+		data := simcloud.ClusteredData(3, 100, 12, 4, simcloud.L2())
+		pivots := simcloud.SelectPivots(3, data.Dist, data.Objects, testPivots)
+		plain, err := server.NewPlain(nodeConfig(false), pivots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plain.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { plain.Close() })
+		_, err = cluster.New([]string{plain.Addr()}, cluster.Options{Logf: t.Logf})
+		if err == nil || !strings.Contains(err.Error(), "plain deployment") {
+			t.Fatalf("want plain-deployment rejection, got %v", err)
+		}
+	})
+
+	t.Run("missing eager root split", func(t *testing.T) {
+		a, b := startServer(t, nodeConfig(false)), startServer(t, nodeConfig(false))
+		_, err := cluster.New([]string{a.Addr(), b.Addr()}, cluster.Options{Logf: t.Logf})
+		if err == nil || !strings.Contains(err.Error(), "eager") {
+			t.Fatalf("want eager-root-split rejection, got %v", err)
+		}
+	})
+}
+
+// TestCloseUnblocksHungNode: Close must terminate even while a request is
+// blocked mid-round-trip on a node that answers the hello and then goes
+// silent (with the default NodeTimeout of 0, only closing the node socket
+// can unblock that read).
+func TestCloseUnblocksHungNode(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// A stub node: answers hellos, swallows everything else forever.
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				for {
+					typ, _, err := wire.ReadFrame(conn)
+					if err != nil {
+						return
+					}
+					if typ != wire.MsgHello {
+						select {} // hang: never answer
+					}
+					resp := wire.HelloResp{
+						Mode: wire.HelloModeEncrypted, NumPivots: testPivots,
+						MaxLevel: 8, BucketCapacity: testBucket,
+						Ranking: 1, EagerRootSplit: true, Shards: 1,
+					}
+					if err := wire.WriteFrame(conn, wire.MsgHelloAck, resp.Encode()); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	coord, err := cluster.New([]string{ln.Addr().String()}, cluster.Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	// Park a request on the hung node.
+	conn, err := net.Dial("tcp", coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.WriteFrame(conn, wire.MsgRangeDists,
+		(wire.RangeDistsReq{Dists: make([]float64, testPivots), Radius: 1}).Encode()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // let the handler reach the node read
+
+	done := make(chan error, 1)
+	go func() { done <- coord.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close deadlocked behind the hung node round trip")
+	}
+}
+
+// TestCoordinatorHello: the coordinator answers hello with the agreed
+// shape and cluster-wide entry count.
+func TestCoordinatorHello(t *testing.T) {
+	w := newWorld(t, 300)
+	_, coord := startCluster(t, 3, true)
+	client := dial(t, coord.Addr(), w.key)
+	if _, err := client.InsertBatch(w.data.Objects); err != nil {
+		t.Fatal(err)
+	}
+	respType, resp := rawRoundTrip(t, coord.Addr(), wire.MsgHello, wire.HelloReq{}.Encode())
+	if respType != wire.MsgHelloAck {
+		t.Fatalf("unexpected hello response %v", respType)
+	}
+	info, err := wire.DecodeHelloResp(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode != wire.HelloModeEncrypted || info.NumPivots != testPivots {
+		t.Fatalf("hello shape mismatch: %+v", info)
+	}
+	if info.Entries != uint64(len(w.data.Objects)) {
+		t.Fatalf("hello reports %d entries, want %d", info.Entries, len(w.data.Objects))
+	}
+}
+
+// TestUnfederatedRequestRejected: baseline blob-store messages are not
+// federated and must fail loudly, not silently go to one node.
+func TestUnfederatedRequestRejected(t *testing.T) {
+	_, coord := startCluster(t, 2, true)
+	respType, resp := rawRoundTrip(t, coord.Addr(), wire.MsgGetRaw,
+		wire.GetRawReq{IDs: []uint64{1}}.Encode())
+	if respType != wire.MsgError {
+		t.Fatalf("unexpected response %v", respType)
+	}
+	m, err := wire.DecodeErrorResp(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m.Msg, "not federated") {
+		t.Fatalf("unexpected error message %q", m.Msg)
+	}
+}

@@ -1,0 +1,443 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"simcloud/internal/merge"
+	"simcloud/internal/mindex"
+	"simcloud/internal/wire"
+)
+
+// dispatch handles one client request and produces the response frame.
+// ServerNanos on responses covers everything that happened on the far side
+// of the client's connection — coordinator processing plus the node round
+// trips — matching what "server time" means to a client that cannot see
+// past its own socket.
+func (c *Coordinator) dispatch(typ wire.MsgType, payload []byte) (wire.MsgType, []byte) {
+	start := time.Now()
+	respType, resp, err := c.handle(typ, payload, start)
+	if err != nil {
+		return wire.MsgError, wire.ErrorResp{Msg: err.Error()}.Encode()
+	}
+	return respType, resp
+}
+
+func (c *Coordinator) serverNanos(start time.Time) uint64 {
+	return uint64(time.Since(start))
+}
+
+func (c *Coordinator) handle(typ wire.MsgType, payload []byte, start time.Time) (wire.MsgType, []byte, error) {
+	switch typ {
+	case wire.MsgHello:
+		if _, err := wire.DecodeHelloReq(payload); err != nil {
+			return 0, nil, err
+		}
+		info, err := c.aggregateHello()
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgHelloAck, info.Encode(), nil
+
+	case wire.MsgInsertEntries:
+		req, err := wire.DecodeInsertEntriesReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		if err := c.insertEntries(req.Entries); err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgAck, wire.AckResp{ServerNanos: c.serverNanos(start)}.Encode(), nil
+
+	case wire.MsgDeleteEntries:
+		req, err := wire.DecodeDeleteEntriesReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		deleted, err := c.deleteRefs(req.Refs)
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgDeleteAck, wire.DeleteAckResp{
+			ServerNanos: c.serverNanos(start), Deleted: deleted,
+		}.Encode(), nil
+
+	case wire.MsgRangeDists:
+		entries, err := c.concatCandidates(wire.MsgRangeDists, payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgCandidates, wire.CandidatesResp{
+			ServerNanos: c.serverNanos(start), Entries: entries,
+		}.Encode(), nil
+
+	case wire.MsgApproxPerm:
+		req, err := wire.DecodeApproxPermReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		return c.singleQuery(wire.BatchQuery{
+			Kind: wire.BatchApproxPerm, Perm: req.Perm, CandSize: req.CandSize,
+		}, start)
+
+	case wire.MsgApproxDists:
+		req, err := wire.DecodeApproxDistsReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		return c.singleQuery(wire.BatchQuery{
+			Kind: wire.BatchApproxDists, Dists: req.Dists, CandSize: req.CandSize,
+		}, start)
+
+	case wire.MsgFirstCell:
+		req, err := wire.DecodeFirstCellReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		return c.singleQuery(wire.BatchQuery{
+			Kind: wire.BatchFirstCell, Perm: req.Perm,
+		}, start)
+
+	case wire.MsgBatchQuery:
+		req, err := wire.DecodeBatchQueryReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		results, err := c.rankedFan(req)
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgBatchCandidates, wire.BatchQueryResp{
+			ServerNanos: c.serverNanos(start), Results: results,
+		}.Encode(), nil
+
+	case wire.MsgDownloadAll:
+		entries, err := c.concatCandidates(wire.MsgDownloadAll, payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgCandidates, wire.CandidatesResp{
+			ServerNanos: c.serverNanos(start), Entries: entries,
+		}.Encode(), nil
+	}
+	return 0, nil, fmt.Errorf("cluster: request type %v is not federated; connect to a node directly", typ)
+}
+
+// singleQuery evaluates one approximate-flavor query through the ranked
+// fan-out and answers with a plain candidate set, exactly like a single
+// server's MsgCandidates response.
+func (c *Coordinator) singleQuery(q wire.BatchQuery, start time.Time) (wire.MsgType, []byte, error) {
+	results, err := c.rankedFan(wire.BatchQueryReq{Queries: []wire.BatchQuery{q}})
+	if err != nil {
+		return 0, nil, err
+	}
+	return wire.MsgCandidates, wire.CandidatesResp{
+		ServerNanos: c.serverNanos(start), Entries: results[0],
+	}.Encode(), nil
+}
+
+// routeNode maps an entry permutation onto one of the given live nodes:
+// closest pivot modulo the live-node count — the cross-process mirror of
+// engine.ShardedIndex routing, so a 1-node cluster places every entry
+// exactly where a bare server would. The first element is validated here:
+// entries arrive straight off the wire, and a hostile element must become
+// an error response, not a negative slice index.
+func (c *Coordinator) routeNode(perm []int32, targets []*node) (*node, error) {
+	if len(perm) == 0 {
+		return nil, fmt.Errorf("cluster: entry permutation is empty")
+	}
+	if perm[0] < 0 || uint32(perm[0]) >= c.info.NumPivots {
+		return nil, fmt.Errorf("cluster: permutation element %d out of range [0,%d)", perm[0], c.info.NumPivots)
+	}
+	return targets[int(perm[0])%len(targets)], nil
+}
+
+// group partitions entries over the targets by routeNode, preserving
+// arrival order within each group (bucket order inside a cell is arrival
+// order, so this keeps multi-node candidate lists identical to a
+// single-server build).
+func (c *Coordinator) group(entries []mindex.Entry, targets []*node) ([][]mindex.Entry, error) {
+	groups := make([][]mindex.Entry, len(targets))
+	index := make(map[*node]int, len(targets))
+	for i, n := range targets {
+		index[n] = i
+	}
+	for _, e := range entries {
+		n, err := c.routeNode(e.Perm, targets)
+		if err != nil {
+			return nil, err
+		}
+		groups[index[n]] = append(groups[index[n]], e)
+	}
+	return groups, nil
+}
+
+// insertEntries routes the batch over the live nodes and retries with
+// exclusion on node failure: entries whose node died mid-operation are
+// re-routed over the surviving nodes until every entry landed or no node
+// is left. A node that died after applying its group but before
+// acknowledging leaves those entries inserted twice (on the dead node and
+// on a survivor) — at-least-once semantics; see DESIGN.md §Distribution.
+func (c *Coordinator) insertEntries(entries []mindex.Entry) error {
+	remaining := entries
+	for len(remaining) > 0 {
+		targets := c.alive()
+		if len(targets) == 0 {
+			return errNoLiveNodes
+		}
+		groups, err := c.group(remaining, targets)
+		if err != nil {
+			return err
+		}
+		failed := make([][]mindex.Entry, len(targets))
+		err = c.pool.Run(len(targets), func(i int) error {
+			if len(groups[i]) == 0 {
+				return nil
+			}
+			respType, resp, err := targets[i].roundTrip(wire.MsgInsertEntries,
+				wire.InsertEntriesReq{Entries: groups[i]}.Encode(), c.opts.NodeTimeout)
+			if err != nil {
+				if isNodeDown(err) {
+					c.opts.Logf("simcoord: %v; re-routing %d entries", err, len(groups[i]))
+					failed[i] = groups[i]
+					return nil
+				}
+				return err
+			}
+			if respType != wire.MsgAck {
+				return fmt.Errorf("cluster: node %s: unexpected insert response %v", targets[i].addr, respType)
+			}
+			_, aerr := wire.DecodeAckResp(resp)
+			return aerr
+		})
+		if err != nil {
+			return err
+		}
+		remaining = remaining[:0:0]
+		for _, g := range failed {
+			remaining = append(remaining, g...)
+		}
+	}
+	return nil
+}
+
+// deleteRefs routes delete references like inserts (the permutation prefix
+// carries the routing pivot) while every node is live, summing the
+// per-node deleted counts. On a degraded cluster routing is no longer
+// reconstructible — entries placed before a death sit at Perm[0] mod N
+// while re-routed ones sit at Perm[0] mod |live| — so each ref is instead
+// broadcast to every live node, where non-owners skip the unknown ID; a
+// mid-operation death retries the affected refs the same way.
+func (c *Coordinator) deleteRefs(refs []mindex.Entry) (uint32, error) {
+	var deleted atomic.Uint32
+	remaining := refs
+	for len(remaining) > 0 {
+		targets := c.alive()
+		if len(targets) == 0 {
+			return deleted.Load(), errNoLiveNodes
+		}
+		var groups [][]mindex.Entry
+		if len(targets) == len(c.nodes) {
+			var err error
+			if groups, err = c.group(remaining, targets); err != nil {
+				return deleted.Load(), err
+			}
+		} else {
+			// Still validate the routing prefixes — hostile refs must fail
+			// loudly even on the broadcast path.
+			if _, err := c.group(remaining, targets); err != nil {
+				return deleted.Load(), err
+			}
+			groups = make([][]mindex.Entry, len(targets))
+			for i := range groups {
+				groups[i] = remaining
+			}
+		}
+		failed := make([][]mindex.Entry, len(targets))
+		err := c.pool.Run(len(targets), func(i int) error {
+			if len(groups[i]) == 0 {
+				return nil
+			}
+			respType, resp, err := targets[i].roundTrip(wire.MsgDeleteEntries,
+				wire.DeleteEntriesReq{Refs: groups[i]}.Encode(), c.opts.NodeTimeout)
+			if err != nil {
+				if isNodeDown(err) {
+					c.opts.Logf("simcoord: %v; re-routing %d delete refs", err, len(groups[i]))
+					failed[i] = groups[i]
+					return nil
+				}
+				return err
+			}
+			if respType != wire.MsgDeleteAck {
+				return fmt.Errorf("cluster: node %s: unexpected delete response %v", targets[i].addr, respType)
+			}
+			ack, aerr := wire.DecodeDeleteAckResp(resp)
+			if aerr != nil {
+				return aerr
+			}
+			deleted.Add(ack.Deleted)
+			return nil
+		})
+		if err != nil {
+			return deleted.Load(), err
+		}
+		remaining = remaining[:0:0]
+		for _, g := range failed {
+			remaining = append(remaining, g...)
+		}
+	}
+	return deleted.Load(), nil
+}
+
+// nodeReply is one node's response frame within a broadcast.
+type nodeReply struct {
+	typ     wire.MsgType
+	payload []byte
+}
+
+// broadcast sends the same request to every live node through the bounded
+// pool and collects the replies in node order. A node that fails at the
+// transport level is marked down and the whole broadcast retries over the
+// survivors — queries stay transparent across a node death, serving
+// whatever the surviving nodes hold. Application errors propagate.
+func (c *Coordinator) broadcast(t wire.MsgType, payload []byte) ([]nodeReply, error) {
+	for {
+		targets := c.alive()
+		if len(targets) == 0 {
+			return nil, errNoLiveNodes
+		}
+		replies := make([]nodeReply, len(targets))
+		var anyDown atomic.Bool
+		err := c.pool.Run(len(targets), func(i int) error {
+			respType, resp, err := targets[i].roundTrip(t, payload, c.opts.NodeTimeout)
+			if err != nil {
+				if isNodeDown(err) {
+					c.opts.Logf("simcoord: %v; retrying over surviving nodes", err)
+					anyDown.Store(true)
+					return nil
+				}
+				return err
+			}
+			replies[i] = nodeReply{typ: respType, payload: resp}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if anyDown.Load() {
+			continue
+		}
+		return replies, nil
+	}
+}
+
+// concatCandidates broadcasts a request whose per-node responses are exact
+// candidate sets (precise range, download-all) and concatenates them in
+// node order — the cross-node form of the engine's per-shard range
+// concatenation, exact because every first-level cell lives on one node.
+func (c *Coordinator) concatCandidates(t wire.MsgType, payload []byte) ([]mindex.Entry, error) {
+	replies, err := c.broadcast(t, payload)
+	if err != nil {
+		return nil, err
+	}
+	var out []mindex.Entry
+	for _, rep := range replies {
+		if rep.typ != wire.MsgCandidates {
+			return nil, fmt.Errorf("cluster: unexpected node response %v to %v", rep.typ, t)
+		}
+		m, err := wire.DecodeCandidatesResp(rep.payload)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m.Entries...)
+	}
+	return out, nil
+}
+
+// rankedFan fans a batch of queries out to every live node as
+// MsgBatchRanked and combines the per-node answers per query: range
+// results concatenate in node order, approximate results merge by the
+// shared (promise, prefix, source) order and trim to the query's candidate
+// size, and first-cell results keep only the globally most promising cell
+// — each the exact cross-node counterpart of what engine.ShardedIndex does
+// across shards, via the same internal/merge implementation.
+func (c *Coordinator) rankedFan(req wire.BatchQueryReq) ([][]mindex.Entry, error) {
+	replies, err := c.broadcast(wire.MsgBatchRanked, req.Encode())
+	if err != nil {
+		return nil, err
+	}
+	perNode := make([][][]mindex.RankedCandidate, len(replies))
+	for i, rep := range replies {
+		if rep.typ != wire.MsgBatchRankedCandidates {
+			return nil, fmt.Errorf("cluster: unexpected node response %v to batch query", rep.typ)
+		}
+		m, err := wire.DecodeBatchRankedResp(rep.payload)
+		if err != nil {
+			return nil, err
+		}
+		if len(m.Results) != len(req.Queries) {
+			return nil, fmt.Errorf("cluster: node returned %d results for %d queries",
+				len(m.Results), len(req.Queries))
+		}
+		perNode[i] = m.Results
+	}
+	out := make([][]mindex.Entry, len(req.Queries))
+	for qi, q := range req.Queries {
+		per := make([][]mindex.RankedCandidate, len(perNode))
+		for i := range perNode {
+			per[i] = perNode[i][qi]
+		}
+		switch q.Kind {
+		case wire.BatchRange:
+			var entries []mindex.Entry
+			for _, rcs := range per {
+				entries = append(entries, merge.Entries(rcs, -1)...)
+			}
+			out[qi] = entries
+		case wire.BatchFirstCell:
+			cells := make([]merge.Cell, len(per))
+			for i, rcs := range per {
+				if len(rcs) == 0 {
+					continue // node has no non-empty cell
+				}
+				cells[i] = merge.Cell{
+					Entries: merge.Entries(rcs, -1),
+					Promise: rcs[0].Promise,
+					Prefix:  rcs[0].Prefix,
+				}
+			}
+			if best := merge.BestCell(cells); best >= 0 {
+				out[qi] = cells[best].Entries
+			}
+		default:
+			out[qi] = merge.Entries(merge.Ranked(per), int(q.CandSize))
+		}
+	}
+	return out, nil
+}
+
+// aggregateHello answers a client hello with the cluster-wide view: the
+// agreed index shape plus entry and shard counts summed over the live
+// nodes.
+func (c *Coordinator) aggregateHello() (wire.HelloResp, error) {
+	replies, err := c.broadcast(wire.MsgHello, wire.HelloReq{}.Encode())
+	if err != nil {
+		return wire.HelloResp{}, err
+	}
+	out := c.info
+	out.Entries = 0
+	out.Shards = 0
+	for _, rep := range replies {
+		if rep.typ != wire.MsgHelloAck {
+			return wire.HelloResp{}, fmt.Errorf("cluster: unexpected node response %v to hello", rep.typ)
+		}
+		m, err := wire.DecodeHelloResp(rep.payload)
+		if err != nil {
+			return wire.HelloResp{}, err
+		}
+		out.Entries += m.Entries
+		out.Shards += m.Shards
+	}
+	return out, nil
+}

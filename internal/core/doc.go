@@ -1,0 +1,35 @@
+// Package core implements the Encrypted M-Index — the paper's contribution:
+// client-side algorithms that let an authorized client, holding the secret
+// key (pivot set + cipher key), use an untrusted similarity-cloud server as
+// an efficient metric index without ever revealing plaintext objects,
+// pivots, or the distance function.
+//
+// The division of labor follows Section 4.2:
+//
+//   - Insert (Algorithm 1): the client computes object–pivot distances,
+//     derives the pivot permutation, encrypts the object, and ships
+//     {permutation [, distances], ciphertext} to the server, which files it
+//     into the M-Index cell tree.
+//   - Search (Algorithm 2): the client computes query–pivot distances,
+//     sends only the permutation (approximate k-NN) or the distance vector
+//     (precise range) to the server, receives a pre-ranked candidate set of
+//     encrypted objects, decrypts them, and refines by computing true
+//     query–object distances.
+//   - Precise k-NN: an approximate k-NN provides an upper bound ρk on the
+//     k-th neighbor distance; the subsequent precise range query R(q, ρk)
+//     guarantees the exact answer.
+//
+// # Key invariant: the server address is just an address
+//
+// A client built here never assumes what stands behind the address it
+// dials: a bare server, a sharded server, or a cluster coordinator
+// federating many servers (internal/cluster) all speak the identical
+// protocol and return identically ordered candidate sets, so deployments
+// scale from one process to many nodes without any client change — and
+// without the client revealing anything more.
+//
+// Every operation returns a stats.Costs decomposition (client, server,
+// communication time; encryption, decryption, distance-computation time;
+// bytes on the wire), which the benchmark harness aggregates into the
+// paper's tables.
+package core

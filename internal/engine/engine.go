@@ -1,22 +1,3 @@
-// Package engine hosts the server-side index engine: a ShardedIndex that
-// partitions the M-Index across independently locked shards and fans
-// searches out across a bounded worker pool, converting the serving hot
-// path from lock-serialized to core-parallel.
-//
-// Sharding invariant (see DESIGN.md §Sharding): an entry whose pivot
-// permutation starts with pivot p is routed to shard p mod N. Every
-// first-level Voronoi cell — the set of objects sharing a closest pivot —
-// is therefore wholly contained in exactly one shard. Because all M-Index
-// pruning and filtering bounds are evaluated per cell and per entry, each
-// shard answers range queries exactly over its partition, and the global
-// range result is the plain concatenation of the per-shard results: no
-// cross-shard re-filtering is ever needed for correctness. Approximate
-// candidates are collected per shard in promise order and merged by
-// (promise, prefix), reproducing Algorithm 4's "next promising Voronoi
-// cell" discipline across partitions.
-//
-// With Shards <= 1 the engine is a transparent wrapper around a single
-// mindex.Index and reproduces its results byte for byte.
 package engine
 
 import (
@@ -26,9 +7,10 @@ import (
 	"path/filepath"
 	"runtime"
 	"slices"
-	"sort"
 	"sync/atomic"
 
+	"simcloud/internal/fanout"
+	"simcloud/internal/merge"
 	"simcloud/internal/mindex"
 )
 
@@ -39,7 +21,7 @@ import (
 type ShardedIndex struct {
 	cfg    mindex.Config
 	shards []*mindex.Index
-	pool   *pool
+	pool   *fanout.Pool
 	closed atomic.Bool
 }
 
@@ -78,7 +60,7 @@ func Wrap(idx *mindex.Index) *ShardedIndex {
 func newSharded(cfg mindex.Config, shards []*mindex.Index) *ShardedIndex {
 	s := &ShardedIndex{cfg: cfg, shards: shards}
 	if len(shards) > 1 {
-		s.pool = newPool(min(len(shards), max(1, runtime.GOMAXPROCS(0))))
+		s.pool = fanout.New(min(len(shards), max(1, runtime.GOMAXPROCS(0))))
 	}
 	return s
 }
@@ -131,7 +113,7 @@ func (s *ShardedIndex) Size() int {
 func (s *ShardedIndex) Close() error {
 	s.closed.Store(true)
 	if s.pool != nil {
-		s.pool.close()
+		s.pool.Close()
 	}
 	var firstErr error
 	for _, sh := range s.shards {
@@ -168,7 +150,11 @@ func (s *ShardedIndex) fanOut(fn func(i int) error) error {
 	if s.pool == nil {
 		return fn(0)
 	}
-	return s.pool.run(len(s.shards), fn)
+	err := s.pool.Run(len(s.shards), fn)
+	if errors.Is(err, fanout.ErrClosed) {
+		return errClosed
+	}
+	return err
 }
 
 // Insert routes the entry to its shard. Entries for different shards can be
@@ -378,10 +364,31 @@ func (s *ShardedIndex) RangeByDists(qDists []float64, r float64) ([]mindex.Entry
 // to candSize — the cross-shard equivalent of Algorithm 4's cell ordering.
 func (s *ShardedIndex) ApproxCandidates(q mindex.ApproxQuery, candSize int) ([]mindex.Entry, error) {
 	if len(s.shards) == 1 {
+		// Hot path: serve the shard's entries directly instead of
+		// materializing ranking annotations just to strip them again.
 		if s.closed.Load() {
 			return nil, errClosed
 		}
 		return s.shards[0].ApproxCandidates(q, candSize)
+	}
+	rcs, err := s.ApproxCandidatesRanked(q, candSize)
+	if err != nil {
+		return nil, err
+	}
+	return merge.Entries(rcs, candSize), nil
+}
+
+// ApproxCandidatesRanked is ApproxCandidates with the source-cell promise
+// and prefix kept on every candidate: per-shard ranked streams are merged
+// by internal/merge and trimmed to candSize. The annotations let a further
+// aggregation layer — the cluster coordinator fronting several servers —
+// repeat exactly this merge across nodes.
+func (s *ShardedIndex) ApproxCandidatesRanked(q mindex.ApproxQuery, candSize int) ([]mindex.RankedCandidate, error) {
+	if len(s.shards) == 1 {
+		if s.closed.Load() {
+			return nil, errClosed
+		}
+		return s.shards[0].ApproxCandidatesRanked(q, candSize)
 	}
 	per := make([][]mindex.RankedCandidate, len(s.shards))
 	err := s.fanOut(func(i int) error {
@@ -392,91 +399,46 @@ func (s *ShardedIndex) ApproxCandidates(q mindex.ApproxQuery, candSize int) ([]m
 	if err != nil {
 		return nil, err
 	}
-	merged := mergeRanked(per)
+	merged := merge.Ranked(per)
 	if len(merged) > candSize {
 		merged = merged[:candSize]
 	}
-	out := make([]mindex.Entry, len(merged))
-	for i, rc := range merged {
-		out[i] = rc.Entry
-	}
-	return out, nil
-}
-
-// mergeRanked flattens per-shard candidate lists (each already in promise
-// order) into one list ordered by (promise, prefix, shard). The stable sort
-// keeps entries of the same cell in bucket order, so the merged ranking is
-// fully deterministic.
-func mergeRanked(per [][]mindex.RankedCandidate) []mindex.RankedCandidate {
-	type tagged struct {
-		rc    mindex.RankedCandidate
-		shard int
-	}
-	total := 0
-	for _, p := range per {
-		total += len(p)
-	}
-	all := make([]tagged, 0, total)
-	for i, p := range per {
-		for _, rc := range p {
-			all = append(all, tagged{rc: rc, shard: i})
-		}
-	}
-	sort.SliceStable(all, func(a, b int) bool {
-		x, y := all[a], all[b]
-		if x.rc.Promise != y.rc.Promise {
-			return x.rc.Promise < y.rc.Promise
-		}
-		if !slices.Equal(x.rc.Prefix, y.rc.Prefix) {
-			return mindex.PrefixLess(x.rc.Prefix, y.rc.Prefix)
-		}
-		return x.shard < y.shard
-	})
-	out := make([]mindex.RankedCandidate, len(all))
-	for i, t := range all {
-		out[i] = t.rc
-	}
-	return out
+	return merged, nil
 }
 
 // FirstCellCandidates returns the entries of the globally most promising
 // non-empty Voronoi cell: each shard nominates its best cell, and the
 // winner is chosen by (promise, prefix, shard).
 func (s *ShardedIndex) FirstCellCandidates(q mindex.ApproxQuery) ([]mindex.Entry, error) {
+	entries, _, _, err := s.FirstCellRanked(q)
+	return entries, err
+}
+
+// FirstCellRanked is FirstCellCandidates with the winning cell's promise
+// and prefix, so a cluster coordinator can pick the globally best cell
+// among per-node winners with merge.BestCell — the same rule applied here
+// across shards. An empty engine yields nil entries.
+func (s *ShardedIndex) FirstCellRanked(q mindex.ApproxQuery) ([]mindex.Entry, float64, []int32, error) {
 	if len(s.shards) == 1 {
 		if s.closed.Load() {
-			return nil, errClosed
+			return nil, 0, nil, errClosed
 		}
-		return s.shards[0].FirstCellCandidates(q)
+		return s.shards[0].FirstCellRanked(q)
 	}
-	type firstCell struct {
-		entries []mindex.Entry
-		promise float64
-		prefix  []int32
-	}
-	per := make([]firstCell, len(s.shards))
+	per := make([]merge.Cell, len(s.shards))
 	err := s.fanOut(func(i int) error {
 		entries, promise, prefix, err := s.shards[i].FirstCellRanked(q)
-		per[i] = firstCell{entries: entries, promise: promise, prefix: prefix}
+		per[i] = merge.Cell{Entries: entries, Promise: promise, Prefix: prefix}
 		return err
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, nil, err
 	}
-	best := -1
-	for i, fc := range per {
-		if fc.entries == nil {
-			continue
-		}
-		if best < 0 || fc.promise < per[best].promise ||
-			(fc.promise == per[best].promise && mindex.PrefixLess(fc.prefix, per[best].prefix)) {
-			best = i
-		}
-	}
+	best := merge.BestCell(per)
 	if best < 0 {
-		return nil, nil
+		return nil, 0, nil, nil
 	}
-	return per[best].entries, nil
+	return per[best].Entries, per[best].Promise, per[best].Prefix, nil
 }
 
 // AllEntries returns every stored entry, shard by shard (the trivial

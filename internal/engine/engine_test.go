@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -918,6 +919,12 @@ func TestMutationRaceHammer(t *testing.T) {
 					t.Error(err)
 					return
 				}
+				// Yield between iterations: on a single-core runner this
+				// spin loop (plus the pool's channel ping-pong and the GC
+				// assists its allocation rate triggers) can otherwise
+				// starve the mutator goroutines off the run queue for
+				// minutes, stalling the whole test.
+				runtime.Gosched()
 			}
 		}()
 	}

@@ -1,0 +1,85 @@
+// Package fanout provides the bounded worker pool behind every
+// fan-out-and-join operation in the serving path: the sharded engine fans
+// searches across index shards with it, and the cluster coordinator fans
+// requests across simserver nodes with it. One fixed set of workers drains
+// a single task channel, so the number of goroutines touching the fanned
+// resources at any moment is capped regardless of how many operations are
+// in flight — concurrent fan-outs interleave their tasks instead of
+// multiplying goroutines.
+package fanout
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed reports a Run attempted on (or interrupted by) a closed pool.
+var ErrClosed = errors.New("fanout: pool is closed")
+
+// Pool is a bounded worker pool. The zero value is not usable; construct
+// with New.
+type Pool struct {
+	tasks chan func()
+	// mu makes Close safe against in-flight Run calls: Run submits under
+	// the read lock, Close closes the channel under the write lock, so a
+	// Close racing a fan-out yields ErrClosed instead of a send-on-closed-
+	// channel panic.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// New starts workers goroutines draining the task channel.
+func New(workers int) *Pool {
+	p := &Pool{tasks: make(chan func())}
+	for range workers {
+		go func() {
+			for fn := range p.tasks {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// Close stops the workers once all queued tasks have drained. Idempotent;
+// blocks until no Run call is mid-submission.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+}
+
+// Run executes fn(0..n-1) on the pool and blocks until all calls returned,
+// reporting the error of the lowest-numbered failing task (deterministic
+// regardless of scheduling). A pool closed before or during submission
+// yields ErrClosed.
+func (p *Pool) Run(n int, fn func(i int) error) error {
+	if n == 1 {
+		return fn(0)
+	}
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return ErrClosed
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := range n {
+		p.tasks <- func() {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}
+	}
+	p.mu.RUnlock()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package fanout
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunExecutesAll(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var hits [16]atomic.Int32
+	if err := p.Run(len(hits), func(i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("task %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestRunReportsLowestError(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	errA, errB := errors.New("a"), errors.New("b")
+	err := p.Run(8, func(i int) error {
+		switch i {
+		case 3:
+			return errA
+		case 6:
+			return errB
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("got %v, want the lowest-numbered task's error %v", err, errA)
+	}
+}
+
+func TestRunSingleTaskInline(t *testing.T) {
+	// n == 1 runs inline even on a closed pool — no pool dependency.
+	p := New(1)
+	p.Close()
+	ran := false
+	if err := p.Run(1, func(int) error { ran = true; return nil }); err != nil || !ran {
+		t.Fatalf("inline task: ran=%v err=%v", ran, err)
+	}
+}
+
+func TestClosedPool(t *testing.T) {
+	p := New(2)
+	p.Close()
+	p.Close() // idempotent
+	if err := p.Run(4, func(int) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+}

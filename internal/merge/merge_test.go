@@ -1,0 +1,100 @@
+package merge
+
+import (
+	"slices"
+	"testing"
+
+	"simcloud/internal/mindex"
+)
+
+func rc(id uint64, promise float64, prefix ...int32) mindex.RankedCandidate {
+	return mindex.RankedCandidate{Entry: mindex.Entry{ID: id, Perm: prefix}, Promise: promise, Prefix: prefix}
+}
+
+func ids(rcs []mindex.RankedCandidate) []uint64 {
+	out := make([]uint64, len(rcs))
+	for i, c := range rcs {
+		out[i] = c.Entry.ID
+	}
+	return out
+}
+
+func TestRankedOrder(t *testing.T) {
+	per := [][]mindex.RankedCandidate{
+		{rc(1, 0.1, 0), rc(2, 0.1, 0), rc(3, 0.7, 2)}, // source 0, promise order
+		{rc(4, 0.1, 1), rc(5, 0.3, 3)},                // source 1
+		nil,                                           // an empty source contributes nothing
+	}
+	got := ids(Ranked(per))
+	// promise 0.1 first: prefix 0 (ids 1,2 in bucket order) before prefix 1
+	// (id 4); then 0.3, then 0.7.
+	want := []uint64{1, 2, 4, 5, 3}
+	if !slices.Equal(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestRankedSourceTieBreak(t *testing.T) {
+	// Identical (promise, prefix) across sources: source order decides, and
+	// within one source bucket order is preserved (stable sort).
+	per := [][]mindex.RankedCandidate{
+		{rc(10, 0.5, 7), rc(11, 0.5, 7)},
+		{rc(20, 0.5, 7)},
+	}
+	got := ids(Ranked(per))
+	want := []uint64{10, 11, 20}
+	if !slices.Equal(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestRankedPrefixTieBreak(t *testing.T) {
+	// Equal promise, different prefixes: lexicographic, shorter first.
+	per := [][]mindex.RankedCandidate{
+		{rc(1, 0.2, 1, 2)},
+		{rc(2, 0.2, 1)},
+		{rc(3, 0.2, 0, 9)},
+	}
+	got := ids(Ranked(per))
+	want := []uint64{3, 2, 1}
+	if !slices.Equal(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestEntriesTrims(t *testing.T) {
+	rcs := []mindex.RankedCandidate{rc(1, 0, 0), rc(2, 0, 0), rc(3, 0, 0)}
+	if got := Entries(rcs, 2); len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("trim to 2: got %v", got)
+	}
+	if got := Entries(rcs, -1); len(got) != 3 {
+		t.Fatalf("candSize -1 should keep everything, got %d", len(got))
+	}
+	if got := Entries(rcs, 10); len(got) != 3 {
+		t.Fatalf("oversized candSize should keep everything, got %d", len(got))
+	}
+}
+
+func TestBestCell(t *testing.T) {
+	e := []mindex.Entry{{ID: 1}}
+	cells := []Cell{
+		{}, // empty source
+		{Entries: e, Promise: 0.4, Prefix: []int32{1}},
+		{Entries: e, Promise: 0.4, Prefix: []int32{0}},
+		{Entries: e, Promise: 0.9, Prefix: []int32{}},
+	}
+	if got := BestCell(cells); got != 2 {
+		t.Fatalf("best cell %d, want 2 (lowest promise, then prefix)", got)
+	}
+	if got := BestCell([]Cell{{}, {}}); got != -1 {
+		t.Fatalf("all-empty best cell %d, want -1", got)
+	}
+	// Equal (promise, prefix): first source wins.
+	tie := []Cell{
+		{Entries: e, Promise: 0.4, Prefix: []int32{2}},
+		{Entries: e, Promise: 0.4, Prefix: []int32{2}},
+	}
+	if got := BestCell(tie); got != 0 {
+		t.Fatalf("tie best cell %d, want 0", got)
+	}
+}

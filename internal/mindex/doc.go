@@ -1,0 +1,45 @@
+// Package mindex implements the M-Index (Novak & Batko 2009; Novak, Batko,
+// Zezula 2011): a dynamic, disk-efficient metric index based on recursive
+// Voronoi partitioning driven by pivot-permutation prefixes.
+//
+// Each indexed object is assigned to the Voronoi cell of its closest pivot;
+// cells exceeding a capacity limit are recursively re-partitioned by the
+// next-closest pivot, producing a dynamic cell tree addressed by permutation
+// prefixes (Figures 2 and 3 of the paper). Range queries prune the tree with
+// metric constraints (generalized-hyperplane and ball bounds) and filter
+// individual objects with the pivot-distance lower bound; approximate k-NN
+// queries rank cells by a promise value and collect a candidate set of a
+// requested size (Algorithms 3 and 4).
+//
+// # Key invariant: pivot-space-only operation
+//
+// Every index operation here consumes only object–pivot and query–pivot
+// distances (or the permutations derived from them) — never the objects or
+// pivots themselves. The index therefore runs unmodified on an untrusted
+// server that stores opaque encrypted payloads: this is precisely the
+// property the paper exploits. The Plain wrapper in plain.go adds the
+// server-side refinement used by the non-encrypted baseline, which does
+// hold the pivots and raw vectors.
+//
+// # Key invariant: tombstones and compaction
+//
+// The index is mutable. Delete marks entries dead through an ID-keyed
+// tombstone set — searches skip tombstoned entries immediately, so a
+// deleted entry is never observable in any result even though its record
+// still occupies its bucket. Entry IDs must be unique among live entries
+// (Insert returns ErrDuplicateID for a live duplicate and physically
+// purges a dead twin on re-insert). Compact physically drops tombstoned
+// entries and merges cells that deletion left underfull; afterwards the
+// index is byte-identical to one freshly built from the surviving entries
+// in arrival order (see DESIGN.md §Mutability), so churn never degrades
+// search semantics.
+//
+// # Key invariant: deterministic tree shape and candidate order
+//
+// The cell tree's shape depends only on the final entry multiset (a cell
+// splits iff its count exceeds BucketCapacity), not on arrival order, and
+// bucket order within a cell is arrival order. Approximate candidates are
+// emitted cell by cell in (promise, prefix) order — the contract the
+// sharded engine and the cluster coordinator rely on when they merge
+// partitioned streams (internal/merge).
+package mindex

@@ -1,23 +1,3 @@
-// Package mindex implements the M-Index (Novak & Batko 2009; Novak, Batko,
-// Zezula 2011): a dynamic, disk-efficient metric index based on recursive
-// Voronoi partitioning driven by pivot-permutation prefixes.
-//
-// Each indexed object is assigned to the Voronoi cell of its closest pivot;
-// cells exceeding a capacity limit are recursively re-partitioned by the
-// next-closest pivot, producing a dynamic cell tree addressed by permutation
-// prefixes (Figures 2 and 3 of the paper). Range queries prune the tree with
-// metric constraints (generalized-hyperplane and ball bounds) and filter
-// individual objects with the pivot-distance lower bound; approximate k-NN
-// queries rank cells by a promise value and collect a candidate set of a
-// requested size (Algorithms 3 and 4).
-//
-// Crucially for the Encrypted M-Index, every index operation here consumes
-// only object–pivot and query–pivot distances (or the permutations derived
-// from them) — never the objects or pivots themselves. The index therefore
-// runs unmodified on an untrusted server that stores opaque encrypted
-// payloads: this is precisely the property the paper exploits. The Plain
-// wrapper in plain.go adds the server-side refinement used by the
-// non-encrypted baseline, which does hold the pivots and raw vectors.
 package mindex
 
 import (

@@ -290,6 +290,12 @@ var errNeedPlain = errors.New("server: request requires the plain deployment")
 
 func (s *Server) handle(typ wire.MsgType, payload []byte, start time.Time, distBefore time.Duration) (wire.MsgType, []byte, error) {
 	switch typ {
+	case wire.MsgHello:
+		if _, err := wire.DecodeHelloReq(payload); err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgHelloAck, s.helloResp().Encode(), nil
+
 	case wire.MsgInsertEntries:
 		if s.enc == nil {
 			return 0, nil, errNeedEncrypted
@@ -432,6 +438,25 @@ func (s *Server) handle(typ wire.MsgType, payload []byte, start time.Time, distB
 			}
 		}
 		return wire.MsgBatchCandidates, wire.BatchQueryResp{
+			ServerNanos: s.serverNanos(start), Results: results,
+		}.Encode(), nil
+
+	case wire.MsgBatchRanked:
+		if s.enc == nil {
+			return 0, nil, errNeedEncrypted
+		}
+		req, err := wire.DecodeBatchQueryReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		results := make([][]mindex.RankedCandidate, len(req.Queries))
+		for i, q := range req.Queries {
+			results[i], err = s.evalBatchRanked(q)
+			if err != nil {
+				return 0, nil, fmt.Errorf("server: batch query %d: %w", i, err)
+			}
+		}
+		return wire.MsgBatchRankedCandidates, wire.BatchRankedResp{
 			ServerNanos: s.serverNanos(start), Results: results,
 		}.Encode(), nil
 
@@ -594,8 +619,8 @@ func (s *Server) handle(typ wire.MsgType, payload []byte, start time.Time, distB
 }
 
 // evalBatchQuery evaluates one query of a batched request against the index
-// engine — the same three evaluations the single-query messages perform.
-// Each query fans out across all index shards internally.
+// engine — the same evaluations the single-query messages perform. Each
+// query fans out across all index shards internally.
 func (s *Server) evalBatchQuery(q wire.BatchQuery) ([]mindex.Entry, error) {
 	switch q.Kind {
 	case wire.BatchRange:
@@ -613,6 +638,89 @@ func (s *Server) evalBatchQuery(q wire.BatchQuery) ([]mindex.Entry, error) {
 				Dists: q.Dists,
 				Ranks: pivot.Ranks(pivot.Permutation(q.Dists)),
 			}, int(q.CandSize))
+	case wire.BatchFirstCell:
+		if !pivot.ValidPermutation(q.Perm, s.enc.Config().NumPivots) {
+			return nil, fmt.Errorf("request permutation is not a permutation of %d pivots",
+				s.enc.Config().NumPivots)
+		}
+		return s.enc.FirstCellCandidates(mindex.ApproxQuery{Ranks: pivot.Ranks(q.Perm)})
 	}
 	return nil, fmt.Errorf("unknown batch query kind %d", q.Kind)
+}
+
+// evalBatchRanked evaluates one query of a MsgBatchRanked request, keeping
+// the source-cell promise annotations that let the cluster coordinator
+// merge per-node candidate streams exactly like the engine merges shards.
+// Range queries are exact and carry no ranking: their candidates return
+// with promise 0 and a nil prefix (the coordinator concatenates them
+// instead of merging).
+func (s *Server) evalBatchRanked(q wire.BatchQuery) ([]mindex.RankedCandidate, error) {
+	switch q.Kind {
+	case wire.BatchRange:
+		entries, err := s.enc.RangeByDists(q.Dists, q.Radius)
+		if err != nil {
+			return nil, err
+		}
+		rcs := make([]mindex.RankedCandidate, len(entries))
+		for i, e := range entries {
+			rcs[i] = mindex.RankedCandidate{Entry: e}
+		}
+		return rcs, nil
+	case wire.BatchApproxPerm:
+		if !pivot.ValidPermutation(q.Perm, s.enc.Config().NumPivots) {
+			return nil, fmt.Errorf("request permutation is not a permutation of %d pivots",
+				s.enc.Config().NumPivots)
+		}
+		return s.enc.ApproxCandidatesRanked(
+			mindex.ApproxQuery{Ranks: pivot.Ranks(q.Perm)}, int(q.CandSize))
+	case wire.BatchApproxDists:
+		return s.enc.ApproxCandidatesRanked(
+			mindex.ApproxQuery{
+				Dists: q.Dists,
+				Ranks: pivot.Ranks(pivot.Permutation(q.Dists)),
+			}, int(q.CandSize))
+	case wire.BatchFirstCell:
+		if !pivot.ValidPermutation(q.Perm, s.enc.Config().NumPivots) {
+			return nil, fmt.Errorf("request permutation is not a permutation of %d pivots",
+				s.enc.Config().NumPivots)
+		}
+		entries, promise, prefix, err := s.enc.FirstCellRanked(
+			mindex.ApproxQuery{Ranks: pivot.Ranks(q.Perm)})
+		if err != nil {
+			return nil, err
+		}
+		rcs := make([]mindex.RankedCandidate, len(entries))
+		for i, e := range entries {
+			rcs[i] = mindex.RankedCandidate{Entry: e, Promise: promise, Prefix: prefix}
+		}
+		return rcs, nil
+	}
+	return nil, fmt.Errorf("unknown batch query kind %d", q.Kind)
+}
+
+// helloResp summarizes this server for the hello handshake: deployment
+// mode, index shape, and the live entry count as a health signal.
+func (s *Server) helloResp() wire.HelloResp {
+	var cfg mindex.Config
+	var mode uint8
+	var entries int
+	if s.enc != nil {
+		cfg, mode, entries = s.enc.Config(), wire.HelloModeEncrypted, s.enc.Size()
+	} else {
+		cfg, mode, entries = s.plain.Idx.Config(), wire.HelloModePlain, s.plain.Idx.Size()
+	}
+	shards := max(1, cfg.Shards)
+	return wire.HelloResp{
+		Mode:           mode,
+		NumPivots:      uint32(cfg.NumPivots),
+		MaxLevel:       uint32(cfg.MaxLevel),
+		BucketCapacity: uint32(cfg.BucketCapacity),
+		Ranking:        uint8(cfg.Ranking),
+		// Multi-shard engines split every shard root eagerly, so their
+		// leaves always sit at prefix length >= 1 regardless of the
+		// engine-level flag.
+		EagerRootSplit: cfg.EagerRootSplit || shards > 1,
+		Shards:         uint32(shards),
+		Entries:        uint64(entries),
+	}
 }

@@ -1,14 +1,3 @@
-// Package wire implements the binary client–server protocol of the
-// similarity cloud: length-prefixed frames over TCP, a compact field codec,
-// and the typed request/response messages exchanged by the encrypted and
-// plain clients, the server, and the baseline protocols.
-//
-// The protocol is deliberately explicit about what each request reveals:
-// encrypted-deployment requests carry only pivot permutations or pivot
-// distance vectors (never the query object), while plain-deployment requests
-// carry the raw query vector — making the privacy difference between the two
-// variants directly visible on the wire, where the benchmark harness
-// measures communication cost.
 package wire
 
 import (

@@ -1,0 +1,28 @@
+// Package wire implements the binary client–server protocol of the
+// similarity cloud: length-prefixed frames over TCP, a compact field codec,
+// and the typed request/response messages exchanged by the encrypted and
+// plain clients, the server, the cluster coordinator, and the baseline
+// protocols.
+//
+// The protocol is deliberately explicit about what each request reveals:
+// encrypted-deployment requests carry only pivot permutations or pivot
+// distance vectors (never the query object), while plain-deployment requests
+// carry the raw query vector — making the privacy difference between the two
+// variants directly visible on the wire, where the benchmark harness
+// measures communication cost.
+//
+// # Key invariant: hostile-input safety and frame limits
+//
+// Every byte of a frame is untrusted until decoded. A frame is a uint32
+// length prefix (covering type byte + payload) followed by the type byte
+// and payload; ReadFrame rejects frames larger than MaxFrameSize (1 GiB)
+// so a corrupted or hostile length prefix cannot make the receiver
+// allocate unboundedly. Within a payload, every count-prefixed list bounds
+// its claimed element count by the payload bytes actually present before
+// allocating, and every decoder returns ErrCodec (never panics, never
+// over-reads) on malformed input — properties exercised continuously by
+// the fuzz targets in this package and by the CI fuzz-smoke job.
+//
+// Decoders accept exactly what the encoders produce, so the byte counts
+// measured by the benchmarks are the exact bytes a real deployment ships.
+package wire

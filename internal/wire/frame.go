@@ -89,6 +89,26 @@ const (
 	// MsgDeleteAck acknowledges a delete, carrying the count of entries
 	// actually tombstoned plus server time.
 	MsgDeleteAck
+
+	// MsgHello asks a server to identify itself: deployment mode and the
+	// index shape (pivot count, depth, ranking strategy). The cluster
+	// coordinator hellos every node at startup to verify the nodes are
+	// key-compatible before it federates them; it doubles as a health
+	// check (the reply carries the live entry count).
+	MsgHello
+	// MsgHelloAck answers MsgHello with a HelloResp.
+	MsgHelloAck
+
+	// MsgBatchRanked is MsgBatchQuery with ranking annotations kept on the
+	// reply: the payload is a BatchQueryReq, but every candidate returns
+	// with its source cell's promise value and permutation prefix, so an
+	// aggregation layer (the cluster coordinator) can merge per-node
+	// streams by the same (promise, prefix, source) order the in-server
+	// shard merge uses.
+	MsgBatchRanked
+	// MsgBatchRankedCandidates returns one ranked candidate set per query
+	// of a MsgBatchRanked request.
+	MsgBatchRankedCandidates
 )
 
 var msgNames = map[MsgType]string{
@@ -101,6 +121,8 @@ var msgNames = map[MsgType]string{
 	MsgPutRaw: "put-raw", MsgGetRaw: "get-raw", MsgRawItems: "raw-items",
 	MsgBatchQuery: "batch-query", MsgBatchCandidates: "batch-candidates",
 	MsgDeleteEntries: "delete-entries", MsgDeleteAck: "delete-ack",
+	MsgHello: "hello", MsgHelloAck: "hello-ack",
+	MsgBatchRanked: "batch-ranked", MsgBatchRankedCandidates: "batch-ranked-candidates",
 }
 
 // String implements fmt.Stringer.

@@ -72,6 +72,12 @@ func FuzzDecodeRequests(f *testing.F) {
 		{ID: 8, Perm: []int32{2, 1, 0}},
 	}}.Encode())
 	f.Add(DeleteAckResp{ServerNanos: 9, Deleted: 2}.Encode())
+	f.Add(HelloResp{Mode: HelloModeEncrypted, NumPivots: 16, MaxLevel: 8,
+		BucketCapacity: 200, Ranking: 1, EagerRootSplit: true, Shards: 4, Entries: 12}.Encode())
+	f.Add(BatchQueryReq{Queries: []BatchQuery{{Kind: BatchFirstCell, Perm: []int32{1, 0}}}}.Encode())
+	f.Add(BatchRankedResp{ServerNanos: 2, Results: [][]mindex.RankedCandidate{{
+		{Entry: mindex.Entry{ID: 3, Perm: []int32{1, 0}}, Promise: 0.5, Prefix: []int32{1}},
+	}}}.Encode())
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// None of these may panic; errors are fine.
@@ -97,5 +103,7 @@ func FuzzDecodeRequests(f *testing.F) {
 		_, _ = DecodeBatchQueryResp(data)
 		_, _ = DecodeDeleteEntriesReq(data)
 		_, _ = DecodeDeleteAckResp(data)
+		_, _ = DecodeHelloResp(data)
+		_, _ = DecodeBatchRankedResp(data)
 	})
 }

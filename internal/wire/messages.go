@@ -656,13 +656,16 @@ const (
 	// BatchApproxDists is an approximate k-NN candidate request under the
 	// distance-sum ranking (pivot distances + candidate size).
 	BatchApproxDists
+	// BatchFirstCell asks for the single most promising Voronoi cell
+	// (pivot permutation only), the batched form of MsgFirstCell.
+	BatchFirstCell
 )
 
 // BatchQuery is one query of a batched request: a tagged union over the
 // three encrypted query shapes.
 type BatchQuery struct {
 	Kind     uint8
-	Perm     []int32   // BatchApproxPerm
+	Perm     []int32   // BatchApproxPerm, BatchFirstCell
 	Dists    []float64 // BatchRange, BatchApproxDists
 	Radius   float64   // BatchRange
 	CandSize uint32    // BatchApproxPerm, BatchApproxDists
@@ -692,6 +695,8 @@ func (m BatchQueryReq) Encode() []byte {
 		case BatchApproxDists:
 			b.F64Slice(q.Dists)
 			b.U32(q.CandSize)
+		case BatchFirstCell:
+			b.I32Slice(q.Perm)
 		}
 	}
 	return b.B
@@ -718,6 +723,8 @@ func DecodeBatchQueryReq(p []byte) (BatchQueryReq, error) {
 		case BatchApproxDists:
 			q.Dists = r.F64Slice()
 			q.CandSize = r.U32()
+		case BatchFirstCell:
+			q.Perm = r.I32Slice()
 		default:
 			return BatchQueryReq{}, ErrCodec
 		}

@@ -1,66 +1,9 @@
-// Package simcloud is a similarity cloud with data privacy: a Go
-// implementation of the Encrypted M-Index (Kozák, Novák, Zezula: "Secure
-// Metric-Based Index for Similarity Cloud", SDM @ VLDB 2012).
-//
-// The system outsources metric similarity search to an untrusted server
-// while the data owner retains a two-part secret key: the set of reference
-// objects (pivots) and a symmetric cipher key. The server indexes only
-// {pivot permutation [, pivot distances], ciphertext} records in an M-Index
-// — a dynamic metric index built on recursive Voronoi partitioning — and can
-// prune, rank and filter candidate sets without ever being able to evaluate
-// the distance function or read an object. Authorized clients refine the
-// candidate sets locally (decrypt + compute true distances).
-//
-// # Quick start
-//
-//	dist := simcloud.L2()
-//	pivots := simcloud.SelectPivots(1, dist, data, 16)
-//	key, _ := simcloud.GenerateKey(pivots)
-//
-//	srv, _ := simcloud.NewEncryptedServer(simcloud.DefaultConfig(16))
-//	srv.Start("127.0.0.1:0")
-//	defer srv.Close()
-//
-//	client, _ := simcloud.DialEncrypted(srv.Addr(), key, simcloud.ClientOptions{})
-//	defer client.Close()
-//	client.Insert(data)
-//	results, costs, _ := client.ApproxKNN(query, 10, 200)
-//
-// Three query types are supported, all with the paper's cost decomposition
-// (client / server / communication time, encryption / decryption time,
-// bytes on the wire): precise range, precise k-NN (approximate pass + range
-// ρk), and approximate k-NN with a tunable candidate-set size.
-//
-// # Mutability
-//
-// The index is mutable: EncryptedClient.Delete and DeleteBatch tombstone
-// entries by {ID, permutation prefix} — the same pivot-space metadata an
-// insert reveals — and the server compacts tombstones away either on
-// demand or automatically (Config.AutoCompactFraction). After compaction
-// the index is byte-identical to one freshly built from the surviving
-// entries (see DESIGN.md §Mutability), so churn workloads (sustained
-// insert/delete at steady state) preserve exact search semantics.
-//
-// # Scaling out
-//
-// For heavy concurrent traffic the server-side index can be partitioned:
-// Config.Shards > 1 (or DefaultShardedConfig) splits the M-Index across
-// independently locked shards keyed by the first permutation element, with
-// searches fanned out over a bounded worker pool and merged by cell promise
-// — result sets are preserved (see DESIGN.md §Sharding). On the client,
-// EncryptedClient.InsertBatch and ApproxKNNBatch pipeline chunked frames so
-// many operations share one round trip.
-//
-// Subpackages under internal implement the substrates: the metric-space
-// framework, the M-Index, the encryption layer, the wire protocol, the
-// compared baseline techniques (EHI, FDH, trivial download), the synthetic
-// stand-ins for the paper's data sets, and the benchmark harness that
-// regenerates every evaluation table (see DESIGN.md and EXPERIMENTS.md).
 package simcloud
 
 import (
 	"math/rand/v2"
 
+	"simcloud/internal/cluster"
 	"simcloud/internal/core"
 	"simcloud/internal/dataset"
 	"simcloud/internal/metric"
@@ -100,6 +43,11 @@ type (
 	ClientOptions = core.Options
 	// Dataset is a generated evaluation collection.
 	Dataset = dataset.Dataset
+	// Coordinator federates several encrypted servers into one similarity
+	// cloud (see internal/cluster and DESIGN.md §Distribution).
+	Coordinator = cluster.Coordinator
+	// CoordinatorOptions configures a Coordinator.
+	CoordinatorOptions = cluster.Options
 )
 
 // Storage backends for Config.Storage.
@@ -235,6 +183,17 @@ func NewEncryptedServer(cfg Config) (*Server, error) { return server.NewEncrypte
 // pivots and raw data and answers queries completely.
 func NewPlainServer(cfg Config, pivots *PivotSet) (*Server, error) {
 	return server.NewPlain(cfg, pivots)
+}
+
+// NewCoordinator connects to the encrypted servers at the given addresses,
+// verifies they are key-compatible, and federates them behind one address:
+// entries place on node Perm[0] mod N, queries fan out and combine by the
+// same merge order a sharded single server uses, and clients connect with
+// DialEncrypted exactly as to a single server. Nodes of a multi-node
+// cluster must run with Config.EagerRootSplit (or Shards > 1); see
+// DESIGN.md §Distribution.
+func NewCoordinator(nodeAddrs []string, opts CoordinatorOptions) (*Coordinator, error) {
+	return cluster.New(nodeAddrs, opts)
 }
 
 // DialEncrypted connects an authorized client to an encrypted server.
