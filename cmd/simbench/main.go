@@ -17,12 +17,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"simcloud/internal/bench"
 )
 
 func main() {
+	// All work happens in run so deferred cleanups — most importantly the
+	// pprof writers — fire on every exit path, including failures (the run
+	// one most wants to profile is often the failing one).
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		table   = flag.String("table", "all", "table to regenerate: 1..9 or all")
 		scale   = flag.Int("scale", 100000, "CoPhIR collection size (paper: 1000000)")
@@ -32,11 +41,43 @@ func main() {
 		bulk    = flag.Int("bulk", 1000, "bulk insert size")
 		format  = flag.String("format", "text", "output format: text or csv")
 		verbose = flag.Bool("v", false, "print progress to stderr")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 	if *format != "text" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "simbench: unknown format %q\n", *format)
-		os.Exit(2)
+		return 2
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: starting CPU profile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap so the profile shows retained state
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "simbench: writing memory profile: %v\n", err)
+			}
+		}()
 	}
 
 	opts := bench.Options{
@@ -66,15 +107,16 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	} else {
 		t, err := bench.Run(*table, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		render(t)
 	}
 	fmt.Fprintf(os.Stderr, "simbench: done in %s\n", bench.Elapsed(start))
+	return 0
 }

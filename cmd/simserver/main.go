@@ -41,6 +41,7 @@ func main() {
 		bucket   = flag.Int("bucket", 200, "bucket capacity")
 		storage  = flag.String("storage", "memory", "bucket storage: memory or disk")
 		diskPath = flag.String("disk-path", "", "bucket directory for -storage disk")
+		diskMB   = flag.Int("disk-cache-mb", 32, "read-through bucket cache budget in MiB for -storage disk, total across all shards (0 disables)")
 		ranking  = flag.String("ranking", "footrule", "cell ranking: footrule or distsum")
 		keyFile  = flag.String("key", "", "key file (plain mode only: supplies the pivots)")
 		snapshot = flag.String("snapshot", "", "snapshot file: restore on start if present, save on shutdown (encrypted mode with -storage disk)")
@@ -58,6 +59,13 @@ func main() {
 		Shards:              *shards,
 		EagerRootSplit:      *eager,
 		AutoCompactFraction: *autoComp,
+	}
+	// Config convention: 0 means the library default, negative disables —
+	// a 0 on the command line reads as "no cache", so translate it.
+	if *diskMB <= 0 {
+		cfg.DiskCacheBytes = -1
+	} else {
+		cfg.DiskCacheBytes = *diskMB << 20
 	}
 	switch *storage {
 	case "memory":

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"slices"
+	"sync"
 	"sync/atomic"
 
 	"simcloud/internal/fanout"
@@ -23,6 +24,33 @@ type ShardedIndex struct {
 	shards []*mindex.Index
 	pool   *fanout.Pool
 	closed atomic.Bool
+
+	// Fan-out scratch pools: the per-shard result slices a query fans out
+	// into are recycled across queries (one pool per result shape), so the
+	// steady-state multi-shard hot path allocates no fan-out scaffolding.
+	// Pooled slices are cleared before reuse — a parked slice never pins a
+	// previous query's results.
+	entriesScratch scratchPool[[]mindex.Entry]
+	rankedScratch  scratchPool[[]mindex.RankedCandidate]
+	cellScratch    scratchPool[merge.Cell]
+}
+
+// scratchPool recycles fixed-length fan-out slices (one element per shard).
+type scratchPool[T any] struct {
+	p sync.Pool
+}
+
+func (sp *scratchPool[T]) get(n int) *[]T {
+	if v := sp.p.Get(); v != nil {
+		return v.(*[]T)
+	}
+	s := make([]T, n)
+	return &s
+}
+
+func (sp *scratchPool[T]) put(s *[]T) {
+	clear(*s)
+	sp.p.Put(s)
 }
 
 // New creates an empty sharded index. cfg.Shards selects the partition
@@ -87,6 +115,17 @@ func shardConfig(cfg mindex.Config, i, n int) mindex.Config {
 	out.EagerRootSplit = true
 	if cfg.Storage == mindex.StorageDisk {
 		out.DiskPath = filepath.Join(cfg.DiskPath, fmt.Sprintf("shard-%03d", i))
+		// The bucket-cache budget is a whole-engine figure: resolve the
+		// default here and split it across the shards' stores, so an
+		// operator sizing DiskCacheBytes against a memory limit gets that
+		// total, not budget × shards. Negative (disabled) passes through.
+		budget := cfg.DiskCacheBytes
+		if budget == 0 {
+			budget = mindex.DefaultDiskCacheBytes
+		}
+		if budget > 0 {
+			out.DiskCacheBytes = max(budget/n, 1)
+		}
 	}
 	return out
 }
@@ -346,7 +385,9 @@ func (s *ShardedIndex) RangeByDists(qDists []float64, r float64) ([]mindex.Entry
 		}
 		return s.shards[0].RangeByDists(qDists, r)
 	}
-	per := make([][]mindex.Entry, len(s.shards))
+	perp := s.entriesScratch.get(len(s.shards))
+	defer s.entriesScratch.put(perp)
+	per := *perp
 	err := s.fanOut(func(i int) error {
 		out, err := s.shards[i].RangeByDists(qDists, r)
 		per[i] = out
@@ -390,7 +431,9 @@ func (s *ShardedIndex) ApproxCandidatesRanked(q mindex.ApproxQuery, candSize int
 		}
 		return s.shards[0].ApproxCandidatesRanked(q, candSize)
 	}
-	per := make([][]mindex.RankedCandidate, len(s.shards))
+	perp := s.rankedScratch.get(len(s.shards))
+	defer s.rankedScratch.put(perp)
+	per := *perp
 	err := s.fanOut(func(i int) error {
 		out, err := s.shards[i].ApproxCandidatesRanked(q, candSize)
 		per[i] = out
@@ -425,7 +468,9 @@ func (s *ShardedIndex) FirstCellRanked(q mindex.ApproxQuery) ([]mindex.Entry, fl
 		}
 		return s.shards[0].FirstCellRanked(q)
 	}
-	per := make([]merge.Cell, len(s.shards))
+	perp := s.cellScratch.get(len(s.shards))
+	defer s.cellScratch.put(perp)
+	per := *perp
 	err := s.fanOut(func(i int) error {
 		entries, promise, prefix, err := s.shards[i].FirstCellRanked(q)
 		per[i] = merge.Cell{Entries: entries, Promise: promise, Prefix: prefix}
@@ -465,10 +510,14 @@ func (s *ShardedIndex) TreeStats() mindex.Stats {
 }
 
 // Stats reports the engine's live/dead entry counts and tree shape, both
-// aggregated and per shard (Shards[i] describes shard i).
+// aggregated and per shard (Shards[i] describes shard i), plus the
+// read-through bucket-cache counters summed over all disk-backed shards
+// (zero for memory storage, which needs no cache).
 type Stats struct {
-	Total  mindex.Stats
-	Shards []mindex.Stats
+	Total       mindex.Stats
+	Shards      []mindex.Stats
+	CacheHits   uint64
+	CacheMisses uint64
 }
 
 // Stats collects per-shard tree statistics plus their aggregate — the
@@ -488,6 +537,10 @@ func (s *ShardedIndex) Stats() Stats {
 		out.Total.TotalBucket += st.TotalBucket
 		out.Total.MaxDepth = max(out.Total.MaxDepth, st.MaxDepth)
 		out.Total.MaxBucket = max(out.Total.MaxBucket, st.MaxBucket)
+		if hits, misses, ok := sh.CacheStats(); ok {
+			out.CacheHits += hits
+			out.CacheMisses += misses
+		}
 	}
 	return out
 }

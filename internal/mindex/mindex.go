@@ -70,6 +70,14 @@ type Config struct {
 	Storage StorageKind
 	// DiskPath is the bucket directory for StorageDisk.
 	DiskPath string
+	// DiskCacheBytes bounds the DiskStore read-through bucket cache (the
+	// decoded-entry LRU that lets repeated queries skip re-reading and
+	// re-decoding bucket files): positive values set the budget in bytes,
+	// 0 means DefaultDiskCacheBytes, negative disables the cache. Ignored
+	// for memory storage. internal/engine treats the budget as a
+	// whole-engine figure and divides it across shards. The cache never
+	// changes any result — see DESIGN.md §Performance.
+	DiskCacheBytes int
 	// Ranking selects the approximate-search cell ordering.
 	Ranking RankStrategy
 	// Shards partitions the index across this many independently locked
@@ -170,6 +178,10 @@ type Index struct {
 	// from the canonical shape a fresh build of the surviving entries would
 	// have; Compact restores it.
 	dirty bool
+
+	// pqPool recycles promise-queue backing arrays across searches so the
+	// steady-state query path allocates no traversal state (see search.go).
+	pqPool sync.Pool
 }
 
 // entryLoc locates one stored entry: its leaf cell and the monotonically
@@ -187,9 +199,15 @@ type node struct {
 	prefix   []int32
 	parent   *node           // nil for the root
 	children map[int32]*node // nil for leaves
-	bucket   BucketID
-	count    int // objects in this subtree, tombstoned included
-	dead     int // tombstoned objects in this subtree
+	// sorted caches the child keys in ascending order — the deterministic
+	// traversal order. Children are only ever added (deletion works through
+	// tombstones and Compact rebuilds whole trees), so every structural
+	// mutation maintains it via addChild under the write lock and queries
+	// read it allocation-free under the read lock.
+	sorted []int32
+	bucket BucketID
+	count  int // objects in this subtree, tombstoned included
+	dead   int // tombstoned objects in this subtree
 
 	// Ball bounds: min/max distance from subtree objects to the cell's
 	// defining pivot (the last prefix element). Valid only while every
@@ -204,6 +222,19 @@ type node struct {
 func (n *node) live() int { return n.count - n.dead }
 
 func (n *node) isLeaf() bool { return n.children == nil }
+
+// addChild links child under n at key, keeping the cached sorted key list
+// in ascending order (an insertion into a short slice — child counts are
+// bounded by the pivot count). Callers hold the index write lock.
+func (n *node) addChild(key int32, child *node) {
+	n.children[key] = child
+	i := len(n.sorted)
+	n.sorted = append(n.sorted, key)
+	for ; i > 0 && key < n.sorted[i-1]; i-- {
+		n.sorted[i] = n.sorted[i-1]
+	}
+	n.sorted[i] = key
+}
 
 func (n *node) level() int { return len(n.prefix) }
 
@@ -226,10 +257,12 @@ func New(cfg Config) (*Index, error) {
 	case StorageMemory:
 		store = NewMemStore()
 	case StorageDisk:
-		store, err = NewDiskStore(cfg.DiskPath)
-		if err != nil {
-			return nil, err
+		ds, derr := NewDiskStore(cfg.DiskPath)
+		if derr != nil {
+			return nil, derr
 		}
+		ds.SetCacheBudget(cfg.DiskCacheBytes)
+		store = ds
 	}
 	idx := &Index{
 		cfg:        cfg,
@@ -363,7 +396,7 @@ func (ix *Index) insertAt(n *node, e Entry) error {
 				child.rmin = e.Dists[key]
 				child.rmax = e.Dists[key]
 			}
-			n.children[key] = child
+			n.addChild(key, child)
 		}
 		n = child
 	}
@@ -410,7 +443,10 @@ func (n *node) updateBounds(e Entry) {
 // split turns an overflowing leaf into an internal node, redistributing its
 // bucket by the next permutation element — the recursive Voronoi step.
 func (ix *Index) split(n *node) error {
-	entries, err := ix.store.Load(n.bucket)
+	// View, not Load: the entries are only read (and re-encoded into the
+	// child buckets), and the Free below drops the store's reference while
+	// this snapshot stays valid.
+	entries, err := ix.store.View(n.bucket)
 	if err != nil {
 		return err
 	}
@@ -418,6 +454,7 @@ func (ix *Index) split(n *node) error {
 		return err
 	}
 	n.children = make(map[int32]*node)
+	n.sorted = nil
 	n.bucket = 0
 	level := n.level()
 	for _, e := range entries {
@@ -434,7 +471,7 @@ func (ix *Index) split(n *node) error {
 				bucket:      b,
 				boundsValid: true,
 			}
-			n.children[key] = child
+			n.addChild(key, child)
 		}
 		child.count++
 		if _, gone := ix.tombstones[e.ID]; gone {
@@ -470,20 +507,13 @@ func appendPrefix(prefix []int32, key int32) []int32 {
 }
 
 // sortedChildKeys returns the node's child keys in ascending order — the
-// deterministic traversal order used by snapshots, the loc rebuild and
-// Compact (map iteration order must never leak into persisted or rebuilt
-// state).
+// deterministic traversal order used by searches, snapshots, the loc
+// rebuild and Compact (map iteration order must never leak into results or
+// persisted state). The list is the node's maintained cache (see
+// node.addChild), so calling this allocates and sorts nothing; the returned
+// slice must not be modified.
 func sortedChildKeys(n *node) []int32 {
-	keys := make([]int32, 0, len(n.children))
-	for k := range n.children {
-		keys = append(keys, k)
-	}
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
-	return keys
+	return n.sorted
 }
 
 // ensureLoc builds the entry-location map when it is missing (after a
@@ -500,7 +530,7 @@ func (ix *Index) ensureLoc() error {
 	var walk func(n *node) error
 	walk = func(n *node) error {
 		if n.isLeaf() {
-			entries, err := ix.store.Load(n.bucket)
+			entries, err := ix.store.View(n.bucket)
 			if err != nil {
 				return err
 			}
@@ -529,11 +559,13 @@ func (ix *Index) ensureLoc() error {
 // write lock and have verified the tombstone.
 func (ix *Index) purgeLocked(id uint64) error {
 	l := ix.loc[id]
-	entries, err := ix.store.Load(l.leaf.bucket)
+	entries, err := ix.store.View(l.leaf.bucket)
 	if err != nil {
 		return err
 	}
-	kept := entries[:0]
+	// The view is read-only — survivors are gathered into a fresh slice
+	// instead of compacting in place.
+	kept := make([]Entry, 0, len(entries))
 	removed := 0
 	for _, e := range entries {
 		if e.ID == id {
@@ -664,7 +696,7 @@ func (ix *Index) Compact() error {
 	gather = func(n *node) error {
 		if n.isLeaf() {
 			oldBuckets = append(oldBuckets, n.bucket)
-			entries, err := ix.store.Load(n.bucket)
+			entries, err := ix.store.View(n.bucket)
 			if err != nil {
 				return err
 			}
@@ -754,6 +786,20 @@ type Stats struct {
 	MaxDepth    int
 	MaxBucket   int
 	TotalBucket int
+}
+
+// CacheStats reports the bucket store's read-through entry cache counters
+// (DiskStore only; ok is false for backends without a cache). Surfaced per
+// deployment through engine.Stats.
+func (ix *Index) CacheStats() (hits, misses uint64, ok bool) {
+	cs, ok := ix.store.(interface {
+		CacheStats() (uint64, uint64, int)
+	})
+	if !ok {
+		return 0, 0, false
+	}
+	hits, misses, _ = cs.CacheStats()
+	return hits, misses, true
 }
 
 // TreeStats walks the cell tree and reports its shape.

@@ -140,15 +140,15 @@ func (p *Plain) KNN(q metric.Vector, k int) ([]Result, error) {
 
 	best := &knnHeap{}
 	radius := math.Inf(1)
-	pq := &rankedQueue{{n: ix.root, promise: 0}} // promise reused as lower bound
-	heap.Init(pq)
+	pq := ix.getQueue() // promise reused as lower bound
+	defer ix.putQueue(pq)
 	for pq.Len() > 0 {
-		item := heap.Pop(pq).(rankedNode)
+		item := pq.pop()
 		if item.promise > radius {
 			break // every remaining cell is at least this far
 		}
 		if item.n.isLeaf() {
-			entries, err := ix.store.Load(item.n.bucket)
+			entries, err := ix.store.View(item.n.bucket)
 			if err != nil {
 				return nil, err
 			}
@@ -172,7 +172,7 @@ func (p *Plain) KNN(q metric.Vector, k int) ([]Result, error) {
 				lb = item.promise // bounds accumulate along the path
 			}
 			if lb <= radius {
-				heap.Push(pq, rankedNode{n: child, promise: lb})
+				pq.push(rankedNode{n: child, promise: lb})
 			}
 		}
 	}
@@ -237,7 +237,7 @@ func (ix *Index) AllEntries() ([]Entry, error) {
 	var walk func(n *node) error
 	walk = func(n *node) error {
 		if n.isLeaf() {
-			entries, err := ix.store.Load(n.bucket)
+			entries, err := ix.store.View(n.bucket)
 			if err != nil {
 				return err
 			}
@@ -267,7 +267,7 @@ func (p *Plain) BruteForceKNN(q metric.Vector, k int) ([]Result, error) {
 	var walk func(n *node) error
 	walk = func(n *node) error {
 		if n.isLeaf() {
-			entries, err := ix.store.Load(n.bucket)
+			entries, err := ix.store.View(n.bucket)
 			if err != nil {
 				return err
 			}

@@ -1,7 +1,6 @@
 package mindex
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -34,7 +33,7 @@ func (ix *Index) RangeByDists(qDists []float64, r float64) ([]Entry, error) {
 			if n.live() == 0 {
 				return nil
 			}
-			entries, err := ix.store.Load(n.bucket)
+			entries, err := ix.store.View(n.bucket)
 			if err != nil {
 				return err
 			}
@@ -86,6 +85,23 @@ func (ix *Index) pruneCell(child *node, key int32, parent *node, qDists []float6
 	return ix.cellLowerBound(child, key, parent, qDists) > r
 }
 
+// onPath reports whether pivot m lies on the cell path: in the parent's
+// prefix or equal to the child's key. Prefixes are at most MaxLevel (≤ the
+// pivot count, typically ≤ 8) elements, so a linear scan beats building a
+// set — and unlike the map this path used to allocate per pruning decision,
+// it allocates nothing.
+func onPath(prefix []int32, key, m int32) bool {
+	if m == key {
+		return true
+	}
+	for _, p := range prefix {
+		if p == m {
+			return true
+		}
+	}
+	return false
+}
+
 // cellLowerBound returns a lower bound on the distance from the query to any
 // object in the cell, combining the hyperplane and ball constraints.
 func (ix *Index) cellLowerBound(child *node, key int32, parent *node, qDists []float64) float64 {
@@ -94,13 +110,8 @@ func (ix *Index) cellLowerBound(child *node, key int32, parent *node, qDists []f
 	// Hyperplane bound against the closest other pivot not already used on
 	// the path (including key's siblings and all deeper pivots).
 	minOther := math.Inf(1)
-	inPrefix := make(map[int32]bool, len(parent.prefix)+1)
-	for _, p := range parent.prefix {
-		inPrefix[p] = true
-	}
-	inPrefix[key] = true
 	for m, d := range qDists {
-		if inPrefix[int32(m)] {
+		if onPath(parent.prefix, key, int32(m)) {
 			continue
 		}
 		if d < minOther {
@@ -130,18 +141,89 @@ type rankedNode struct {
 	promise float64
 }
 
+// rankedQueue is a typed min-heap of rankedNodes. It is hand-rolled rather
+// than layered over container/heap because the interface-based API boxes
+// every pushed element into a heap allocation, and the query path pushes
+// one element per visited child; the sift algorithms are the standard ones,
+// and because less is a total order over distinct cells (promise, then
+// prefix — no two distinct cells share a prefix) the pop sequence is
+// byte-identical to container/heap's.
 type rankedQueue []rankedNode
 
+// Len returns the number of queued nodes.
 func (q rankedQueue) Len() int { return len(q) }
 
-// Less orders by promise, breaking ties by cell prefix so traversal order —
+// less orders by promise, breaking ties by cell prefix so traversal order —
 // and therefore every candidate set — is fully deterministic (children are
 // discovered in map order, which must not leak into results).
-func (q rankedQueue) Less(i, j int) bool {
+func (q rankedQueue) less(i, j int) bool {
 	if q[i].promise != q[j].promise {
 		return q[i].promise < q[j].promise
 	}
 	return PrefixLess(q[i].n.prefix, q[j].n.prefix)
+}
+
+// push adds an element and restores the heap invariant (sift-up).
+func (q *rankedQueue) push(it rankedNode) {
+	*q = append(*q, it)
+	h := *q
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum element (sift-down).
+func (q *rankedQueue) pop() rankedNode {
+	h := *q
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	top := h[n]
+	h = h[:n]
+	*q = h
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top
+}
+
+// getQueue hands out a promise queue seeded with the root, recycling
+// backing arrays across searches; putQueue returns it. Steady-state
+// searches therefore allocate no traversal state.
+func (ix *Index) getQueue() *rankedQueue {
+	var q *rankedQueue
+	if v := ix.pqPool.Get(); v != nil {
+		q = v.(*rankedQueue)
+	} else {
+		q = new(rankedQueue)
+	}
+	q.push(rankedNode{n: ix.root, promise: 0})
+	return q
+}
+
+func (ix *Index) putQueue(q *rankedQueue) {
+	// Zero the full capacity so a pooled queue cannot pin nodes of a tree
+	// that Compact has since discarded.
+	full := (*q)[:cap(*q)]
+	clear(full)
+	*q = (*q)[:0]
+	ix.pqPool.Put(q)
 }
 
 // PrefixLess compares cell prefixes lexicographically, shorter first — the
@@ -155,15 +237,6 @@ func PrefixLess(a, b []int32) bool {
 		}
 	}
 	return len(a) < len(b)
-}
-func (q rankedQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *rankedQueue) Push(x any)   { *q = append(*q, x.(rankedNode)) }
-func (q *rankedQueue) Pop() any {
-	old := *q
-	n := len(old)
-	item := old[n-1]
-	*q = old[:n-1]
-	return item
 }
 
 // ApproxQuery carries the query-side information for an approximate k-NN
@@ -196,21 +269,22 @@ func (ix *Index) validateApprox(q ApproxQuery) error {
 // approxCollect visits leaf cells in promise order and emits their live
 // entries (with the source cell's promise and prefix) until at least
 // candSize have been emitted — the traversal shared by ApproxCandidates and
-// ApproxCandidatesRanked. The caller holds no lock.
+// ApproxCandidatesRanked. The caller holds no lock. The emitted slice may
+// be a read-only store view: callers copy out, never mutate or retain it.
 func (ix *Index) approxCollect(q ApproxQuery, candSize int,
 	emit func(entries []Entry, promise float64, prefix []int32)) error {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	pq := &rankedQueue{{n: ix.root, promise: 0}}
-	heap.Init(pq)
+	pq := ix.getQueue()
+	defer ix.putQueue(pq)
 	emitted := 0
 	for pq.Len() > 0 && emitted < candSize {
-		item := heap.Pop(pq).(rankedNode)
+		item := pq.pop()
 		if item.n.isLeaf() {
 			if item.n.live() == 0 {
 				continue
 			}
-			entries, err := ix.store.Load(item.n.bucket)
+			entries, err := ix.store.View(item.n.bucket)
 			if err != nil {
 				return err
 			}
@@ -220,20 +294,21 @@ func (ix *Index) approxCollect(q ApproxQuery, candSize int,
 			continue
 		}
 		for _, child := range item.n.children {
-			heap.Push(pq, rankedNode{n: child, promise: ix.promise(child, q)})
+			pq.push(rankedNode{n: child, promise: ix.promise(child, q)})
 		}
 	}
 	return nil
 }
 
-// liveOnly filters tombstoned entries out of a freshly loaded bucket
-// (in place — Load returns a private copy). With no tombstones pending it
-// returns the slice untouched.
+// liveOnly filters tombstoned entries out of a bucket view. With no
+// tombstones pending it returns the view untouched (the common case);
+// otherwise the survivors are copied into a fresh slice — views are
+// read-only and must never be compacted in place.
 func (ix *Index) liveOnly(entries []Entry) []Entry {
 	if len(ix.tombstones) == 0 {
 		return entries
 	}
-	out := entries[:0]
+	out := make([]Entry, 0, len(entries))
 	for _, e := range entries {
 		if _, gone := ix.tombstones[e.ID]; gone {
 			continue
@@ -332,22 +407,31 @@ func (ix *Index) FirstCellCandidates(q ApproxQuery) ([]Entry, error) {
 func (ix *Index) FirstCellRanked(q ApproxQuery) ([]Entry, float64, []int32, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	pq := &rankedQueue{{n: ix.root, promise: 0}}
-	heap.Init(pq)
+	pq := ix.getQueue()
+	defer ix.putQueue(pq)
 	for pq.Len() > 0 {
-		item := heap.Pop(pq).(rankedNode)
+		item := pq.pop()
 		if item.n.isLeaf() {
 			if item.n.live() == 0 {
 				continue // skip empty cells; the experiment wants a non-empty one
 			}
-			entries, err := ix.store.Load(item.n.bucket)
+			entries, err := ix.store.View(item.n.bucket)
 			if err != nil {
 				return nil, 0, nil, err
 			}
-			return ix.liveOnly(entries), item.promise, item.n.prefix, nil
+			// Copy out of the view: the winning cell's entries are handed
+			// to the caller, which owns its result.
+			out := make([]Entry, 0, item.n.live())
+			for _, e := range entries {
+				if _, gone := ix.tombstones[e.ID]; gone {
+					continue
+				}
+				out = append(out, e)
+			}
+			return out, item.promise, item.n.prefix, nil
 		}
 		for _, child := range item.n.children {
-			heap.Push(pq, rankedNode{n: child, promise: ix.promise(child, q)})
+			pq.push(rankedNode{n: child, promise: ix.promise(child, q)})
 		}
 	}
 	return nil, 0, nil, nil

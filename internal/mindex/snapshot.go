@@ -243,6 +243,7 @@ func LoadSnapshot(cfg Config, path string) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	store.SetCacheBudget(cfg.DiskCacheBytes)
 	ix := &Index{
 		cfg:        cfg,
 		store:      store,
@@ -334,7 +335,12 @@ func readNode(r *snapReader, depth, version int) (*node, map[BucketID]int, error
 				return nil, nil, fmt.Errorf("%w: child depth mismatch", ErrSnapshot)
 			}
 			child.parent = n
-			n.children[child.lastPivot()] = child
+			if _, dup := n.children[child.lastPivot()]; dup {
+				return nil, nil, fmt.Errorf("%w: duplicate child key %d", ErrSnapshot, child.lastPivot())
+			}
+			// addChild maintains the sorted-key cache; children were
+			// written in ascending key order, so each insertion is O(1).
+			n.addChild(child.lastPivot(), child)
 			for id, c := range childCounts {
 				counts[id] = c
 			}

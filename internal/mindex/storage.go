@@ -2,10 +2,12 @@ package mindex
 
 import (
 	"bufio"
+	"container/list"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
 	"sync"
 )
 
@@ -16,15 +18,24 @@ type BucketID uint64
 // Table 2 uses memory storage for the small gene-expression sets and disk
 // storage for CoPhIR; both are provided.
 //
-// Implementations must be safe for concurrent use — searches Load buckets
+// Implementations must be safe for concurrent use — searches View buckets
 // under the index read-lock while other goroutines may be reading too.
 type BucketStore interface {
 	// Create allocates a new empty bucket.
 	Create() (BucketID, error)
 	// Append adds an entry to a bucket.
 	Append(id BucketID, e Entry) error
-	// Load returns all entries of a bucket.
+	// Load returns all entries of a bucket as a caller-owned copy.
 	Load(id BucketID) ([]Entry, error)
+	// View returns all entries of a bucket without copying. The returned
+	// slice is a read-only snapshot owned by the store: callers must not
+	// modify it (in particular not compact it in place), but may hold it
+	// across later store mutations — an Append never rewrites the elements
+	// a previously returned snapshot covers, and a Replace or Free swaps
+	// the backing rather than mutating it. This is the query hot path:
+	// searches that only scan and copy out should View, mutators that need
+	// ownership should Load.
+	View(id BucketID) ([]Entry, error)
 	// Replace overwrites a bucket's contents (compaction and update purges
 	// rewrite buckets after dropping dead entries).
 	Replace(id BucketID, entries []Entry) error
@@ -56,7 +67,9 @@ func (s *MemStore) Create() (BucketID, error) {
 	return id, nil
 }
 
-// Append implements BucketStore.
+// Append implements BucketStore. Appending writes only at the end of the
+// backing array (or relocates it), so snapshots previously handed out by
+// View stay valid: they cover a prefix the append never touches.
 func (s *MemStore) Append(id BucketID, e Entry) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -80,7 +93,19 @@ func (s *MemStore) Load(id BucketID) ([]Entry, error) {
 	return out, nil
 }
 
-// Replace implements BucketStore.
+// View implements BucketStore: the bucket slice itself, zero-copy.
+func (s *MemStore) View(id BucketID) ([]Entry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	entries, ok := s.buckets[id]
+	if !ok {
+		return nil, fmt.Errorf("mindex: view of unknown bucket %d", id)
+	}
+	return entries, nil
+}
+
+// Replace implements BucketStore. The replacement is copied into a fresh
+// backing array, so outstanding View snapshots keep the old contents.
 func (s *MemStore) Replace(id BucketID, entries []Entry) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -112,32 +137,84 @@ func (s *MemStore) Close() error {
 	return nil
 }
 
-// DiskStore keeps each bucket as an append-only file of encoded entries in a
-// directory, with a bounded cache of open append handles so bulk loading
-// does not pay an open/close syscall pair per insert.
+// DefaultDiskCacheBytes is the DiskStore entry-cache budget applied when
+// Config.DiskCacheBytes is 0.
+const DefaultDiskCacheBytes = 32 << 20
+
+// cachedBucketOverhead approximates the per-bucket bookkeeping cost charged
+// against the cache budget on top of the entries' encoded size (slice
+// headers, map entry, LRU element).
+const cachedBucketOverhead = 128
+
+// DiskStore keeps each bucket as an append-only file of encoded entries in
+// a directory, with two bounded caches in front of the file system:
+//
+//   - a cache of open append handles (bufio.Writer over an O_APPEND file),
+//     so bulk loading does not pay an open/close syscall pair per insert;
+//   - a byte-budget LRU cache of decoded buckets, read-through on Load and
+//     View and invalidated by Append/Replace/Free, so a repeated-query
+//     workload against a static-or-slowly-churning index stops re-reading
+//     and re-decoding the same bucket files (the dominant cost of the
+//     paper's Tables 5–9 workload shape on disk storage).
 type DiskStore struct {
 	mu     sync.Mutex
 	dir    string
 	next   BucketID
 	counts map[BucketID]int
-	open   map[BucketID]*bufio.Writer
-	files  map[BucketID]*os.File
-	lru    []BucketID
-	maxFDs int
 	closed bool
+
+	// Append-handle cache. handleLRU is ordered least → most recently
+	// used; each element's Value is the BucketID, and the handle keeps a
+	// pointer to its element so a touch is O(1) instead of the former
+	// linear scan over a slice.
+	open      map[BucketID]*appendHandle
+	handleLRU *list.List
+	maxFDs    int
+
+	// Decoded-bucket cache, same LRU discipline with a byte budget.
+	cache       map[BucketID]*cachedBucket
+	cacheLRU    *list.List
+	cacheBytes  int
+	cacheBudget int
+	hits        uint64
+	misses      uint64
+
+	// scratch is the entry-encoding buffer reused across Append/Replace so
+	// writes stop allocating one encoded blob per entry.
+	scratch []byte
 }
 
-// NewDiskStore creates a bucket store rooted at dir (created if missing).
+type appendHandle struct {
+	w *bufio.Writer
+	f *os.File
+	// dirty marks buffered bytes not yet flushed to the OS. A Load/View
+	// only needs a Flush (not a close-and-reopen) to observe them, and a
+	// clean handle needs nothing at all.
+	dirty bool
+	elem  *list.Element
+}
+
+type cachedBucket struct {
+	entries []Entry
+	bytes   int
+	elem    *list.Element
+}
+
+// NewDiskStore creates a bucket store rooted at dir (created if missing)
+// with the default entry-cache budget.
 func NewDiskStore(dir string) (*DiskStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("mindex: creating bucket directory: %w", err)
 	}
 	return &DiskStore{
-		dir:    dir,
-		counts: make(map[BucketID]int),
-		open:   make(map[BucketID]*bufio.Writer),
-		files:  make(map[BucketID]*os.File),
-		maxFDs: 128,
+		dir:         dir,
+		counts:      make(map[BucketID]int),
+		open:        make(map[BucketID]*appendHandle),
+		handleLRU:   list.New(),
+		cache:       make(map[BucketID]*cachedBucket),
+		cacheLRU:    list.New(),
+		cacheBudget: DefaultDiskCacheBytes,
+		maxFDs:      128,
 	}, nil
 }
 
@@ -164,12 +241,40 @@ func ReopenDiskStore(dir string, counts map[BucketID]int, next BucketID) (*DiskS
 	return s, nil
 }
 
+// SetCacheBudget bounds the decoded-bucket cache: n > 0 sets the budget in
+// bytes, n == 0 restores the default, n < 0 disables the cache entirely.
+// Shrinking evicts immediately.
+func (s *DiskStore) SetCacheBudget(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case n == 0:
+		s.cacheBudget = DefaultDiskCacheBytes
+	case n < 0:
+		s.cacheBudget = 0
+	default:
+		s.cacheBudget = n
+	}
+	for s.cacheBytes > s.cacheBudget && s.cacheLRU.Len() > 0 {
+		s.evictOneLocked()
+	}
+}
+
+// CacheStats reports the decoded-bucket cache counters: read-through hits
+// and misses since creation, and the bytes currently charged against the
+// budget. Cache-disabled stores report every read as a miss.
+func (s *DiskStore) CacheStats() (hits, misses uint64, bytes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses, s.cacheBytes
+}
+
 // Sync flushes all buffered appends to disk.
 func (s *DiskStore) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for id := range s.open {
-		if err := s.closeHandle(id); err != nil {
+		if err := s.closeHandleLocked(id); err != nil {
 			return err
 		}
 	}
@@ -207,16 +312,16 @@ func (s *DiskStore) Create() (BucketID, error) {
 	return id, nil
 }
 
-// writer returns a buffered append handle for the bucket, evicting the least
-// recently used handle when the cache is full.
-func (s *DiskStore) writer(id BucketID) (*bufio.Writer, error) {
-	if w, ok := s.open[id]; ok {
-		s.touch(id)
-		return w, nil
+// writer returns a buffered append handle for the bucket, evicting the
+// least recently used handle when the cache is full.
+func (s *DiskStore) writer(id BucketID) (*appendHandle, error) {
+	if h, ok := s.open[id]; ok {
+		s.handleLRU.MoveToBack(h.elem)
+		return h, nil
 	}
 	if len(s.open) >= s.maxFDs {
-		victim := s.lru[0]
-		if err := s.closeHandle(victim); err != nil {
+		victim := s.handleLRU.Front().Value.(BucketID)
+		if err := s.closeHandleLocked(victim); err != nil {
 			return nil, err
 		}
 	}
@@ -224,42 +329,40 @@ func (s *DiskStore) writer(id BucketID) (*bufio.Writer, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := bufio.NewWriterSize(f, 1<<14)
-	s.open[id] = w
-	s.files[id] = f
-	s.lru = append(s.lru, id)
-	return w, nil
+	h := &appendHandle{w: bufio.NewWriterSize(f, 1<<14), f: f}
+	h.elem = s.handleLRU.PushBack(id)
+	s.open[id] = h
+	return h, nil
 }
 
-func (s *DiskStore) touch(id BucketID) {
-	for i, v := range s.lru {
-		if v == id {
-			copy(s.lru[i:], s.lru[i+1:])
-			s.lru[len(s.lru)-1] = id
-			return
-		}
-	}
-}
-
-func (s *DiskStore) closeHandle(id BucketID) error {
-	w, ok := s.open[id]
+func (s *DiskStore) closeHandleLocked(id BucketID) error {
+	h, ok := s.open[id]
 	if !ok {
 		return nil
 	}
-	flushErr := w.Flush()
-	closeErr := s.files[id].Close()
+	flushErr := h.w.Flush()
+	closeErr := h.f.Close()
+	s.handleLRU.Remove(h.elem)
 	delete(s.open, id)
-	delete(s.files, id)
-	for i, v := range s.lru {
-		if v == id {
-			s.lru = append(s.lru[:i], s.lru[i+1:]...)
-			break
-		}
-	}
 	if flushErr != nil {
 		return flushErr
 	}
 	return closeErr
+}
+
+// flushHandleLocked makes buffered appends visible to readers of the bucket
+// file without retiring the handle, so the next Append reuses it instead of
+// paying an open syscall. A clean handle (or no handle) is a no-op.
+func (s *DiskStore) flushHandleLocked(id BucketID) error {
+	h, ok := s.open[id]
+	if !ok || !h.dirty {
+		return nil
+	}
+	if err := h.w.Flush(); err != nil {
+		return err
+	}
+	h.dirty = false
+	return nil
 }
 
 // Append implements BucketStore.
@@ -272,21 +375,44 @@ func (s *DiskStore) Append(id BucketID, e Entry) error {
 	if _, ok := s.counts[id]; !ok {
 		return fmt.Errorf("mindex: append to unknown bucket %d", id)
 	}
-	w, err := s.writer(id)
+	h, err := s.writer(id)
 	if err != nil {
 		return err
 	}
-	if _, err := w.Write(EncodeEntry(e)); err != nil {
+	s.scratch = AppendEntry(s.scratch[:0], e)
+	if _, err := h.w.Write(s.scratch); err != nil {
 		return err
 	}
+	h.dirty = true
 	s.counts[id]++
+	s.dropCacheLocked(id)
 	return nil
 }
 
-// Load implements BucketStore.
+// Load implements BucketStore (read-through: a hit copies out of the cache,
+// a miss reads and decodes the file and caches the result).
 func (s *DiskStore) Load(id BucketID) ([]Entry, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	entries, err := s.readLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	return slices.Clone(entries), nil
+}
+
+// View implements BucketStore (read-through, zero-copy: the returned slice
+// is the cached decode itself and must not be modified).
+func (s *DiskStore) View(id BucketID) ([]Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readLocked(id)
+}
+
+// readLocked returns the bucket's decoded entries, serving from the cache
+// when possible. The returned slice is shared with the cache — callers copy
+// if they need ownership.
+func (s *DiskStore) readLocked(id BucketID) ([]Entry, error) {
 	if s.closed {
 		return nil, errors.New("mindex: disk store closed")
 	}
@@ -294,8 +420,14 @@ func (s *DiskStore) Load(id BucketID) ([]Entry, error) {
 	if !ok {
 		return nil, fmt.Errorf("mindex: load of unknown bucket %d", id)
 	}
+	if cb, ok := s.cache[id]; ok {
+		s.hits++
+		s.cacheLRU.MoveToBack(cb.elem)
+		return cb.entries, nil
+	}
+	s.misses++
 	// Any buffered appends must be visible before reading the file back.
-	if err := s.closeHandle(id); err != nil {
+	if err := s.flushHandleLocked(id); err != nil {
 		return nil, err
 	}
 	raw, err := os.ReadFile(s.path(id))
@@ -314,12 +446,57 @@ func (s *DiskStore) Load(id BucketID) ([]Entry, error) {
 	if len(entries) != count {
 		return nil, fmt.Errorf("mindex: bucket %d holds %d entries, expected %d", id, len(entries), count)
 	}
+	s.insertCacheLocked(id, entries, true)
 	return entries, nil
+}
+
+// insertCacheLocked admits a decoded bucket to the cache, evicting least
+// recently used buckets until the byte budget holds. Buckets larger than
+// the whole budget are served but never cached. owned marks a slice the
+// store may keep as-is; a caller-owned slice is cloned, and only once the
+// bucket has actually been admitted.
+func (s *DiskStore) insertCacheLocked(id BucketID, entries []Entry, owned bool) {
+	if s.cacheBudget <= 0 {
+		return
+	}
+	size := cachedBucketOverhead
+	for i := range entries {
+		size += EncodedEntrySize(entries[i])
+	}
+	if size > s.cacheBudget {
+		return
+	}
+	if !owned {
+		entries = slices.Clone(entries)
+	}
+	for s.cacheBytes+size > s.cacheBudget && s.cacheLRU.Len() > 0 {
+		s.evictOneLocked()
+	}
+	cb := &cachedBucket{entries: entries, bytes: size}
+	cb.elem = s.cacheLRU.PushBack(id)
+	s.cache[id] = cb
+	s.cacheBytes += size
+}
+
+func (s *DiskStore) evictOneLocked() {
+	victim := s.cacheLRU.Front().Value.(BucketID)
+	s.dropCacheLocked(victim)
+}
+
+func (s *DiskStore) dropCacheLocked(id BucketID) {
+	cb, ok := s.cache[id]
+	if !ok {
+		return
+	}
+	s.cacheLRU.Remove(cb.elem)
+	s.cacheBytes -= cb.bytes
+	delete(s.cache, id)
 }
 
 // Replace implements BucketStore. The bucket file is rewritten through a
 // temporary file and renamed into place, so a crash mid-rewrite leaves the
-// previous contents intact.
+// previous contents intact. The cache is refreshed write-through: the next
+// read of a just-compacted bucket should not pay a disk round trip.
 func (s *DiskStore) Replace(id BucketID, entries []Entry) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -329,11 +506,12 @@ func (s *DiskStore) Replace(id BucketID, entries []Entry) error {
 	if _, ok := s.counts[id]; !ok {
 		return fmt.Errorf("mindex: replace of unknown bucket %d", id)
 	}
-	// Retire the append handle; the rewrite below replaces the file it
-	// pointed at.
-	if err := s.closeHandle(id); err != nil {
+	// Retire the append handle entirely; its descriptor points at the old
+	// inode the rename below replaces.
+	if err := s.closeHandleLocked(id); err != nil {
 		return err
 	}
+	s.dropCacheLocked(id)
 	tmp := s.path(id) + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -341,7 +519,8 @@ func (s *DiskStore) Replace(id BucketID, entries []Entry) error {
 	}
 	w := bufio.NewWriterSize(f, 1<<14)
 	for i := range entries {
-		if _, err := w.Write(EncodeEntry(entries[i])); err != nil {
+		s.scratch = AppendEntry(s.scratch[:0], entries[i])
+		if _, err := w.Write(s.scratch); err != nil {
 			f.Close()
 			os.Remove(tmp)
 			return err
@@ -380,6 +559,7 @@ func (s *DiskStore) Replace(id BucketID, entries []Entry) error {
 		return syncErr
 	}
 	s.counts[id] = len(entries)
+	s.insertCacheLocked(id, entries, false)
 	return nil
 }
 
@@ -393,9 +573,10 @@ func (s *DiskStore) Free(id BucketID) error {
 	if _, ok := s.counts[id]; !ok {
 		return fmt.Errorf("mindex: free of unknown bucket %d", id)
 	}
-	if err := s.closeHandle(id); err != nil {
+	if err := s.closeHandleLocked(id); err != nil {
 		return err
 	}
+	s.dropCacheLocked(id)
 	delete(s.counts, id)
 	return os.Remove(s.path(id))
 }
@@ -410,9 +591,12 @@ func (s *DiskStore) Close() error {
 	s.closed = true
 	var firstErr error
 	for id := range s.open {
-		if err := s.closeHandle(id); err != nil && firstErr == nil {
+		if err := s.closeHandleLocked(id); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
+	s.cache = nil
+	s.cacheLRU = list.New()
+	s.cacheBytes = 0
 	return firstErr
 }

@@ -245,12 +245,17 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.connMu.Unlock()
 		conn.Close()
 	}()
+	// One pooled response buffer per connection: the hot query responses
+	// (candidate sets, batch results) encode into it via AppendTo, so the
+	// serving loop reuses a single payload allocation across requests.
+	buf := wire.GetBuffer()
+	defer wire.PutBuffer(buf)
 	for {
 		typ, payload, err := wire.ReadFrame(conn)
 		if err != nil {
 			return // client disconnected or sent garbage framing
 		}
-		respType, respPayload := s.dispatch(typ, payload)
+		respType, respPayload := s.dispatch(typ, payload, buf)
 		if err := wire.WriteFrame(conn, respType, respPayload); err != nil {
 			s.Logf("simcloud server: writing response to %s: %v", conn.RemoteAddr(), err)
 			return
@@ -261,13 +266,13 @@ func (s *Server) serveConn(conn net.Conn) {
 // dispatch handles one request and produces the response frame. Server time
 // is measured around the handler body only — framing and socket IO count as
 // communication time, matching the paper's decomposition.
-func (s *Server) dispatch(typ wire.MsgType, payload []byte) (wire.MsgType, []byte) {
+func (s *Server) dispatch(typ wire.MsgType, payload []byte, buf *wire.Buffer) (wire.MsgType, []byte) {
 	start := time.Now()
 	var distBefore time.Duration
 	if s.timed != nil {
 		distBefore = s.timed.Elapsed()
 	}
-	respType, resp, err := s.handle(typ, payload, start, distBefore)
+	respType, resp, err := s.handle(typ, payload, start, distBefore, buf)
 	if err != nil {
 		return wire.MsgError, wire.ErrorResp{Msg: err.Error()}.Encode()
 	}
@@ -288,7 +293,16 @@ func (s *Server) distNanos(before time.Duration) uint64 {
 var errNeedEncrypted = errors.New("server: request requires the encrypted deployment")
 var errNeedPlain = errors.New("server: request requires the plain deployment")
 
-func (s *Server) handle(typ wire.MsgType, payload []byte, start time.Time, distBefore time.Duration) (wire.MsgType, []byte, error) {
+// candidates encodes the hot candidate-set response into the connection's
+// reused buffer; the returned bytes are valid until the next request on the
+// same connection, which is exactly the WriteFrame lifetime.
+func candidates(buf *wire.Buffer, resp wire.CandidatesResp) []byte {
+	buf.Reset()
+	resp.AppendTo(buf)
+	return buf.B
+}
+
+func (s *Server) handle(typ wire.MsgType, payload []byte, start time.Time, distBefore time.Duration, buf *wire.Buffer) (wire.MsgType, []byte, error) {
 	switch typ {
 	case wire.MsgHello:
 		if _, err := wire.DecodeHelloReq(payload); err != nil {
@@ -356,9 +370,9 @@ func (s *Server) handle(typ wire.MsgType, payload []byte, start time.Time, distB
 		if err != nil {
 			return 0, nil, err
 		}
-		return wire.MsgCandidates, wire.CandidatesResp{
+		return wire.MsgCandidates, candidates(buf, wire.CandidatesResp{
 			ServerNanos: s.serverNanos(start), Entries: cands,
-		}.Encode(), nil
+		}), nil
 
 	case wire.MsgApproxPerm:
 		if s.enc == nil {
@@ -377,9 +391,9 @@ func (s *Server) handle(typ wire.MsgType, payload []byte, start time.Time, distB
 		if err != nil {
 			return 0, nil, err
 		}
-		return wire.MsgCandidates, wire.CandidatesResp{
+		return wire.MsgCandidates, candidates(buf, wire.CandidatesResp{
 			ServerNanos: s.serverNanos(start), Entries: cands,
-		}.Encode(), nil
+		}), nil
 
 	case wire.MsgApproxDists:
 		if s.enc == nil {
@@ -397,9 +411,9 @@ func (s *Server) handle(typ wire.MsgType, payload []byte, start time.Time, distB
 		if err != nil {
 			return 0, nil, err
 		}
-		return wire.MsgCandidates, wire.CandidatesResp{
+		return wire.MsgCandidates, candidates(buf, wire.CandidatesResp{
 			ServerNanos: s.serverNanos(start), Entries: cands,
-		}.Encode(), nil
+		}), nil
 
 	case wire.MsgFirstCell:
 		if s.enc == nil {
@@ -418,9 +432,9 @@ func (s *Server) handle(typ wire.MsgType, payload []byte, start time.Time, distB
 		if err != nil {
 			return 0, nil, err
 		}
-		return wire.MsgCandidates, wire.CandidatesResp{
+		return wire.MsgCandidates, candidates(buf, wire.CandidatesResp{
 			ServerNanos: s.serverNanos(start), Entries: cands,
-		}.Encode(), nil
+		}), nil
 
 	case wire.MsgBatchQuery:
 		if s.enc == nil {
@@ -437,9 +451,11 @@ func (s *Server) handle(typ wire.MsgType, payload []byte, start time.Time, distB
 				return 0, nil, fmt.Errorf("server: batch query %d: %w", i, err)
 			}
 		}
-		return wire.MsgBatchCandidates, wire.BatchQueryResp{
+		buf.Reset()
+		wire.BatchQueryResp{
 			ServerNanos: s.serverNanos(start), Results: results,
-		}.Encode(), nil
+		}.AppendTo(buf)
+		return wire.MsgBatchCandidates, buf.B, nil
 
 	case wire.MsgBatchRanked:
 		if s.enc == nil {
@@ -456,9 +472,11 @@ func (s *Server) handle(typ wire.MsgType, payload []byte, start time.Time, distB
 				return 0, nil, fmt.Errorf("server: batch query %d: %w", i, err)
 			}
 		}
-		return wire.MsgBatchRankedCandidates, wire.BatchRankedResp{
+		buf.Reset()
+		wire.BatchRankedResp{
 			ServerNanos: s.serverNanos(start), Results: results,
-		}.Encode(), nil
+		}.AppendTo(buf)
+		return wire.MsgBatchRankedCandidates, buf.B, nil
 
 	case wire.MsgRangePlain:
 		if s.plain == nil {

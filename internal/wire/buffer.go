@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"math"
+	"sync"
 
 	"simcloud/internal/metric"
 )
@@ -14,6 +15,34 @@ var ErrCodec = errors.New("wire: malformed message payload")
 // Buffer is an append-only message payload writer.
 type Buffer struct {
 	B []byte
+}
+
+// Reset truncates the buffer for reuse, keeping its capacity.
+func (b *Buffer) Reset() { b.B = b.B[:0] }
+
+// maxPooledBuffer bounds the capacity of a buffer returned to the pool, so
+// one outsized response cannot pin megabytes for the pool's lifetime.
+const maxPooledBuffer = 4 << 20
+
+var bufferPool = sync.Pool{New: func() any { return new(Buffer) }}
+
+// GetBuffer hands out a pooled, reset payload buffer. Encoding responses
+// into a pooled buffer (see the AppendTo methods on the hot response types)
+// lets a serving loop reuse one allocation across requests instead of
+// paying a fresh payload slice per response.
+func GetBuffer() *Buffer {
+	b := bufferPool.Get().(*Buffer)
+	b.Reset()
+	return b
+}
+
+// PutBuffer returns a buffer to the pool once its bytes have been written
+// out. The caller must not touch b.B afterwards.
+func PutBuffer(b *Buffer) {
+	if cap(b.B) > maxPooledBuffer {
+		return
+	}
+	bufferPool.Put(b)
 }
 
 // U8 appends a byte.

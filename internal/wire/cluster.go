@@ -141,14 +141,19 @@ type BatchRankedResp struct {
 	Results     [][]mindex.RankedCandidate
 }
 
-// Encode serializes the response payload.
-func (m BatchRankedResp) Encode() []byte {
-	var b Buffer
+// AppendTo appends the encoded response to b (see CandidatesResp.AppendTo).
+func (m BatchRankedResp) AppendTo(b *Buffer) {
 	b.U64(m.ServerNanos)
 	b.U32(uint32(len(m.Results)))
 	for _, rcs := range m.Results {
-		appendRanked(&b, rcs)
+		appendRanked(b, rcs)
 	}
+}
+
+// Encode serializes the response payload.
+func (m BatchRankedResp) Encode() []byte {
+	var b Buffer
+	m.AppendTo(&b)
 	return b.B
 }
 

@@ -303,12 +303,20 @@ type CandidatesResp struct {
 	Entries     []mindex.Entry
 }
 
+// AppendTo appends the encoded response to b — the allocation-free variant
+// a serving loop uses with a reused (or pooled) buffer. Candidate responses
+// are the bulkiest frames the server emits, so this is the payload path
+// worth keeping off the per-request allocator.
+func (m CandidatesResp) AppendTo(b *Buffer) {
+	b.U64(m.ServerNanos)
+	b.U64(m.DistNanos)
+	appendEntries(b, m.Entries)
+}
+
 // Encode serializes the response payload.
 func (m CandidatesResp) Encode() []byte {
 	var b Buffer
-	b.U64(m.ServerNanos)
-	b.U64(m.DistNanos)
-	appendEntries(&b, m.Entries)
+	m.AppendTo(&b)
 	return b.B
 }
 
@@ -743,14 +751,19 @@ type BatchQueryResp struct {
 	Results     [][]mindex.Entry
 }
 
-// Encode serializes the response payload.
-func (m BatchQueryResp) Encode() []byte {
-	var b Buffer
+// AppendTo appends the encoded response to b (see CandidatesResp.AppendTo).
+func (m BatchQueryResp) AppendTo(b *Buffer) {
 	b.U64(m.ServerNanos)
 	b.U32(uint32(len(m.Results)))
 	for _, entries := range m.Results {
-		appendEntries(&b, entries)
+		appendEntries(b, entries)
 	}
+}
+
+// Encode serializes the response payload.
+func (m BatchQueryResp) Encode() []byte {
+	var b Buffer
+	m.AppendTo(&b)
 	return b.B
 }
 

@@ -56,6 +56,14 @@ const (
 	StorageDisk   = mindex.StorageDisk
 )
 
+// DefaultDiskCacheBytes is the bucket-cache budget a disk-backed index gets
+// when Config.DiskCacheBytes is left 0: the server keeps up to this many
+// bytes of decoded leaf buckets in an LRU and serves repeated queries from
+// it instead of re-reading bucket files (set DiskCacheBytes negative to
+// disable, positive to size it explicitly; results are identical either
+// way — see DESIGN.md §Performance).
+const DefaultDiskCacheBytes = mindex.DefaultDiskCacheBytes
+
 // Cell-ranking strategies for Config.Ranking.
 const (
 	RankFootrule = mindex.RankFootrule
