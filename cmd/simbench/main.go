@@ -43,6 +43,7 @@ func run() int {
 		verbose = flag.Bool("v", false, "print progress to stderr")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		timeout = flag.Duration("timeout", 0, "per-query deadline through the context-aware Search API (0 = no deadline)")
 	)
 	flag.Parse()
 	if *format != "text" && *format != "csv" {
@@ -86,6 +87,7 @@ func run() int {
 		K:           *k,
 		Seed:        *seed,
 		BulkSize:    *bulk,
+		Timeout:     *timeout,
 	}
 	if *verbose {
 		opts.Log = os.Stderr

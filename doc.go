@@ -32,12 +32,23 @@
 //	client, _ := simcloud.DialEncrypted(srv.Addr(), key, simcloud.ClientOptions{})
 //	defer client.Close()
 //	client.Insert(data)
-//	results, costs, _ := client.ApproxKNN(query, 10, 200)
+//	results, costs, _ := client.Search(ctx, simcloud.Query{
+//		Kind: simcloud.KindApproxKNN, Vec: query, K: 10, CandSize: 200,
+//	})
 //
-// Three query types are supported, all with the paper's cost decomposition
+// One Query value describes every query kind — precise range (KindRange),
+// precise k-NN (KindKNN: approximate pass + range ρk), approximate k-NN
+// with a tunable candidate-set size (KindApproxKNN), and the restricted
+// 1-cell search (KindFirstCell) — all with the paper's cost decomposition
 // (client / server / communication time, encryption / decryption time,
-// bytes on the wire): precise range, precise k-NN (approximate pass + range
-// ρk), and approximate k-NN with a tunable candidate-set size.
+// bytes on the wire). Search and SearchBatch honor the context end to end:
+// its deadline bounds every round trip and cancellation interrupts an
+// exchange blocked on a stalled server.
+//
+// The same Searcher interface is implemented by three backends: the
+// encrypted client above, the non-encrypted baseline (DialPlain), and an
+// embedded in-process engine (NewDirectClient) for the library scenario —
+// identical queries, identical answers (see DESIGN.md §API).
 //
 // # Mutability
 //

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -116,6 +117,9 @@ func main() {
 
 	// Approximate 10-NN over a query sample: recall against the exact
 	// answer must be identical, because the candidate lists are identical.
+	// The queries run through the context-aware Search API — a dead node
+	// mid-query surfaces as an error before the deadline, never as a hang.
+	ctx := context.Background()
 	const k, candSize = 10, 300
 	queries := []int{17, 404, 808, 1212, 1616, 2020, 2424, 2828}
 	identical := true
@@ -124,11 +128,12 @@ func main() {
 		q := data.Objects[qi].Vec
 		exact := bruteForceKNN(data, q, k)
 
-		fromCluster, _, err := cluster.ApproxKNN(q, k, candSize)
+		query := simcloud.Query{Kind: simcloud.KindApproxKNN, Vec: q, K: k, CandSize: candSize}
+		fromCluster, _, err := cluster.Search(ctx, query)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fromSingle, _, err := single.ApproxKNN(q, k, candSize)
+		fromSingle, _, err := single.Search(ctx, query)
 		if err != nil {
 			log.Fatal(err)
 		}

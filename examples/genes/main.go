@@ -14,8 +14,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"simcloud"
 )
@@ -76,15 +78,20 @@ func main() {
 	fmt.Printf("  encrypted: %s\n", encBuild)
 	fmt.Printf("  plain:     %s\n", plainBuild)
 
-	// A biologist's query: genes co-expressed with gene #100.
+	// A biologist's query: genes co-expressed with gene #100. One Query
+	// value runs against both deployments through the Searcher interface —
+	// and a deadline guards the lab against a stalled cloud.
 	gene := yeast.Objects[100]
 	fmt.Printf("\nquery: genes co-expressed with gene %d (approximate 30-NN, candidate set 600)\n", gene.ID)
+	query := simcloud.Query{Kind: simcloud.KindApproxKNN, Vec: gene.Vec, K: 30, CandSize: 600}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
 
-	encRes, encCosts, err := enc.ApproxKNN(gene.Vec, 30, 600)
+	encRes, encCosts, err := enc.Search(ctx, query)
 	if err != nil {
 		log.Fatal(err)
 	}
-	plainRes, plainCosts, err := plain.ApproxKNN(gene.Vec, 30, 600)
+	plainRes, plainCosts, err := plain.Search(ctx, query)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -106,7 +113,7 @@ func main() {
 	fmt.Printf("  communication cost ratio (encrypted/plain): %.1f×\n", ratio)
 
 	// A precise range query: all genes within L1 distance 250.
-	within, costs, err := enc.Range(gene.Vec, 250)
+	within, costs, err := enc.Search(ctx, simcloud.Query{Kind: simcloud.KindRange, Vec: gene.Vec, Radius: 250})
 	if err != nil {
 		log.Fatal(err)
 	}

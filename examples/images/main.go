@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -61,11 +62,14 @@ func main() {
 
 	fmt.Printf("\nquery image %d — approximate %d-NN, growing candidate set:\n", q.ID, k)
 	fmt.Printf("  %-10s %-9s %-12s %-12s %s\n", "candSize", "recall", "overall", "decrypt", "comm cost")
+	ctx := context.Background()
 	for _, candSize := range []int{100, 500, 2000, 5000} {
 		if candSize > *n {
 			break
 		}
-		res, costs, err := client.ApproxKNN(q.Vec, k, candSize)
+		res, costs, err := client.Search(ctx, simcloud.Query{
+			Kind: simcloud.KindApproxKNN, Vec: q.Vec, K: k, CandSize: candSize,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -66,6 +67,10 @@ func main() {
 	fmt.Printf("owner: distributing %d-byte key blob to 4 analysts\n", len(keyBlob))
 
 	// --- Four analysts' machines, concurrently ------------------------
+	// Each analyst reconstructs the key and queries through the unified
+	// Search API. (Clients are also safe to share: the connection-lease
+	// pool gives every concurrent operation its own connection.)
+	ctx := context.Background()
 	var wg sync.WaitGroup
 	results := make([]string, 4)
 	for analyst := range 4 {
@@ -82,7 +87,9 @@ func main() {
 			}
 			defer c.Close()
 			gene := data.Objects[100*(analyst+1)]
-			res, costs, err := c.ApproxKNN(gene.Vec, 10, 400)
+			res, costs, err := c.Search(ctx, simcloud.Query{
+				Kind: simcloud.KindApproxKNN, Vec: gene.Vec, K: 10, CandSize: 400,
+			})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -107,7 +114,9 @@ func main() {
 	probe := tenantB[len(tenantB)/2]
 	exact := bruteForceKNN(data, tenantB, probe.Vec, 10) // B's own 10 nearest
 	recallB := func() float64 {
-		res, _, err := owner.ApproxKNN(probe.Vec, 10, 400)
+		res, _, err := owner.Search(ctx, simcloud.Query{
+			Kind: simcloud.KindApproxKNN, Vec: probe.Vec, K: 10, CandSize: 400,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -133,7 +142,9 @@ func main() {
 
 	// And none of A's profiles remain retrievable, from any query angle.
 	for _, q := range []simcloud.Vector{tenantA[0].Vec, tenantA[len(tenantA)/2].Vec, probe.Vec} {
-		res, _, err := owner.ApproxKNN(q, 10, 400)
+		res, _, err := owner.Search(ctx, simcloud.Query{
+			Kind: simcloud.KindApproxKNN, Vec: q, K: 10, CandSize: 400,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -89,7 +90,8 @@ func main() {
 		log.Fatal(err)
 	}
 	defer attacker.Close()
-	_, _, err = attacker.ApproxKNN(data.Objects[0].Vec, 5, 20)
+	_, _, err = attacker.Search(context.Background(),
+		core.Query{Kind: core.KindApproxKNN, Vec: data.Objects[0].Vec, K: 5, CandSize: 20})
 	fmt.Printf("1. querying with a guessed permutation, then decrypting the candidates:\n   -> %v\n", err)
 
 	// 2. Steal a ciphertext from the server and try to open it.

@@ -2,15 +2,19 @@
 //
 // Runs a similarity-cloud server and an authorized client in one process
 // (loopback TCP), indexes a small clustered collection, and issues the
-// three query types of the paper: approximate k-NN, precise k-NN and
-// precise range.
+// query kinds of the paper through the unified Search API: approximate
+// k-NN, precise k-NN and precise range — then runs the very same queries
+// against an in-process DirectClient (no server, no network) and checks
+// the answers agree.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"simcloud"
 )
@@ -36,15 +40,18 @@ func main() {
 	defer srv.Close()
 	fmt.Printf("similarity cloud listening on %s\n", srv.Addr())
 
-	// An authorized client: holds the secret key.
-	client, err := simcloud.DialEncrypted(srv.Addr(), key, simcloud.ClientOptions{})
+	// An authorized client: holds the secret key. Every operation takes a
+	// context — a deadline here means a stalled cloud cannot hang us.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	client, err := simcloud.DialEncryptedContext(ctx, srv.Addr(), key, simcloud.ClientOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer client.Close()
 
 	// Construction phase: encrypt-and-insert the collection.
-	costs, err := client.Insert(data.Objects)
+	costs, err := client.InsertContext(ctx, data.Objects)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,7 +59,9 @@ func main() {
 
 	// Approximate 10-NN with a 200-object candidate set.
 	q := data.Objects[123].Vec
-	results, costs, err := client.ApproxKNN(q, 10, 200)
+	results, costs, err := client.Search(ctx, simcloud.Query{
+		Kind: simcloud.KindApproxKNN, Vec: q, K: 10, CandSize: 200,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,7 +72,9 @@ func main() {
 	fmt.Printf("  %s\n", costs)
 
 	// Precise 5-NN: approximate pass + range ρk, guaranteed exact.
-	precise, costs, err := client.KNN(q, 5, 100)
+	precise, costs, err := client.Search(ctx, simcloud.Query{
+		Kind: simcloud.KindKNN, Vec: q, K: 5, CandSize: 100,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,9 +86,34 @@ func main() {
 
 	// Precise range query around the 5th neighbor's distance.
 	radius := precise[len(precise)-1].Dist
-	within, costs, err := client.Range(q, radius)
+	within, costs, err := client.Search(ctx, simcloud.Query{
+		Kind: simcloud.KindRange, Vec: q, Radius: radius,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nprecise range R(q, %.4f): %d objects\n  %s\n", radius, len(within), costs)
+
+	// The embedded-library deployment: the same engine, key and queries,
+	// no server and no network — DirectClient implements the same Searcher
+	// interface, so the query code is identical.
+	direct, err := simcloud.NewDirectClient(simcloud.DefaultConfig(16), key, simcloud.ClientOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer direct.Close()
+	if _, err := direct.InsertContext(ctx, data.Objects); err != nil {
+		log.Fatal(err)
+	}
+	embedded, _, err := direct.Search(ctx, simcloud.Query{
+		Kind: simcloud.KindKNN, Vec: q, K: 5, CandSize: 100,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	same := len(embedded) == len(precise)
+	for i := range embedded {
+		same = same && embedded[i].ID == precise[i].ID && embedded[i].Dist == precise[i].Dist
+	}
+	fmt.Printf("\nembedded DirectClient, same precise 5-NN: identical answers = %v\n", same)
 }

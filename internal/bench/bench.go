@@ -11,11 +11,13 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand/v2"
 	"os"
 	"sort"
+	"time"
 
 	"simcloud/internal/core"
 	"simcloud/internal/dataset"
@@ -41,6 +43,10 @@ type Options struct {
 	Seed uint64
 	// BulkSize is the insert batch size (paper: 1,000).
 	BulkSize int
+	// Timeout bounds each client operation (an insert bulk or one query)
+	// through the context-aware Search API; 0 means no deadline, the
+	// paper's patient-measurement behavior.
+	Timeout time.Duration
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -128,6 +134,14 @@ func SpecByName(name string) (Spec, error) {
 	return Spec{}, fmt.Errorf("bench: unknown data set %q", name)
 }
 
+// opCtx derives the per-operation context from Options.Timeout.
+func (o Options) opCtx() (context.Context, context.CancelFunc) {
+	if o.Timeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), o.Timeout)
+}
+
 // Cloud is a running client–server pair used by one experiment.
 type Cloud struct {
 	Srv    *server.Server
@@ -135,7 +149,11 @@ type Cloud struct {
 	Plain  *core.PlainClient
 	Key    *secret.Key
 	Pivots *pivot.Set
-	tmpDir string
+	// Timeout bounds each insert bulk of InsertAll (0 = no deadline); the
+	// experiment loops set it from Options.Timeout so the construction
+	// phase is deadline-bounded like the query phase.
+	Timeout time.Duration
+	tmpDir  string
 }
 
 // Close tears the pair down and removes temporary bucket storage.
@@ -235,18 +253,21 @@ func NewPlainCloud(ds *dataset.Dataset, cfg mindex.Config, seed uint64) (*Cloud,
 }
 
 // InsertAll bulk-inserts the objects through whichever client the cloud has,
-// in bulks of bulkSize, and returns the summed construction costs.
+// in bulks of bulkSize, and returns the summed construction costs. Each
+// bulk runs under Cloud.Timeout when set.
 func (c *Cloud) InsertAll(objs []metric.Object, bulkSize int) (stats.Costs, error) {
 	var total stats.Costs
 	for start := 0; start < len(objs); start += bulkSize {
 		end := min(start+bulkSize, len(objs))
+		ctx, cancel := Options{Timeout: c.Timeout}.opCtx()
 		var costs stats.Costs
 		var err error
 		if c.Enc != nil {
-			costs, err = c.Enc.Insert(objs[start:end])
+			costs, err = c.Enc.InsertContext(ctx, objs[start:end])
 		} else {
-			costs, err = c.Plain.Insert(objs[start:end])
+			costs, err = c.Plain.InsertContext(ctx, objs[start:end])
 		}
+		cancel()
 		if err != nil {
 			return total, err
 		}

@@ -42,6 +42,7 @@ func PreciseSweep(o Options, specName string, candSize int) ([]PreciseResult, er
 		return nil, err
 	}
 	defer cloud.Close()
+	cloud.Timeout = o.Timeout
 	o.logf("precise: inserting %d objects (precise strategy)...", len(indexed))
 	if _, err := cloud.InsertAll(indexed, o.BulkSize); err != nil {
 		return nil, err
@@ -65,13 +66,19 @@ func PreciseSweep(o Options, specName string, candSize int) ([]PreciseResult, er
 	}
 	strategies := []strategy{
 		{fmt.Sprintf("ApproxKNN(%d)", candSize), func(qi int) ([]core.Result, stats.Costs, error) {
-			return cloud.Enc.ApproxKNN(queries[qi].Vec, o.K, candSize)
+			ctx, cancel := o.opCtx()
+			defer cancel()
+			return cloud.Enc.Search(ctx, core.Query{Kind: core.KindApproxKNN, Vec: queries[qi].Vec, K: o.K, CandSize: candSize})
 		}},
 		{"PreciseKNN", func(qi int) ([]core.Result, stats.Costs, error) {
-			return cloud.Enc.KNN(queries[qi].Vec, o.K, candSize)
+			ctx, cancel := o.opCtx()
+			defer cancel()
+			return cloud.Enc.Search(ctx, core.Query{Kind: core.KindKNN, Vec: queries[qi].Vec, K: o.K, CandSize: candSize})
 		}},
 		{"PreciseRange(rk)", func(qi int) ([]core.Result, stats.Costs, error) {
-			return cloud.Enc.Range(queries[qi].Vec, radii[qi])
+			ctx, cancel := o.opCtx()
+			defer cancel()
+			return cloud.Enc.Search(ctx, core.Query{Kind: core.KindRange, Vec: queries[qi].Vec, Radius: radii[qi]})
 		}},
 	}
 

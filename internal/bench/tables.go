@@ -150,6 +150,7 @@ func Construction(ds *dataset.Dataset, s Spec, o Options, encrypted bool) (stats
 		return stats.Costs{}, err
 	}
 	defer cloud.Close()
+	cloud.Timeout = o.Timeout
 	return cloud.InsertAll(ds.Objects, o.BulkSize)
 }
 
@@ -182,6 +183,7 @@ func SearchSweep(o Options, specName string, encrypted bool) ([]SearchResult, er
 		return nil, err
 	}
 	defer cloud.Close()
+	cloud.Timeout = o.Timeout
 	o.logf("table: inserting %d objects into %s cloud...", len(indexed), mode(encrypted))
 	if _, err := cloud.InsertAll(indexed, o.BulkSize); err != nil {
 		return nil, err
@@ -198,11 +200,14 @@ func SearchSweep(o Options, specName string, encrypted bool) ([]SearchResult, er
 			var res []core.Result
 			var costs stats.Costs
 			var err error
+			ctx, cancel := o.opCtx()
+			query := core.Query{Kind: core.KindApproxKNN, Vec: q.Vec, K: o.K, CandSize: cs}
 			if encrypted {
-				res, costs, err = cloud.Enc.ApproxKNN(q.Vec, o.K, cs)
+				res, costs, err = cloud.Enc.Search(ctx, query)
 			} else {
-				res, costs, err = cloud.Plain.ApproxKNN(q.Vec, o.K, cs)
+				res, costs, err = cloud.Plain.Search(ctx, query)
 			}
+			cancel()
 			if err != nil {
 				return nil, fmt.Errorf("query %d candSize %d: %w", qi, cs, err)
 			}
@@ -306,6 +311,7 @@ func Table9Sweep(o Options) ([]Table9Result, error) {
 		return nil, err
 	}
 	defer cloud.Close()
+	cloud.Timeout = o.Timeout
 	o.logf("table9: inserting %d objects...", len(indexed))
 	if _, err := cloud.InsertAll(indexed, o.BulkSize); err != nil {
 		return nil, err
@@ -335,7 +341,9 @@ func Table9Sweep(o Options) ([]Table9Result, error) {
 
 	o.logf("table9: Encrypted M-Index (1 cell)...")
 	if err := run("EncMIndex", func(q metric.Vector, _ int) ([]core.Result, stats.Costs, error) {
-		return cloud.Enc.FirstCellKNN(q, 1)
+		ctx, cancel := o.opCtx()
+		defer cancel()
+		return cloud.Enc.Search(ctx, core.Query{Kind: core.KindFirstCell, Vec: q, K: 1})
 	}); err != nil {
 		return nil, err
 	}

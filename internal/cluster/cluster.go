@@ -25,6 +25,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -67,6 +68,13 @@ type Coordinator struct {
 	nodes []*node
 	info  wire.HelloResp // the agreed index shape (validated across nodes)
 	pool  *fanout.Pool
+
+	// ctx is the coordinator's lifetime context: Close cancels it, which
+	// aborts fan-out retry loops between waves and interrupts node round
+	// trips blocked mid-read (NodeTimeout 0), so shutdown never waits on a
+	// hung node.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	// connMu guards the client-facing listener and connection registry,
 	// exactly like internal/server: Start, accept-loop registration,
@@ -145,6 +153,7 @@ func New(addrs []string, opts Options) (*Coordinator, error) {
 	}
 	o := opts.withDefaults()
 	c := &Coordinator{opts: o}
+	c.ctx, c.cancel = context.WithCancel(context.Background())
 	ok := false
 	defer func() {
 		if !ok {
@@ -176,7 +185,7 @@ func New(addrs []string, opts Options) (*Coordinator, error) {
 // assembly time only, so it is bounded by DialTimeout: a node that accepts
 // the connection but never answers must fail New loudly, not hang it.
 func (c *Coordinator) hello(n *node) (wire.HelloResp, error) {
-	respType, payload, err := n.roundTrip(wire.MsgHello, wire.HelloReq{}.Encode(), c.opts.DialTimeout)
+	respType, payload, err := n.roundTrip(c.ctx, wire.MsgHello, wire.HelloReq{}.Encode(), c.opts.DialTimeout)
 	if err != nil {
 		return wire.HelloResp{}, err
 	}
@@ -215,11 +224,14 @@ func (c *Coordinator) admit(i int, info wire.HelloResp) error {
 }
 
 // roundTrip performs one request/response exchange with the node,
-// serialized on the node's connection. Any transport failure closes the
-// connection, marks the node down and returns a nodeDownError; an error
-// frame from the node is returned as a wire.RemoteError with the node
-// still up.
-func (n *node) roundTrip(t wire.MsgType, payload []byte, timeout time.Duration) (wire.MsgType, []byte, error) {
+// serialized on the node's connection, under ctx plus the per-round-trip
+// timeout (whichever fires first): the effective deadline becomes the
+// connection's read/write deadline via wire.ArmContext, so a node that
+// stalls mid-response cannot hang the coordinator past its bound. Any
+// transport failure closes the connection, marks the node down and returns
+// a nodeDownError; an error frame from the node is returned as a
+// wire.RemoteError with the node still up.
+func (n *node) roundTrip(ctx context.Context, t wire.MsgType, payload []byte, timeout time.Duration) (wire.MsgType, []byte, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	conn := n.getConn()
@@ -227,22 +239,27 @@ func (n *node) roundTrip(t wire.MsgType, payload []byte, timeout time.Duration) 
 		return 0, nil, &nodeDownError{addr: n.addr, err: errors.New("connection closed")}
 	}
 	if timeout > 0 {
-		conn.SetDeadline(time.Now().Add(timeout))
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	disarm, err := wire.ArmContext(ctx, conn)
+	if err != nil {
+		return 0, nil, err // coordinator shutting down; not the node's fault
 	}
 	fail := func(err error) (wire.MsgType, []byte, error) {
 		n.closeConn()
 		n.down.Store(true)
 		return 0, nil, &nodeDownError{addr: n.addr, err: err}
 	}
-	if err := wire.WriteFrame(conn, t, payload); err != nil {
+	respType, resp, err := func() (wire.MsgType, []byte, error) {
+		if err := wire.WriteFrame(conn, t, payload); err != nil {
+			return 0, nil, err
+		}
+		return wire.ReadFrame(conn)
+	}()
+	if err = disarm(err); err != nil {
 		return fail(err)
-	}
-	respType, resp, err := wire.ReadFrame(conn)
-	if err != nil {
-		return fail(err)
-	}
-	if timeout > 0 {
-		conn.SetDeadline(time.Time{})
 	}
 	if respType == wire.MsgError {
 		m, derr := wire.DecodeErrorResp(resp)
@@ -353,6 +370,9 @@ func (c *Coordinator) Close() error {
 		conn.Close()
 	}
 	c.connMu.Unlock()
+	// Cancel the lifetime context first: fan-out retry loops stop between
+	// waves and armed node round trips get interrupted.
+	c.cancel()
 	var err error
 	if ln != nil {
 		err = ln.Close()

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -34,7 +35,7 @@ func (c *Coordinator) handle(typ wire.MsgType, payload []byte, start time.Time) 
 		if _, err := wire.DecodeHelloReq(payload); err != nil {
 			return 0, nil, err
 		}
-		info, err := c.aggregateHello()
+		info, err := c.aggregateHello(c.ctx)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -45,7 +46,7 @@ func (c *Coordinator) handle(typ wire.MsgType, payload []byte, start time.Time) 
 		if err != nil {
 			return 0, nil, err
 		}
-		if err := c.insertEntries(req.Entries); err != nil {
+		if err := c.insertEntries(c.ctx, req.Entries); err != nil {
 			return 0, nil, err
 		}
 		return wire.MsgAck, wire.AckResp{ServerNanos: c.serverNanos(start)}.Encode(), nil
@@ -55,7 +56,7 @@ func (c *Coordinator) handle(typ wire.MsgType, payload []byte, start time.Time) 
 		if err != nil {
 			return 0, nil, err
 		}
-		deleted, err := c.deleteRefs(req.Refs)
+		deleted, err := c.deleteRefs(c.ctx, req.Refs)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -64,7 +65,7 @@ func (c *Coordinator) handle(typ wire.MsgType, payload []byte, start time.Time) 
 		}.Encode(), nil
 
 	case wire.MsgRangeDists:
-		entries, err := c.concatCandidates(wire.MsgRangeDists, payload)
+		entries, err := c.concatCandidates(c.ctx, wire.MsgRangeDists, payload)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -96,7 +97,7 @@ func (c *Coordinator) handle(typ wire.MsgType, payload []byte, start time.Time) 
 			return 0, nil, err
 		}
 		return c.singleQuery(wire.BatchQuery{
-			Kind: wire.BatchFirstCell, Perm: req.Perm,
+			Kind: wire.BatchFirstCell, Perm: req.Perm, Dists: req.Dists,
 		}, start)
 
 	case wire.MsgBatchQuery:
@@ -104,7 +105,7 @@ func (c *Coordinator) handle(typ wire.MsgType, payload []byte, start time.Time) 
 		if err != nil {
 			return 0, nil, err
 		}
-		results, err := c.rankedFan(req)
+		results, err := c.rankedFan(c.ctx, req)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -113,7 +114,7 @@ func (c *Coordinator) handle(typ wire.MsgType, payload []byte, start time.Time) 
 		}.Encode(), nil
 
 	case wire.MsgDownloadAll:
-		entries, err := c.concatCandidates(wire.MsgDownloadAll, payload)
+		entries, err := c.concatCandidates(c.ctx, wire.MsgDownloadAll, payload)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -128,7 +129,7 @@ func (c *Coordinator) handle(typ wire.MsgType, payload []byte, start time.Time) 
 // fan-out and answers with a plain candidate set, exactly like a single
 // server's MsgCandidates response.
 func (c *Coordinator) singleQuery(q wire.BatchQuery, start time.Time) (wire.MsgType, []byte, error) {
-	results, err := c.rankedFan(wire.BatchQueryReq{Queries: []wire.BatchQuery{q}})
+	results, err := c.rankedFan(c.ctx, wire.BatchQueryReq{Queries: []wire.BatchQuery{q}})
 	if err != nil {
 		return 0, nil, err
 	}
@@ -179,9 +180,15 @@ func (c *Coordinator) group(entries []mindex.Entry, targets []*node) ([][]mindex
 // is left. A node that died after applying its group but before
 // acknowledging leaves those entries inserted twice (on the dead node and
 // on a survivor) — at-least-once semantics; see DESIGN.md §Distribution.
-func (c *Coordinator) insertEntries(entries []mindex.Entry) error {
+func (c *Coordinator) insertEntries(ctx context.Context, entries []mindex.Entry) error {
 	remaining := entries
 	for len(remaining) > 0 {
+		// Cancellation check between re-routing waves: a shutdown (or a
+		// future per-request deadline) stops the retry loop instead of
+		// hammering the surviving nodes.
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("cluster: insert aborted: %w", err)
+		}
 		targets := c.alive()
 		if len(targets) == 0 {
 			return errNoLiveNodes
@@ -195,7 +202,7 @@ func (c *Coordinator) insertEntries(entries []mindex.Entry) error {
 			if len(groups[i]) == 0 {
 				return nil
 			}
-			respType, resp, err := targets[i].roundTrip(wire.MsgInsertEntries,
+			respType, resp, err := targets[i].roundTrip(ctx, wire.MsgInsertEntries,
 				wire.InsertEntriesReq{Entries: groups[i]}.Encode(), c.opts.NodeTimeout)
 			if err != nil {
 				if isNodeDown(err) {
@@ -229,10 +236,13 @@ func (c *Coordinator) insertEntries(entries []mindex.Entry) error {
 // while re-routed ones sit at Perm[0] mod |live| — so each ref is instead
 // broadcast to every live node, where non-owners skip the unknown ID; a
 // mid-operation death retries the affected refs the same way.
-func (c *Coordinator) deleteRefs(refs []mindex.Entry) (uint32, error) {
+func (c *Coordinator) deleteRefs(ctx context.Context, refs []mindex.Entry) (uint32, error) {
 	var deleted atomic.Uint32
 	remaining := refs
 	for len(remaining) > 0 {
+		if err := ctx.Err(); err != nil {
+			return deleted.Load(), fmt.Errorf("cluster: delete aborted: %w", err)
+		}
 		targets := c.alive()
 		if len(targets) == 0 {
 			return deleted.Load(), errNoLiveNodes
@@ -259,7 +269,7 @@ func (c *Coordinator) deleteRefs(refs []mindex.Entry) (uint32, error) {
 			if len(groups[i]) == 0 {
 				return nil
 			}
-			respType, resp, err := targets[i].roundTrip(wire.MsgDeleteEntries,
+			respType, resp, err := targets[i].roundTrip(ctx, wire.MsgDeleteEntries,
 				wire.DeleteEntriesReq{Refs: groups[i]}.Encode(), c.opts.NodeTimeout)
 			if err != nil {
 				if isNodeDown(err) {
@@ -301,8 +311,14 @@ type nodeReply struct {
 // transport level is marked down and the whole broadcast retries over the
 // survivors — queries stay transparent across a node death, serving
 // whatever the surviving nodes hold. Application errors propagate.
-func (c *Coordinator) broadcast(t wire.MsgType, payload []byte) ([]nodeReply, error) {
+func (c *Coordinator) broadcast(ctx context.Context, t wire.MsgType, payload []byte) ([]nodeReply, error) {
 	for {
+		// Cancellation check between fan-out waves: a node death triggers a
+		// full retry over the survivors, and that loop must not outlive the
+		// coordinator (or a future per-request deadline).
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("cluster: fan-out aborted: %w", err)
+		}
 		targets := c.alive()
 		if len(targets) == 0 {
 			return nil, errNoLiveNodes
@@ -310,7 +326,7 @@ func (c *Coordinator) broadcast(t wire.MsgType, payload []byte) ([]nodeReply, er
 		replies := make([]nodeReply, len(targets))
 		var anyDown atomic.Bool
 		err := c.pool.Run(len(targets), func(i int) error {
-			respType, resp, err := targets[i].roundTrip(t, payload, c.opts.NodeTimeout)
+			respType, resp, err := targets[i].roundTrip(ctx, t, payload, c.opts.NodeTimeout)
 			if err != nil {
 				if isNodeDown(err) {
 					c.opts.Logf("simcoord: %v; retrying over surviving nodes", err)
@@ -336,8 +352,8 @@ func (c *Coordinator) broadcast(t wire.MsgType, payload []byte) ([]nodeReply, er
 // candidate sets (precise range, download-all) and concatenates them in
 // node order — the cross-node form of the engine's per-shard range
 // concatenation, exact because every first-level cell lives on one node.
-func (c *Coordinator) concatCandidates(t wire.MsgType, payload []byte) ([]mindex.Entry, error) {
-	replies, err := c.broadcast(t, payload)
+func (c *Coordinator) concatCandidates(ctx context.Context, t wire.MsgType, payload []byte) ([]mindex.Entry, error) {
+	replies, err := c.broadcast(ctx, t, payload)
 	if err != nil {
 		return nil, err
 	}
@@ -362,8 +378,8 @@ func (c *Coordinator) concatCandidates(t wire.MsgType, payload []byte) ([]mindex
 // size, and first-cell results keep only the globally most promising cell
 // — each the exact cross-node counterpart of what engine.ShardedIndex does
 // across shards, via the same internal/merge implementation.
-func (c *Coordinator) rankedFan(req wire.BatchQueryReq) ([][]mindex.Entry, error) {
-	replies, err := c.broadcast(wire.MsgBatchRanked, req.Encode())
+func (c *Coordinator) rankedFan(ctx context.Context, req wire.BatchQueryReq) ([][]mindex.Entry, error) {
+	replies, err := c.broadcast(ctx, wire.MsgBatchRanked, req.Encode())
 	if err != nil {
 		return nil, err
 	}
@@ -420,8 +436,8 @@ func (c *Coordinator) rankedFan(req wire.BatchQueryReq) ([][]mindex.Entry, error
 // aggregateHello answers a client hello with the cluster-wide view: the
 // agreed index shape plus entry and shard counts summed over the live
 // nodes.
-func (c *Coordinator) aggregateHello() (wire.HelloResp, error) {
-	replies, err := c.broadcast(wire.MsgHello, wire.HelloReq{}.Encode())
+func (c *Coordinator) aggregateHello(ctx context.Context) (wire.HelloResp, error) {
+	replies, err := c.broadcast(ctx, wire.MsgHello, wire.HelloReq{}.Encode())
 	if err != nil {
 		return wire.HelloResp{}, err
 	}

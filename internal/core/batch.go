@@ -1,23 +1,27 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"simcloud/internal/metric"
-	"simcloud/internal/mindex"
-	"simcloud/internal/pivot"
 	"simcloud/internal/stats"
 	"simcloud/internal/wire"
 )
 
-// Batched operations: InsertBatch and ApproxKNNBatch chunk their work into
-// frames of Options.BatchChunk items and pipeline the chunks — every
-// request frame is written back to back while a reader goroutine drains the
-// responses — so k operations pay one round-trip latency plus streaming
-// instead of k sequential round trips. The server processes pipelined
-// frames in order (each one fanning out across its index shards), so
-// responses match requests positionally.
+// Batched operations chunk their work into frames of Options.BatchChunk
+// items and pipeline the chunks — every request frame is written back to
+// back while a reader goroutine drains the responses — so k operations pay
+// one round-trip latency plus streaming instead of k sequential round
+// trips. The server processes pipelined frames in order (each one fanning
+// out across its index shards), so responses match requests positionally.
+//
+// The whole flight runs on one leased connection under the caller's
+// context: the context deadline bounds it, cancellation interrupts the
+// blocked reader, and the writer checks for cancellation between chunks. A
+// flight that dies mid-pipeline leaves its connection with unread frames
+// in transit, so the lease is discarded, never pooled.
 
 // frame is one protocol frame of a pipelined exchange.
 type frame struct {
@@ -25,18 +29,33 @@ type frame struct {
 	payload []byte
 }
 
-// exchange pipelines the request frames over the connection and returns the
-// matching response frames in order. Wire time and bytes for the whole
-// flight are accounted to costs as a single round trip (the chunks share
-// the connection; latency is paid once).
-func (c *EncryptedClient) exchange(reqs []frame, costs *stats.Costs) ([]frame, error) {
-	sentBefore, recvBefore := c.conn.BytesWritten(), c.conn.BytesRead()
+// exchange leases a connection, pipelines the request frames over it under
+// ctx, and returns the matching response frames in order. Wire time and
+// bytes for the whole flight are accounted to costs as a single round trip
+// (the chunks share the connection; latency is paid once).
+func (c *EncryptedClient) exchange(ctx context.Context, reqs []frame, costs *stats.Costs) ([]frame, error) {
+	var resps []frame
+	err := c.pool.withConn(ctx, func(conn *wire.CountingConn) error {
+		var err error
+		resps, err = exchange(ctx, conn, reqs, costs)
+		return err
+	})
+	return resps, err
+}
+
+// exchange pipelines reqs over conn under ctx.
+func exchange(ctx context.Context, conn *wire.CountingConn, reqs []frame, costs *stats.Costs) ([]frame, error) {
+	disarm, err := wire.ArmContext(ctx, conn)
+	if err != nil {
+		return nil, err
+	}
+	sentBefore, recvBefore := conn.BytesWritten(), conn.BytesRead()
 	ioStart := time.Now()
 	resps := make([]frame, len(reqs))
 	readDone := make(chan error, 1)
 	go func() {
 		for i := range resps {
-			typ, payload, err := wire.ReadFrame(c.conn)
+			typ, payload, err := wire.ReadFrame(conn)
 			if err != nil {
 				readDone <- err
 				return
@@ -47,30 +66,34 @@ func (c *EncryptedClient) exchange(reqs []frame, costs *stats.Costs) ([]frame, e
 	}()
 	var writeErr error
 	for _, r := range reqs {
-		if err := wire.WriteFrame(c.conn, r.typ, r.payload); err != nil {
+		// Cancellation check between chunks: a long flight stops writing
+		// promptly instead of discovering the dead context at read time.
+		if err := ctx.Err(); err != nil {
+			writeErr = err
+			break
+		}
+		if err := wire.WriteFrame(conn, r.typ, r.payload); err != nil {
 			writeErr = err
 			break
 		}
 	}
 	if writeErr != nil {
 		// The reader may be waiting for responses that will never come;
-		// force its pending read to fail. The deadline is restored after
-		// the single readDone receive below.
-		c.conn.SetReadDeadline(time.Now())
+		// force its pending read to fail. ArmContext's disarm restores the
+		// deadline after the single readDone receive below.
+		conn.SetReadDeadline(time.Now())
 	}
 	readErr := <-readDone
-	if writeErr != nil {
-		c.conn.SetReadDeadline(time.Time{})
-	}
 	costs.CommTime += time.Since(ioStart)
-	costs.BytesSent += c.conn.BytesWritten() - sentBefore
-	costs.BytesReceived += c.conn.BytesRead() - recvBefore
+	costs.BytesSent += conn.BytesWritten() - sentBefore
+	costs.BytesReceived += conn.BytesRead() - recvBefore
 	costs.RoundTrips++
-	if writeErr != nil {
-		return nil, writeErr
+	err = writeErr
+	if err == nil {
+		err = readErr
 	}
-	if readErr != nil {
-		return nil, readErr
+	if err = disarm(err); err != nil {
+		return nil, err
 	}
 	return resps, nil
 }
@@ -91,16 +114,21 @@ func respError(r frame) error {
 }
 
 // chunkCount returns the number of BatchChunk-sized chunks covering n.
-func (c *EncryptedClient) chunkCount(n int) int {
+func (c *coder) chunkCount(n int) int {
 	return (n + c.opts.BatchChunk - 1) / c.opts.BatchChunk
 }
 
-// InsertBatch is Insert with chunked pipelining: the prepared entries are
-// shipped as a sequence of MsgInsertEntries frames of Options.BatchChunk
-// entries each, all in flight at once. On a sharded server every chunk is
-// routed to the index shards in parallel, so ingest overlaps transfer,
-// framing and indexing instead of serializing them.
+// InsertBatch is InsertBatchContext without a deadline.
 func (c *EncryptedClient) InsertBatch(objs []metric.Object) (stats.Costs, error) {
+	return c.InsertBatchContext(context.Background(), objs)
+}
+
+// InsertBatchContext is Insert with chunked pipelining: the prepared
+// entries are shipped as a sequence of MsgInsertEntries frames of
+// Options.BatchChunk entries each, all in flight at once. On a sharded
+// server every chunk is routed to the index shards in parallel, so ingest
+// overlaps transfer, framing and indexing instead of serializing them.
+func (c *EncryptedClient) InsertBatchContext(ctx context.Context, objs []metric.Object) (stats.Costs, error) {
 	var costs stats.Costs
 	start := time.Now()
 	if len(objs) == 0 {
@@ -119,7 +147,7 @@ func (c *EncryptedClient) InsertBatch(objs []metric.Object) (stats.Costs, error)
 			payload: wire.InsertEntriesReq{Entries: entries[at:min(at+chunk, len(entries))]}.Encode(),
 		})
 	}
-	resps, err := c.exchange(reqs, &costs)
+	resps, err := c.exchange(ctx, reqs, &costs)
 	if err != nil {
 		return costs, err
 	}
@@ -142,92 +170,17 @@ func (c *EncryptedClient) InsertBatch(objs []metric.Object) (stats.Costs, error)
 	return costs, nil
 }
 
-// ApproxKNNBatch evaluates approximate k-NN for many queries at once: the
-// queries are packed into MsgBatchQuery frames of Options.BatchChunk
-// queries each and pipelined, so the whole workload pays one round-trip
-// latency. Each query reveals exactly what its single-query counterpart
-// reveals (permutation or transformed distance vector). Results are
-// per-query, in input order, each refined locally like ApproxKNN.
+// ApproxKNNBatch evaluates approximate k-NN for many queries at once.
+//
+// Legacy entry point: prefer SearchBatch with KindApproxKNN queries, which
+// adds context support and mixed query kinds.
 func (c *EncryptedClient) ApproxKNNBatch(qs []metric.Vector, k, candSize int) ([][]Result, stats.Costs, error) {
-	var costs stats.Costs
-	start := time.Now()
 	if k <= 0 || candSize <= 0 {
-		return nil, costs, fmt.Errorf("core: k and candSize must be positive (k=%d, candSize=%d)", k, candSize)
+		return nil, stats.Costs{}, fmt.Errorf("core: k and candSize must be positive (k=%d, candSize=%d)", k, candSize)
 	}
-	if len(qs) == 0 {
-		finish(&costs, start)
-		return nil, costs, nil
-	}
-
-	queries := make([]wire.BatchQuery, len(qs))
+	queries := make([]Query, len(qs))
 	for i, q := range qs {
-		distStart := time.Now()
-		qDists := c.key.Pivots().Distances(q) // Alg. 2 line 1, per query
-		costs.DistCompTime += time.Since(distStart)
-		costs.DistComps += int64(c.key.Pivots().N())
-		if c.opts.Ranking == mindex.RankDistSum {
-			queries[i] = wire.BatchQuery{
-				Kind:     wire.BatchApproxDists,
-				Dists:    c.key.TransformDists(qDists),
-				CandSize: uint32(candSize),
-			}
-		} else {
-			queries[i] = wire.BatchQuery{
-				Kind:     wire.BatchApproxPerm,
-				Perm:     pivot.Permutation(qDists), // Alg. 2 line 8
-				CandSize: uint32(candSize),
-			}
-		}
+		queries[i] = Query{Kind: KindApproxKNN, Vec: q, K: k, CandSize: candSize}
 	}
-	chunk := c.opts.BatchChunk
-	reqs := make([]frame, 0, c.chunkCount(len(queries)))
-	for at := 0; at < len(queries); at += chunk {
-		reqs = append(reqs, frame{
-			typ:     wire.MsgBatchQuery,
-			payload: wire.BatchQueryReq{Queries: queries[at:min(at+chunk, len(queries))]}.Encode(),
-		})
-	}
-	resps, err := c.exchange(reqs, &costs)
-	if err != nil {
-		return nil, costs, err
-	}
-
-	out := make([][]Result, 0, len(qs))
-	for ci, r := range resps {
-		if err := respError(r); err != nil {
-			lo := ci * chunk
-			// The server's "batch query N" counts within this chunk; the
-			// wrapped range rebases it onto the caller's query indices.
-			return nil, costs, fmt.Errorf("core: query chunk %d (queries %d..%d): %w",
-				ci, lo, min(lo+chunk, len(qs))-1, err)
-		}
-		if r.typ != wire.MsgBatchCandidates {
-			return nil, costs, fmt.Errorf("core: unexpected batch query response %v", r.typ)
-		}
-		m, err := wire.DecodeBatchQueryResp(r.payload)
-		if err != nil {
-			return nil, costs, err
-		}
-		creditServer(&costs, m.ServerNanos)
-		for _, cands := range m.Results {
-			qi := len(out)
-			if qi >= len(qs) {
-				return nil, costs, fmt.Errorf("core: server returned more batch results than queries")
-			}
-			refined, err := c.refine(qs[qi], cands, &costs)
-			if err != nil {
-				return nil, costs, err
-			}
-			sortByDist(refined)
-			if len(refined) > k {
-				refined = refined[:k]
-			}
-			out = append(out, refined)
-		}
-	}
-	if len(out) != len(qs) {
-		return nil, costs, fmt.Errorf("core: server returned %d batch results for %d queries", len(out), len(qs))
-	}
-	finish(&costs, start)
-	return out, costs, nil
+	return c.SearchBatch(context.Background(), queries)
 }

@@ -1,8 +1,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"net"
 	"sort"
 	"sync"
 	"time"
@@ -46,7 +46,7 @@ type Options struct {
 	// summed CPU time across workers. Default 1 (the paper's single-client
 	// measurement setup).
 	Workers int
-	// BatchChunk is the number of queries (ApproxKNNBatch) or entries
+	// BatchChunk is the number of queries (SearchBatch) or entries
 	// (InsertBatch) carried per pipelined frame. Smaller chunks let the
 	// server start answering earlier; larger chunks amortize more framing.
 	// Default 64.
@@ -73,18 +73,47 @@ func (o *Options) withDefaults() Options {
 	return out
 }
 
-// EncryptedClient is an authorized client of the encrypted similarity
-// cloud. It is not safe for concurrent use; open one client per goroutine
-// (each holds its own connection, as in the paper's client–server setup).
-type EncryptedClient struct {
-	conn *wire.CountingConn
+// coder performs the client-side half of the paper's algorithms — pivot
+// distances, permutations, encryption on the way in; decryption and true
+// distances on the way out. It is what makes a client "authorized": the
+// networked EncryptedClient and the in-process DirectClient share it
+// verbatim, so the two backends produce bit-identical entries and
+// refinements.
+type coder struct {
 	key  *secret.Key
 	opts Options
 }
 
+// Key returns the client's secret key.
+func (c *coder) Key() *secret.Key { return c.key }
+
+// EncryptedClient is an authorized client of the encrypted similarity
+// cloud. It is safe for concurrent use: operations lease connections from
+// an internal pool (dialed on demand, reused when idle), so N goroutines
+// sharing one client run N concurrent exchanges instead of racing on one
+// socket.
+type EncryptedClient struct {
+	coder
+	addr string
+	pool *connPool
+}
+
+var _ Searcher = (*EncryptedClient)(nil)
+
 // DialEncrypted connects an authorized client holding key to the encrypted
-// server at addr.
+// server at addr. Equivalent to DialEncryptedContext with the background
+// context.
 func DialEncrypted(addr string, key *secret.Key, opts Options) (*EncryptedClient, error) {
+	return DialEncryptedContext(context.Background(), addr, key, opts)
+}
+
+// DialEncryptedContext connects an authorized client holding key to the
+// encrypted server at addr. The first connection is established eagerly
+// under ctx — including a hello handshake verifying the server runs the
+// encrypted deployment over the key's pivot count — so an unreachable or
+// incompatible cloud fails here, not on the first query. Further
+// connections are dialed on demand as concurrent operations need them.
+func DialEncryptedContext(ctx context.Context, addr string, key *secret.Key, opts Options) (*EncryptedClient, error) {
 	o := opts.withDefaults()
 	if o.PrefixLen < o.MaxLevel {
 		return nil, fmt.Errorf("core: PrefixLen %d below index MaxLevel %d", o.PrefixLen, o.MaxLevel)
@@ -92,38 +121,61 @@ func DialEncrypted(addr string, key *secret.Key, opts Options) (*EncryptedClient
 	if o.PrefixLen > key.Pivots().N() {
 		o.PrefixLen = key.Pivots().N()
 	}
-	conn, err := net.Dial("tcp", addr)
+	c := &EncryptedClient{coder: coder{key: key, opts: o}, addr: addr}
+	c.pool = newConnPool(func(ctx context.Context) (*wire.CountingConn, error) {
+		return dialAndHello(ctx, addr, wire.HelloModeEncrypted, key.Pivots().N())
+	})
+	conn, err := c.pool.dial(ctx)
 	if err != nil {
-		return nil, fmt.Errorf("core: dialing similarity cloud: %w", err)
+		return nil, err
 	}
-	return &EncryptedClient{conn: wire.NewCountingConn(conn), key: key, opts: o}, nil
+	c.pool.putIdle(conn)
+	return c, nil
 }
 
-// Close releases the connection.
-func (c *EncryptedClient) Close() error { return c.conn.Close() }
+// Addr returns the server address the client dials.
+func (c *EncryptedClient) Addr() string { return c.addr }
 
-// Key returns the client's secret key.
-func (c *EncryptedClient) Key() *secret.Key { return c.key }
+// Close releases every pooled connection, interrupting in-flight
+// operations.
+func (c *EncryptedClient) Close() error { return c.pool.close() }
 
-// roundTrip sends one request and reads one response, measuring the time
-// spent on the wire and the bytes in both directions.
-func (c *EncryptedClient) roundTrip(t wire.MsgType, payload []byte, costs *stats.Costs) (wire.MsgType, []byte, error) {
-	return roundTrip(c.conn, t, payload, costs)
+// roundTrip sends one request and reads one response on a pooled
+// connection, measuring the time spent on the wire and the bytes in both
+// directions. ctx bounds the whole exchange.
+func (c *EncryptedClient) roundTrip(ctx context.Context, t wire.MsgType, payload []byte, costs *stats.Costs) (wire.MsgType, []byte, error) {
+	var respType wire.MsgType
+	var resp []byte
+	err := c.pool.withConn(ctx, func(conn *wire.CountingConn) error {
+		var err error
+		respType, resp, err = roundTrip(ctx, conn, t, payload, costs)
+		return err
+	})
+	return respType, resp, err
 }
 
-func roundTrip(conn *wire.CountingConn, t wire.MsgType, payload []byte, costs *stats.Costs) (wire.MsgType, []byte, error) {
-	sentBefore, recvBefore := conn.BytesWritten(), conn.BytesRead()
-	ioStart := time.Now()
-	if err := wire.WriteFrame(conn, t, payload); err != nil {
+// roundTrip is one request/response exchange on conn under ctx: the
+// context's deadline becomes the connection's read/write deadline for this
+// round trip, and cancellation interrupts a blocked read.
+func roundTrip(ctx context.Context, conn *wire.CountingConn, t wire.MsgType, payload []byte, costs *stats.Costs) (wire.MsgType, []byte, error) {
+	disarm, err := wire.ArmContext(ctx, conn)
+	if err != nil {
 		return 0, nil, err
 	}
-	respType, resp, err := wire.ReadFrame(conn)
+	sentBefore, recvBefore := conn.BytesWritten(), conn.BytesRead()
+	ioStart := time.Now()
+	respType, resp, err := func() (wire.MsgType, []byte, error) {
+		if err := wire.WriteFrame(conn, t, payload); err != nil {
+			return 0, nil, err
+		}
+		return wire.ReadFrame(conn)
+	}()
 	ioTime := time.Since(ioStart)
 	costs.CommTime += ioTime // server time is subtracted by the caller
 	costs.BytesSent += conn.BytesWritten() - sentBefore
 	costs.BytesReceived += conn.BytesRead() - recvBefore
 	costs.RoundTrips++
-	if err != nil {
+	if err = disarm(err); err != nil {
 		return 0, nil, err
 	}
 	if respType == wire.MsgError {
@@ -149,7 +201,7 @@ func creditServer(costs *stats.Costs, serverNanos uint64) {
 
 // prepareEntry performs the per-object client work of Algorithm 1: pivot
 // distances, permutation prefix, encryption.
-func (c *EncryptedClient) prepareEntry(o metric.Object, costs *stats.Costs) (mindex.Entry, error) {
+func (c *coder) prepareEntry(o metric.Object, costs *stats.Costs) (mindex.Entry, error) {
 	pv := c.key.Pivots()
 	distStart := time.Now()
 	dists := pv.Distances(o.Vec) // Alg. 1 line 1
@@ -180,7 +232,7 @@ func (c *EncryptedClient) prepareEntry(o metric.Object, costs *stats.Costs) (min
 
 // prepareEntries runs the per-object client work of Algorithm 1 over the
 // whole batch, across Options.Workers goroutines when configured.
-func (c *EncryptedClient) prepareEntries(objs []metric.Object, costs *stats.Costs) ([]mindex.Entry, error) {
+func (c *coder) prepareEntries(objs []metric.Object, costs *stats.Costs) ([]mindex.Entry, error) {
 	entries := make([]mindex.Entry, len(objs))
 	if c.opts.Workers <= 1 || len(objs) < 2 {
 		for i, o := range objs {
@@ -224,17 +276,24 @@ func (c *EncryptedClient) prepareEntries(objs []metric.Object, costs *stats.Cost
 	return entries, nil
 }
 
-// Insert performs the encrypted bulk insert of Algorithm 1: per object, the
-// client computes pivot distances, derives the permutation prefix, encrypts
-// the object, and ships the entries to the server.
+// Insert performs the encrypted bulk insert of Algorithm 1 (see
+// InsertContext) without a deadline.
 func (c *EncryptedClient) Insert(objs []metric.Object) (stats.Costs, error) {
+	return c.InsertContext(context.Background(), objs)
+}
+
+// InsertContext performs the encrypted bulk insert of Algorithm 1: per
+// object, the client computes pivot distances, derives the permutation
+// prefix, encrypts the object, and ships the entries to the server. ctx
+// bounds the round trip.
+func (c *EncryptedClient) InsertContext(ctx context.Context, objs []metric.Object) (stats.Costs, error) {
 	var costs stats.Costs
 	start := time.Now()
 	entries, err := c.prepareEntries(objs, &costs)
 	if err != nil {
 		return costs, err
 	}
-	respType, resp, err := c.roundTrip(wire.MsgInsertEntries, wire.InsertEntriesReq{Entries: entries}.Encode(), &costs)
+	respType, resp, err := c.roundTrip(ctx, wire.MsgInsertEntries, wire.InsertEntriesReq{Entries: entries}.Encode(), &costs)
 	if err != nil {
 		return costs, err
 	}
@@ -262,8 +321,8 @@ func finish(costs *stats.Costs, start time.Time) {
 }
 
 // refine decrypts candidate entries and computes their true distances to
-// the query (Algorithm 2, lines 11–16); limit < 0 refines everything.
-func (c *EncryptedClient) refine(q metric.Vector, cands []mindex.Entry, costs *stats.Costs) ([]Result, error) {
+// the query (Algorithm 2, lines 11–16).
+func (c *coder) refine(q metric.Vector, cands []mindex.Entry, costs *stats.Costs) ([]Result, error) {
 	dist := c.key.Pivots().Dist
 	out := make([]Result, 0, len(cands))
 	for _, e := range cands {
@@ -283,100 +342,49 @@ func (c *EncryptedClient) refine(q metric.Vector, cands []mindex.Entry, costs *s
 	return out, nil
 }
 
+// refineLimited refines at most limit candidates (0 = everything), keeping
+// the pre-ranked most promising prefix; Candidates is accounted as the
+// number transferred, not merely refined, matching the paper's
+// communication-cost measure.
+func (c *coder) refineLimited(q metric.Vector, cands []mindex.Entry, limit int, costs *stats.Costs) ([]Result, error) {
+	received := len(cands)
+	if limit > 0 && len(cands) > limit {
+		cands = cands[:limit] // pre-ranked: keep the most promising prefix
+	}
+	refined, err := c.refine(q, cands, costs)
+	if err != nil {
+		return nil, err
+	}
+	costs.Candidates += int64(received - len(cands))
+	return refined, nil
+}
+
+// Legacy query surface. These methods predate the unified Query API and
+// remain as thin wrappers over Search so existing callers keep working;
+// new code should build a Query and call Search / SearchBatch, which add
+// context support (deadlines, cancellation) these entry points lack. See
+// DESIGN.md §API for the deprecation policy.
+
 // Range evaluates the precise range query R(q, r): the client reveals only
 // the query–pivot distance vector; the server returns pivot-filtered
 // candidates that the client decrypts and refines.
+//
+// Legacy entry point: prefer Search with KindRange.
 func (c *EncryptedClient) Range(q metric.Vector, r float64) ([]Result, stats.Costs, error) {
-	var costs stats.Costs
-	start := time.Now()
-	distStart := time.Now()
-	qDists := c.key.Pivots().Distances(q) // Alg. 2 line 1
-	costs.DistCompTime += time.Since(distStart)
-	costs.DistComps += int64(c.key.Pivots().N())
-
-	// Under a distribution-hiding transformation the server prunes in
-	// transformed space with a slope-scaled radius — a candidate superset,
-	// so exactness survives the client-side refinement below.
-	respType, resp, err := c.roundTrip(wire.MsgRangeDists,
-		wire.RangeDistsReq{
-			Dists:  c.key.TransformDists(qDists),
-			Radius: c.key.TransformRadius(r),
-		}.Encode(), &costs)
-	if err != nil {
-		return nil, costs, err
-	}
-	if respType != wire.MsgCandidates {
-		return nil, costs, fmt.Errorf("core: unexpected range response %v", respType)
-	}
-	m, err := wire.DecodeCandidatesResp(resp)
-	if err != nil {
-		return nil, costs, err
-	}
-	creditServer(&costs, m.ServerNanos)
-	refined, err := c.refine(q, m.Entries, &costs)
-	if err != nil {
-		return nil, costs, err
-	}
-	out := refined[:0]
-	for _, res := range refined {
-		if res.Dist <= r {
-			out = append(out, res)
-		}
-	}
-	sortByDist(out)
-	finish(&costs, start)
-	return out, costs, nil
+	return c.Search(context.Background(), Query{Kind: KindRange, Vec: q, Radius: r})
 }
 
 // ApproxKNN evaluates the approximate k-NN query of Algorithm 2: the client
 // reveals the query permutation (footrule ranking) or distance vector
 // (distance-sum ranking) plus the requested candidate-set size, then refines
 // the returned pre-ranked candidates.
+//
+// Legacy entry point: prefer Search with KindApproxKNN.
 func (c *EncryptedClient) ApproxKNN(q metric.Vector, k, candSize int) ([]Result, stats.Costs, error) {
-	var costs stats.Costs
-	start := time.Now()
 	if k <= 0 || candSize <= 0 {
-		return nil, costs, fmt.Errorf("core: k and candSize must be positive (k=%d, candSize=%d)", k, candSize)
+		return nil, stats.Costs{}, fmt.Errorf("core: k and candSize must be positive (k=%d, candSize=%d)", k, candSize)
 	}
-	distStart := time.Now()
-	qDists := c.key.Pivots().Distances(q) // Alg. 2 line 1
-	costs.DistCompTime += time.Since(distStart)
-	costs.DistComps += int64(c.key.Pivots().N())
-
-	var reqType wire.MsgType
-	var payload []byte
-	if c.opts.Ranking == mindex.RankDistSum {
-		// Transformed distances preserve the permutation and the relative
-		// cell ordering, so the distance-sum request also hides raw values.
-		reqType, payload = wire.MsgApproxDists,
-			wire.ApproxDistsReq{Dists: c.key.TransformDists(qDists), CandSize: uint32(candSize)}.Encode()
-	} else {
-		perm := pivot.Permutation(qDists) // Alg. 2 line 8
-		reqType, payload = wire.MsgApproxPerm,
-			wire.ApproxPermReq{Perm: perm, CandSize: uint32(candSize)}.Encode()
-	}
-	respType, resp, err := c.roundTrip(reqType, payload, &costs)
-	if err != nil {
-		return nil, costs, err
-	}
-	if respType != wire.MsgCandidates {
-		return nil, costs, fmt.Errorf("core: unexpected approx response %v", respType)
-	}
-	m, err := wire.DecodeCandidatesResp(resp)
-	if err != nil {
-		return nil, costs, err
-	}
-	creditServer(&costs, m.ServerNanos)
-	refined, err := c.refine(q, m.Entries, &costs)
-	if err != nil {
-		return nil, costs, err
-	}
-	sortByDist(refined)
-	if len(refined) > k {
-		refined = refined[:k]
-	}
-	finish(&costs, start)
-	return refined, costs, nil
+	return c.Search(context.Background(), Query{Kind: KindApproxKNN, Vec: q, K: k, CandSize: candSize})
 }
 
 // ApproxKNNPartial is ApproxKNN with client-side partial refinement: the
@@ -385,48 +393,15 @@ func (c *EncryptedClient) ApproxKNN(q metric.Vector, k, candSize int) ([]Result,
 // highest rank to speed up the search process" (Section 4.2). Only the
 // first refineLimit candidates are decrypted and refined; the remainder is
 // paid for in communication but not in decryption or distance time.
+//
+// Legacy entry point: prefer Search with KindApproxKNN and RefineLimit.
 func (c *EncryptedClient) ApproxKNNPartial(q metric.Vector, k, candSize, refineLimit int) ([]Result, stats.Costs, error) {
-	var costs stats.Costs
-	start := time.Now()
 	if k <= 0 || candSize <= 0 || refineLimit <= 0 {
-		return nil, costs, fmt.Errorf("core: k, candSize and refineLimit must be positive (k=%d candSize=%d refineLimit=%d)",
+		return nil, stats.Costs{}, fmt.Errorf("core: k, candSize and refineLimit must be positive (k=%d candSize=%d refineLimit=%d)",
 			k, candSize, refineLimit)
 	}
-	distStart := time.Now()
-	qDists := c.key.Pivots().Distances(q)
-	costs.DistCompTime += time.Since(distStart)
-	costs.DistComps += int64(c.key.Pivots().N())
-
-	perm := pivot.Permutation(qDists)
-	respType, resp, err := c.roundTrip(wire.MsgApproxPerm,
-		wire.ApproxPermReq{Perm: perm, CandSize: uint32(candSize)}.Encode(), &costs)
-	if err != nil {
-		return nil, costs, err
-	}
-	if respType != wire.MsgCandidates {
-		return nil, costs, fmt.Errorf("core: unexpected approx response %v", respType)
-	}
-	m, err := wire.DecodeCandidatesResp(resp)
-	if err != nil {
-		return nil, costs, err
-	}
-	creditServer(&costs, m.ServerNanos)
-	cands := m.Entries
-	received := len(cands)
-	if len(cands) > refineLimit {
-		cands = cands[:refineLimit] // pre-ranked: keep the most promising prefix
-	}
-	refined, err := c.refine(q, cands, &costs)
-	if err != nil {
-		return nil, costs, err
-	}
-	costs.Candidates = int64(received) // transferred, not merely refined
-	sortByDist(refined)
-	if len(refined) > k {
-		refined = refined[:k]
-	}
-	finish(&costs, start)
-	return refined, costs, nil
+	return c.Search(context.Background(),
+		Query{Kind: KindApproxKNN, Vec: q, K: k, CandSize: candSize, RefineLimit: refineLimit})
 }
 
 // KNN evaluates the precise k-NN query as Section 4.2 prescribes: an
@@ -434,70 +409,25 @@ func (c *EncryptedClient) ApproxKNNPartial(q metric.Vector, k, candSize, refineL
 // neighbor (an upper bound on the true k-th neighbor distance), and the
 // precise range query R(q, ρk) then guarantees completeness. Two round
 // trips; candSize tunes the first phase.
+//
+// Legacy entry point: prefer Search with KindKNN.
 func (c *EncryptedClient) KNN(q metric.Vector, k, candSize int) ([]Result, stats.Costs, error) {
-	start := time.Now()
-	approx, costs, err := c.ApproxKNN(q, k, candSize)
-	if err != nil {
-		return nil, costs, err
+	if k <= 0 || candSize <= 0 {
+		return nil, stats.Costs{}, fmt.Errorf("core: k and candSize must be positive (k=%d, candSize=%d)", k, candSize)
 	}
-	rho := maxRadius // fewer than k candidates found: fall back to everything
-	if len(approx) >= k {
-		rho = approx[len(approx)-1].Dist
-	}
-	within, rangeCosts, err := c.Range(q, rho)
-	if err != nil {
-		return nil, costs, err
-	}
-	costs.Accumulate(rangeCosts)
-	sortByDist(within)
-	if len(within) > k {
-		within = within[:k]
-	}
-	costs.Overall = time.Since(start)
-	costs.ClientTime = costs.Overall - costs.ServerTime - costs.CommTime
-	if costs.ClientTime < 0 {
-		costs.ClientTime = 0
-	}
-	return within, costs, nil
+	return c.Search(context.Background(), Query{Kind: KindKNN, Vec: q, K: k, CandSize: candSize})
 }
 
 // FirstCellKNN evaluates the restricted 1-cell approximate k-NN of the
 // paper's Section 5.4 comparison: the server contributes exactly one
 // Voronoi cell as the candidate set.
+//
+// Legacy entry point: prefer Search with KindFirstCell.
 func (c *EncryptedClient) FirstCellKNN(q metric.Vector, k int) ([]Result, stats.Costs, error) {
-	var costs stats.Costs
-	start := time.Now()
 	if k <= 0 {
-		return nil, costs, fmt.Errorf("core: k must be positive, got %d", k)
+		return nil, stats.Costs{}, fmt.Errorf("core: k must be positive, got %d", k)
 	}
-	distStart := time.Now()
-	qDists := c.key.Pivots().Distances(q)
-	costs.DistCompTime += time.Since(distStart)
-	costs.DistComps += int64(c.key.Pivots().N())
-
-	perm := pivot.Permutation(qDists)
-	respType, resp, err := c.roundTrip(wire.MsgFirstCell, wire.FirstCellReq{Perm: perm}.Encode(), &costs)
-	if err != nil {
-		return nil, costs, err
-	}
-	if respType != wire.MsgCandidates {
-		return nil, costs, fmt.Errorf("core: unexpected first-cell response %v", respType)
-	}
-	m, err := wire.DecodeCandidatesResp(resp)
-	if err != nil {
-		return nil, costs, err
-	}
-	creditServer(&costs, m.ServerNanos)
-	refined, err := c.refine(q, m.Entries, &costs)
-	if err != nil {
-		return nil, costs, err
-	}
-	sortByDist(refined)
-	if len(refined) > k {
-		refined = refined[:k]
-	}
-	finish(&costs, start)
-	return refined, costs, nil
+	return c.Search(context.Background(), Query{Kind: KindFirstCell, Vec: q, K: k})
 }
 
 // maxRadius is an effectively unbounded query radius.

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"math/rand/v2"
+	"net"
 	"sort"
 	"sync"
 	"testing"
@@ -300,7 +301,7 @@ func TestWrongKeyCannotDecrypt(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	attacker, err := DialEncrypted(client.conn.RemoteAddr().String(), otherKey,
+	attacker, err := DialEncrypted(client.Addr(), otherKey,
 		Options{MaxLevel: testMaxLevel})
 	if err != nil {
 		t.Fatal(err)
@@ -319,8 +320,17 @@ func TestModeMismatchIsRemoteError(t *testing.T) {
 	client, ds, _ := testCloud(t, Options{}, false)
 	_ = ds
 	// Speak the plain protocol to the encrypted server.
-	pc := &PlainClient{conn: client.conn}
-	_, err := pc.Insert([]metric.Object{{ID: 1, Vec: metric.Vector{1, 2, 3, 4, 5, 6}}})
+	// A plain client wired straight onto the encrypted server's address,
+	// skipping the dial handshake (which would catch the mismatch early):
+	// the pool leases raw connections without a hello.
+	raw, err := net.Dial("tcp", client.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := &PlainClient{addr: client.Addr(), pool: newConnPool(nil)}
+	pc.pool.putIdle(wire.NewCountingConn(raw))
+	defer pc.Close()
+	_, err = pc.Insert([]metric.Object{{ID: 1, Vec: metric.Vector{1, 2, 3, 4, 5, 6}}})
 	var remote *wire.RemoteError
 	if !errors.As(err, &remote) {
 		t.Fatalf("expected remote error, got %v", err)
@@ -376,7 +386,7 @@ func TestFirstCellKNN(t *testing.T) {
 
 func TestConcurrentClients(t *testing.T) {
 	client, ds, key := testCloud(t, Options{}, true)
-	addr := client.conn.RemoteAddr().String()
+	addr := client.Addr()
 	var wg sync.WaitGroup
 	errs := make(chan error, 8)
 	for w := range 8 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -21,7 +22,7 @@ import (
 // deleteRefs performs the per-object client work of a delete: pivot
 // distances (for the permutation) and the routing prefix. No encryption is
 // involved — only the reference leaves the client.
-func (c *EncryptedClient) deleteRefs(objs []metric.Object, costs *stats.Costs) []mindex.Entry {
+func (c *coder) deleteRefs(objs []metric.Object, costs *stats.Costs) []mindex.Entry {
 	pv := c.key.Pivots()
 	refs := make([]mindex.Entry, len(objs))
 	for i, o := range objs {
@@ -34,10 +35,15 @@ func (c *EncryptedClient) deleteRefs(objs []metric.Object, costs *stats.Costs) [
 	return refs
 }
 
-// Delete removes the given objects from the encrypted index in one round
-// trip. Objects the server does not know (or already deleted) are skipped;
-// the count of entries actually deleted is returned.
+// Delete is DeleteContext without a deadline.
 func (c *EncryptedClient) Delete(objs []metric.Object) (int, stats.Costs, error) {
+	return c.DeleteContext(context.Background(), objs)
+}
+
+// DeleteContext removes the given objects from the encrypted index in one
+// round trip under ctx. Objects the server does not know (or already
+// deleted) are skipped; the count of entries actually deleted is returned.
+func (c *EncryptedClient) DeleteContext(ctx context.Context, objs []metric.Object) (int, stats.Costs, error) {
 	var costs stats.Costs
 	start := time.Now()
 	if len(objs) == 0 {
@@ -45,7 +51,7 @@ func (c *EncryptedClient) Delete(objs []metric.Object) (int, stats.Costs, error)
 		return 0, costs, nil
 	}
 	refs := c.deleteRefs(objs, &costs)
-	respType, resp, err := c.roundTrip(wire.MsgDeleteEntries,
+	respType, resp, err := c.roundTrip(ctx, wire.MsgDeleteEntries,
 		wire.DeleteEntriesReq{Refs: refs}.Encode(), &costs)
 	if err != nil {
 		return 0, costs, err
@@ -62,12 +68,17 @@ func (c *EncryptedClient) Delete(objs []metric.Object) (int, stats.Costs, error)
 	return int(ack.Deleted), costs, nil
 }
 
-// DeleteBatch is Delete with chunked pipelining: the references are
+// DeleteBatch is DeleteBatchContext without a deadline.
+func (c *EncryptedClient) DeleteBatch(objs []metric.Object) (int, stats.Costs, error) {
+	return c.DeleteBatchContext(context.Background(), objs)
+}
+
+// DeleteBatchContext is Delete with chunked pipelining: the references are
 // shipped as a sequence of MsgDeleteEntries frames of Options.BatchChunk
 // references each, all in flight at once — the mutation mirror of
 // InsertBatch, sharing its cost accounting (one round trip for the whole
-// flight).
-func (c *EncryptedClient) DeleteBatch(objs []metric.Object) (int, stats.Costs, error) {
+// flight) and its context semantics.
+func (c *EncryptedClient) DeleteBatchContext(ctx context.Context, objs []metric.Object) (int, stats.Costs, error) {
 	var costs stats.Costs
 	start := time.Now()
 	if len(objs) == 0 {
@@ -83,7 +94,7 @@ func (c *EncryptedClient) DeleteBatch(objs []metric.Object) (int, stats.Costs, e
 			payload: wire.DeleteEntriesReq{Refs: refs[at:min(at+chunk, len(refs))]}.Encode(),
 		})
 	}
-	resps, err := c.exchange(reqs, &costs)
+	resps, err := c.exchange(ctx, reqs, &costs)
 	if err != nil {
 		return 0, costs, err
 	}

@@ -19,6 +19,44 @@
 //     k-th neighbor distance; the subsequent precise range query R(q, ρk)
 //     guarantees the exact answer.
 //
+// # The unified query surface
+//
+// One Query value (Kind ∈ {KindRange, KindKNN, KindApproxKNN,
+// KindFirstCell} plus K, Radius, CandSize, RefineLimit) describes every
+// similarity query, and the Searcher interface —
+// Search(ctx, Query) / SearchBatch(ctx, []Query) — evaluates it on any of
+// three backends:
+//
+//   - EncryptedClient: the paper's deployment. Client-side transform and
+//     refinement; the server sees only pivot-space metadata.
+//   - PlainClient: the non-encrypted baseline. The raw query travels to
+//     the server, which refines everything itself.
+//   - DirectClient: the index engine embedded in-process — the same coder
+//     (transform + refinement) as EncryptedClient, no network.
+//
+// For the same key, configuration and collection, all three return
+// identical result lists for every query kind (enforced by
+// TestSearcherBackendEquivalence). The per-kind legacy methods (Range,
+// KNN, ApproxKNN, ApproxKNNPartial, FirstCellKNN, ApproxKNNBatch) remain
+// as thin wrappers over Search; see DESIGN.md §API for the deprecation
+// policy.
+//
+// # Contexts, deadlines, concurrency
+//
+// Every operation takes (or has a ...Context variant taking) a
+// context.Context that is honored end to end: the context's deadline
+// becomes the connection's read/write deadline for each round trip
+// (internal/wire.ArmContext), cancellation interrupts an exchange blocked
+// on a stalled server, and the pipelined batch path additionally checks
+// for cancellation between chunks. Context errors surface wrapped, so
+// errors.Is(err, context.DeadlineExceeded) works.
+//
+// The networked clients are safe for concurrent use: operations lease
+// connections from an internal pool (dialed on demand through the hello
+// handshake, reused while healthy, discarded the moment an exchange on
+// them fails), so goroutines sharing one client never interleave frames on
+// one socket.
+//
 // # Key invariant: the server address is just an address
 //
 // A client built here never assumes what stands behind the address it
@@ -26,7 +64,9 @@
 // federating many servers (internal/cluster) all speak the identical
 // protocol and return identically ordered candidate sets, so deployments
 // scale from one process to many nodes without any client change — and
-// without the client revealing anything more.
+// without the client revealing anything more. The dial handshake verifies
+// only what must hold for the conversation to be meaningful: deployment
+// mode, and (for encrypted clients) the pivot count of the key.
 //
 // Every operation returns a stats.Costs decomposition (client, server,
 // communication time; encryption, decryption, distance-computation time;

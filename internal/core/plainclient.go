@@ -1,8 +1,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"net"
 	"time"
 
 	"simcloud/internal/metric"
@@ -15,29 +15,70 @@ import (
 // objects and queries; the server does all the work and returns final
 // answers, so "the amount of work on the client is negligible".
 //
-// Like EncryptedClient it is not safe for concurrent use.
+// Like EncryptedClient it is safe for concurrent use: operations lease
+// connections from an internal pool, and it implements the same Searcher
+// interface, so baseline-vs-encrypted experiments run the identical query
+// code against both deployments.
 type PlainClient struct {
-	conn *wire.CountingConn
+	addr string
+	pool *connPool
 }
 
-// DialPlain connects to the plain server at addr.
+var _ Searcher = (*PlainClient)(nil)
+
+// DialPlain connects to the plain server at addr. Equivalent to
+// DialPlainContext with the background context.
 func DialPlain(addr string) (*PlainClient, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("core: dialing similarity cloud: %w", err)
-	}
-	return &PlainClient{conn: wire.NewCountingConn(conn)}, nil
+	return DialPlainContext(context.Background(), addr)
 }
 
-// Close releases the connection.
-func (c *PlainClient) Close() error { return c.conn.Close() }
+// DialPlainContext connects to the plain server at addr. The first
+// connection is established eagerly under ctx — including a hello
+// handshake verifying the server really runs the plain deployment — so a
+// wrong address fails here, not on the first query.
+func DialPlainContext(ctx context.Context, addr string) (*PlainClient, error) {
+	c := &PlainClient{addr: addr}
+	c.pool = newConnPool(func(ctx context.Context) (*wire.CountingConn, error) {
+		return dialAndHello(ctx, addr, wire.HelloModePlain, 0)
+	})
+	conn, err := c.pool.dial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	c.pool.putIdle(conn)
+	return c, nil
+}
 
-// Insert uploads a bulk of raw objects; the server computes pivot distances
-// and builds the index.
+// Addr returns the server address the client dials.
+func (c *PlainClient) Addr() string { return c.addr }
+
+// Close releases every pooled connection, interrupting in-flight
+// operations.
+func (c *PlainClient) Close() error { return c.pool.close() }
+
+// roundTrip runs one exchange on a pooled connection under ctx.
+func (c *PlainClient) roundTrip(ctx context.Context, t wire.MsgType, payload []byte, costs *stats.Costs) (wire.MsgType, []byte, error) {
+	var respType wire.MsgType
+	var resp []byte
+	err := c.pool.withConn(ctx, func(conn *wire.CountingConn) error {
+		var err error
+		respType, resp, err = roundTrip(ctx, conn, t, payload, costs)
+		return err
+	})
+	return respType, resp, err
+}
+
+// Insert is InsertContext without a deadline.
 func (c *PlainClient) Insert(objs []metric.Object) (stats.Costs, error) {
+	return c.InsertContext(context.Background(), objs)
+}
+
+// InsertContext uploads a bulk of raw objects; the server computes pivot
+// distances and builds the index.
+func (c *PlainClient) InsertContext(ctx context.Context, objs []metric.Object) (stats.Costs, error) {
 	var costs stats.Costs
 	start := time.Now()
-	respType, resp, err := roundTrip(c.conn, wire.MsgInsertObjects,
+	respType, resp, err := c.roundTrip(ctx, wire.MsgInsertObjects,
 		wire.InsertObjectsReq{Objects: objs}.Encode(), &costs)
 	if err != nil {
 		return costs, err
@@ -55,51 +96,184 @@ func (c *PlainClient) Insert(objs []metric.Object) (stats.Costs, error) {
 	return costs, nil
 }
 
-// query runs one plain request returning refined results.
-func (c *PlainClient) query(reqType wire.MsgType, payload []byte) ([]Result, stats.Costs, error) {
-	var costs stats.Costs
-	start := time.Now()
-	respType, resp, err := roundTrip(c.conn, reqType, payload, &costs)
-	if err != nil {
-		return nil, costs, err
+// plainMessage maps a normalized Query onto its plain-protocol frame. The
+// raw query vector travels to the server — the defining disclosure of the
+// non-encrypted baseline.
+func plainMessage(nq Query) (wire.MsgType, []byte) {
+	switch nq.Kind {
+	case KindRange:
+		return wire.MsgRangePlain, wire.RangePlainReq{Q: nq.Vec, Radius: nq.Radius}.Encode()
+	case KindKNN:
+		return wire.MsgKNNPlain, wire.KNNPlainReq{Q: nq.Vec, K: uint32(nq.K)}.Encode()
+	case KindFirstCell:
+		return wire.MsgFirstCellPlain, wire.FirstCellPlainReq{Q: nq.Vec, K: uint32(nq.K)}.Encode()
+	default: // KindApproxKNN
+		return wire.MsgApproxPlain,
+			wire.ApproxPlainReq{Q: nq.Vec, K: uint32(nq.K), CandSize: uint32(nq.CandSize)}.Encode()
 	}
+}
+
+// decodeResults interprets one MsgResults response frame.
+func decodeResults(respType wire.MsgType, resp []byte, costs *stats.Costs) ([]Result, error) {
 	if respType != wire.MsgResults {
-		return nil, costs, fmt.Errorf("core: unexpected response %v to %v", respType, reqType)
+		return nil, fmt.Errorf("core: unexpected plain query response %v", respType)
 	}
 	m, err := wire.DecodeResultsResp(resp)
 	if err != nil {
-		return nil, costs, err
+		return nil, err
 	}
-	creditServer(&costs, m.ServerNanos)
-	costs.DistCompTime = time.Duration(m.DistNanos) // server-side distance time
+	creditServer(costs, m.ServerNanos)
+	costs.DistCompTime += time.Duration(m.DistNanos) // server-side distance time
 	out := make([]Result, len(m.Results))
 	for i, r := range m.Results {
 		out[i] = Result{ID: r.ID, Dist: r.Dist, Object: metric.Object{ID: r.ID, Vec: r.Vec}}
+	}
+	return out, nil
+}
+
+// Search evaluates one similarity query fully server-side. All four query
+// kinds are supported; RefineLimit is ignored (the plain server refines
+// everything — there is no client-side refinement to limit). ctx bounds
+// the round trip exactly as for the encrypted client.
+func (c *PlainClient) Search(ctx context.Context, q Query) ([]Result, stats.Costs, error) {
+	var costs stats.Costs
+	start := time.Now()
+	nq, err := q.normalized()
+	if err != nil {
+		return nil, costs, err
+	}
+	reqType, payload := plainMessage(nq)
+	respType, resp, err := c.roundTrip(ctx, reqType, payload, &costs)
+	if err != nil {
+		return nil, costs, err
+	}
+	out, err := decodeResults(respType, resp, &costs)
+	if err != nil {
+		return nil, costs, err
+	}
+	finish(&costs, start)
+	return out, costs, nil
+}
+
+// SearchBatch evaluates many queries by pipelining one frame per query
+// over a single leased connection — the plain protocol has no batch
+// envelope, but the server answers pipelined frames in order, so the whole
+// workload still pays one round-trip latency. Results are per-query, in
+// input order; ctx cancellation is checked between writes and interrupts
+// the blocked reader.
+func (c *PlainClient) SearchBatch(ctx context.Context, qs []Query) ([][]Result, stats.Costs, error) {
+	var costs stats.Costs
+	start := time.Now()
+	if len(qs) == 0 {
+		finish(&costs, start)
+		return nil, costs, nil
+	}
+	reqs := make([]frame, len(qs))
+	for i, q := range qs {
+		nq, err := q.normalized()
+		if err != nil {
+			return nil, costs, fmt.Errorf("core: batch query %d: %w", i, err)
+		}
+		typ, payload := plainMessage(nq)
+		reqs[i] = frame{typ: typ, payload: payload}
+	}
+	var resps []frame
+	if err := c.pool.withConn(ctx, func(conn *wire.CountingConn) error {
+		var err error
+		resps, err = exchange(ctx, conn, reqs, &costs)
+		return err
+	}); err != nil {
+		return nil, costs, err
+	}
+	out := make([][]Result, len(qs))
+	for i, r := range resps {
+		if err := respError(r); err != nil {
+			return nil, costs, fmt.Errorf("core: batch query %d: %w", i, err)
+		}
+		res, err := decodeResults(r.typ, r.payload, &costs)
+		if err != nil {
+			return nil, costs, err
+		}
+		out[i] = res
 	}
 	finish(&costs, start)
 	return out, costs, nil
 }
 
 // Range evaluates the precise range query R(q, r) fully server-side.
+//
+// Legacy entry point: prefer Search with KindRange.
 func (c *PlainClient) Range(q metric.Vector, r float64) ([]Result, stats.Costs, error) {
-	return c.query(wire.MsgRangePlain, wire.RangePlainReq{Q: q, Radius: r}.Encode())
+	return c.Search(context.Background(), Query{Kind: KindRange, Vec: q, Radius: r})
 }
 
 // KNN evaluates the precise k-NN query fully server-side.
+//
+// Legacy entry point: prefer Search with KindKNN.
 func (c *PlainClient) KNN(q metric.Vector, k int) ([]Result, stats.Costs, error) {
 	if k <= 0 {
 		return nil, stats.Costs{}, fmt.Errorf("core: k must be positive, got %d", k)
 	}
-	return c.query(wire.MsgKNNPlain, wire.KNNPlainReq{Q: q, K: uint32(k)}.Encode())
+	return c.Search(context.Background(), Query{Kind: KindKNN, Vec: q, K: k})
 }
 
 // ApproxKNN evaluates the approximate k-NN query fully server-side; the
 // candidate set of candSize objects is collected and refined on the server,
 // which returns only the k best answers.
+//
+// Legacy entry point: prefer Search with KindApproxKNN.
 func (c *PlainClient) ApproxKNN(q metric.Vector, k, candSize int) ([]Result, stats.Costs, error) {
 	if k <= 0 || candSize <= 0 {
 		return nil, stats.Costs{}, fmt.Errorf("core: k and candSize must be positive (k=%d, candSize=%d)", k, candSize)
 	}
-	return c.query(wire.MsgApproxPlain,
-		wire.ApproxPlainReq{Q: q, K: uint32(k), CandSize: uint32(candSize)}.Encode())
+	return c.Search(context.Background(), Query{Kind: KindApproxKNN, Vec: q, K: k, CandSize: candSize})
+}
+
+// FirstCellKNN evaluates the restricted 1-cell approximate k-NN fully
+// server-side — the plain counterpart of the encrypted first-cell query,
+// completing kind parity between the deployments.
+func (c *PlainClient) FirstCellKNN(q metric.Vector, k int) ([]Result, stats.Costs, error) {
+	if k <= 0 {
+		return nil, stats.Costs{}, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	return c.Search(context.Background(), Query{Kind: KindFirstCell, Vec: q, K: k})
+}
+
+// Delete is DeleteContext without a deadline.
+func (c *PlainClient) Delete(objs []metric.Object) (int, stats.Costs, error) {
+	return c.DeleteContext(context.Background(), objs)
+}
+
+// DeleteContext removes the given objects from the plain index in one
+// round trip: the server owns the location map, so bare IDs suffice (no
+// routing metadata travels, unlike the encrypted delete). Unknown or
+// already-deleted IDs are skipped; the count actually deleted is returned
+// — signature-compatible with EncryptedClient.Delete so baseline
+// experiments mutate like for like.
+func (c *PlainClient) DeleteContext(ctx context.Context, objs []metric.Object) (int, stats.Costs, error) {
+	var costs stats.Costs
+	start := time.Now()
+	if len(objs) == 0 {
+		finish(&costs, start)
+		return 0, costs, nil
+	}
+	ids := make([]uint64, len(objs))
+	for i, o := range objs {
+		ids[i] = o.ID
+	}
+	respType, resp, err := c.roundTrip(ctx, wire.MsgDeleteObjects,
+		wire.DeleteObjectsReq{IDs: ids}.Encode(), &costs)
+	if err != nil {
+		return 0, costs, err
+	}
+	if respType != wire.MsgDeleteAck {
+		return 0, costs, fmt.Errorf("core: unexpected delete response %v", respType)
+	}
+	ack, err := wire.DecodeDeleteAckResp(resp)
+	if err != nil {
+		return 0, costs, err
+	}
+	creditServer(&costs, ack.ServerNanos)
+	finish(&costs, start)
+	return int(ack.Deleted), costs, nil
 }

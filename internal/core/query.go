@@ -1,0 +1,138 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"simcloud/internal/metric"
+	"simcloud/internal/stats"
+)
+
+// QueryKind selects the similarity-query flavor a Query evaluates.
+type QueryKind uint8
+
+// Query kinds, mirroring the paper's query taxonomy (Section 4.2).
+const (
+	// KindRange is the precise range query R(q, r): every object within
+	// Radius of Vec, exactly.
+	KindRange QueryKind = iota + 1
+	// KindKNN is the precise k-NN query: an approximate pass determines the
+	// candidate radius ρk and a range query R(q, ρk) guarantees
+	// completeness (two round trips on networked backends).
+	KindKNN
+	// KindApproxKNN is the approximate k-NN query: the K best of a
+	// promise-ranked candidate set of CandSize objects.
+	KindApproxKNN
+	// KindFirstCell is the restricted 1-cell approximate k-NN of the
+	// paper's Section 5.4 comparison: the single most promising Voronoi
+	// cell is the whole candidate set.
+	KindFirstCell
+)
+
+// String implements fmt.Stringer.
+func (k QueryKind) String() string {
+	switch k {
+	case KindRange:
+		return "range"
+	case KindKNN:
+		return "knn"
+	case KindApproxKNN:
+		return "approx-knn"
+	case KindFirstCell:
+		return "first-cell"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Query is one similarity query, uniform across every backend and kind.
+// Exactly which fields matter depends on Kind:
+//
+//	KindRange      Vec, Radius
+//	KindKNN        Vec, K, CandSize (phase-1 tuning; 0 = DefaultCandSize)
+//	KindApproxKNN  Vec, K, CandSize (0 = DefaultCandSize), RefineLimit
+//	KindFirstCell  Vec, K, RefineLimit
+//
+// Unused fields are ignored. A Query is a plain value — build it with a
+// struct literal and pass it to any Searcher.
+type Query struct {
+	// Kind selects the query flavor.
+	Kind QueryKind
+	// Vec is the query object's descriptor.
+	Vec metric.Vector
+	// K is the number of nearest neighbors requested (all kinds but Range).
+	K int
+	// Radius is the range-query radius (KindRange only).
+	Radius float64
+	// CandSize is the candidate-set size of the approximate phase
+	// (KindApproxKNN, and the phase-1 tuning knob of KindKNN). 0 picks
+	// DefaultCandSize(K); it affects cost and — for KindApproxKNN —
+	// recall, never correctness of KindKNN.
+	CandSize int
+	// RefineLimit caps client-side refinement at the most promising
+	// RefineLimit candidates (Section 4.2's partial refinement;
+	// KindApproxKNN and KindFirstCell on client-refining backends). 0
+	// refines everything. The plain backend refines server-side and
+	// ignores it.
+	RefineLimit int
+}
+
+// DefaultCandSize is the candidate-set size used when Query.CandSize is
+// left 0: generous enough for high recall at moderate k (the paper's
+// sweeps use 10–70 candidates per requested neighbor).
+func DefaultCandSize(k int) int { return max(20*k, 100) }
+
+// normalized validates the query and fills defaults; every backend calls it
+// first, so the three implementations agree on what a well-formed Query is.
+func (q Query) normalized() (Query, error) {
+	if len(q.Vec) == 0 {
+		return q, fmt.Errorf("core: query vector is empty")
+	}
+	switch q.Kind {
+	case KindRange:
+		if q.Radius < 0 {
+			return q, fmt.Errorf("core: range radius must be non-negative, got %g", q.Radius)
+		}
+		if q.RefineLimit != 0 {
+			return q, fmt.Errorf("core: RefineLimit applies to approximate queries only (kind %v)", q.Kind)
+		}
+	case KindKNN, KindApproxKNN, KindFirstCell:
+		if q.K <= 0 {
+			return q, fmt.Errorf("core: k must be positive, got %d", q.K)
+		}
+		if q.CandSize < 0 {
+			return q, fmt.Errorf("core: CandSize must be non-negative, got %d", q.CandSize)
+		}
+		if q.CandSize == 0 {
+			q.CandSize = DefaultCandSize(q.K)
+		}
+		if q.RefineLimit < 0 {
+			return q, fmt.Errorf("core: RefineLimit must be non-negative, got %d", q.RefineLimit)
+		}
+		if q.RefineLimit != 0 && q.Kind == KindKNN {
+			return q, fmt.Errorf("core: RefineLimit would break the precise k-NN guarantee (kind %v)", q.Kind)
+		}
+	default:
+		return q, fmt.Errorf("core: unknown query kind %v", q.Kind)
+	}
+	return q, nil
+}
+
+// Searcher is the uniform query surface of the similarity cloud, satisfied
+// by all three backends:
+//
+//   - EncryptedClient — the paper's deployment: an authorized client of an
+//     untrusted server, transform and refinement on the client.
+//   - PlainClient — the non-encrypted baseline: the server does everything.
+//   - DirectClient — the index engine embedded in-process, no network.
+//
+// Search evaluates one query; SearchBatch evaluates many with backends free
+// to amortize round trips (results are per-query, in input order). Both
+// honor ctx: its deadline bounds every round trip and cancellation
+// interrupts blocked IO, surfacing as an error wrapping ctx.Err().
+//
+// Implementations are safe for concurrent use.
+type Searcher interface {
+	Search(ctx context.Context, q Query) ([]Result, stats.Costs, error)
+	SearchBatch(ctx context.Context, qs []Query) ([][]Result, stats.Costs, error)
+	Close() error
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -15,8 +16,13 @@ import (
 // locally. The same AES key protects both stores, so "the raw data is
 // always encrypted" (paper, note at the end of Section 2.3).
 
-// UploadRaw encrypts and uploads raw-data blobs keyed by object ID.
+// UploadRaw is UploadRawContext without a deadline.
 func (c *EncryptedClient) UploadRaw(items map[uint64][]byte) (stats.Costs, error) {
+	return c.UploadRawContext(context.Background(), items)
+}
+
+// UploadRawContext encrypts and uploads raw-data blobs keyed by object ID.
+func (c *EncryptedClient) UploadRawContext(ctx context.Context, items map[uint64][]byte) (stats.Costs, error) {
 	var costs stats.Costs
 	start := time.Now()
 	wireItems := make([]wire.RawItem, 0, len(items))
@@ -29,7 +35,7 @@ func (c *EncryptedClient) UploadRaw(items map[uint64][]byte) (stats.Costs, error
 		}
 		wireItems = append(wireItems, wire.RawItem{ID: id, Blob: ct})
 	}
-	respType, resp, err := c.roundTrip(wire.MsgPutRaw, wire.PutRawReq{Items: wireItems}.Encode(), &costs)
+	respType, resp, err := c.roundTrip(ctx, wire.MsgPutRaw, wire.PutRawReq{Items: wireItems}.Encode(), &costs)
 	if err != nil {
 		return costs, err
 	}
@@ -45,13 +51,18 @@ func (c *EncryptedClient) UploadRaw(items map[uint64][]byte) (stats.Costs, error
 	return costs, nil
 }
 
-// FetchRaw retrieves and decrypts the raw data of the given object IDs —
-// the final step of the outsourced search flow after a similarity query has
-// produced its answer set.
+// FetchRaw is FetchRawContext without a deadline.
 func (c *EncryptedClient) FetchRaw(ids []uint64) (map[uint64][]byte, stats.Costs, error) {
+	return c.FetchRawContext(context.Background(), ids)
+}
+
+// FetchRawContext retrieves and decrypts the raw data of the given object
+// IDs — the final step of the outsourced search flow after a similarity
+// query has produced its answer set.
+func (c *EncryptedClient) FetchRawContext(ctx context.Context, ids []uint64) (map[uint64][]byte, stats.Costs, error) {
 	var costs stats.Costs
 	start := time.Now()
-	respType, resp, err := c.roundTrip(wire.MsgGetRaw, wire.GetRawReq{IDs: ids}.Encode(), &costs)
+	respType, resp, err := c.roundTrip(ctx, wire.MsgGetRaw, wire.GetRawReq{IDs: ids}.Encode(), &costs)
 	if err != nil {
 		return nil, costs, err
 	}

@@ -73,7 +73,7 @@ func TestRawDataServerStoresOnlyCiphertext(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	attacker, err := DialEncrypted(client.conn.RemoteAddr().String(), otherKey,
+	attacker, err := DialEncrypted(client.Addr(), otherKey,
 		Options{MaxLevel: testMaxLevel})
 	if err != nil {
 		t.Fatal(err)

@@ -228,6 +228,34 @@ func (p *Plain) ApproxKNN(q metric.Vector, k, candSize int) ([]Result, error) {
 	return sortResults(out, k), nil
 }
 
+// FirstCellKNN evaluates the restricted 1-cell approximate k-NN fully on
+// the server: the single most promising Voronoi cell is the candidate set
+// (the paper's Section 5.4 comparison), refined with real distances — the
+// non-encrypted counterpart of the encrypted first-cell query.
+func (p *Plain) FirstCellKNN(q metric.Vector, k int) ([]Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("mindex: k must be positive, got %d", k)
+	}
+	qDists := p.Pivots.Distances(q)
+	aq := ApproxQuery{Dists: qDists, Ranks: pivot.Ranks(pivot.Permutation(qDists))}
+	cands, err := p.Idx.FirstCellCandidates(aq)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(cands))
+	for _, e := range cands {
+		out = append(out, Result{ID: e.ID, Dist: p.Pivots.Dist.Dist(q, e.Vec), Vec: e.Vec})
+	}
+	return sortResults(out, k), nil
+}
+
+// Delete tombstones the objects with the given IDs (the plain server holds
+// the location map, so a bare ID suffices); unknown or already-deleted IDs
+// are skipped and the count actually deleted is returned.
+func (p *Plain) Delete(ids []uint64) (int, error) {
+	return p.Idx.Delete(ids)
+}
+
 // AllEntries returns every live stored entry (used by the trivial
 // download-all baseline and diagnostics). The order is unspecified.
 func (ix *Index) AllEntries() ([]Entry, error) {

@@ -405,6 +405,13 @@ func (ix *Index) FirstCellCandidates(q ApproxQuery) ([]Entry, error) {
 // a sharded engine can pick the globally most promising first cell among
 // the per-shard winners. An empty index yields nil entries.
 func (ix *Index) FirstCellRanked(q ApproxQuery) ([]Entry, float64, []int32, error) {
+	// Validate like every other promise-ranked traversal: a query missing
+	// what the configured ranking needs (ranks for footrule, distances for
+	// distance-sum) must become an error, not an index-out-of-range panic
+	// inside the promise function.
+	if err := ix.validateApprox(q); err != nil {
+		return nil, 0, nil, err
+	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	pq := ix.getQueue()

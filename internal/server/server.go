@@ -423,12 +423,11 @@ func (s *Server) handle(typ wire.MsgType, payload []byte, start time.Time, distB
 		if err != nil {
 			return 0, nil, err
 		}
-		if !pivot.ValidPermutation(req.Perm, s.enc.Config().NumPivots) {
-			return 0, nil, fmt.Errorf("server: request permutation is not a permutation of %d pivots",
-				s.enc.Config().NumPivots)
+		aq, err := firstCellQuery(req.Perm, req.Dists, s.enc.Config().NumPivots)
+		if err != nil {
+			return 0, nil, err
 		}
-		cands, err := s.enc.FirstCellCandidates(
-			mindex.ApproxQuery{Ranks: pivot.Ranks(req.Perm)})
+		cands, err := s.enc.FirstCellCandidates(aq)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -512,6 +511,40 @@ func (s *Server) handle(typ wire.MsgType, payload []byte, start time.Time, distB
 			ServerNanos: s.serverNanos(start),
 			DistNanos:   s.distNanos(distBefore),
 			Results:     res,
+		}.Encode(), nil
+
+	case wire.MsgFirstCellPlain:
+		if s.plain == nil {
+			return 0, nil, errNeedPlain
+		}
+		req, err := wire.DecodeFirstCellPlainReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		res, err := s.plain.FirstCellKNN(req.Q, int(req.K))
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgResults, wire.ResultsResp{
+			ServerNanos: s.serverNanos(start),
+			DistNanos:   s.distNanos(distBefore),
+			Results:     res,
+		}.Encode(), nil
+
+	case wire.MsgDeleteObjects:
+		if s.plain == nil {
+			return 0, nil, errNeedPlain
+		}
+		req, err := wire.DecodeDeleteObjectsReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		deleted, err := s.plain.Delete(req.IDs)
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgDeleteAck, wire.DeleteAckResp{
+			ServerNanos: s.serverNanos(start), Deleted: uint32(deleted),
 		}.Encode(), nil
 
 	case wire.MsgApproxPlain:
@@ -657,13 +690,31 @@ func (s *Server) evalBatchQuery(q wire.BatchQuery) ([]mindex.Entry, error) {
 				Ranks: pivot.Ranks(pivot.Permutation(q.Dists)),
 			}, int(q.CandSize))
 	case wire.BatchFirstCell:
-		if !pivot.ValidPermutation(q.Perm, s.enc.Config().NumPivots) {
-			return nil, fmt.Errorf("request permutation is not a permutation of %d pivots",
-				s.enc.Config().NumPivots)
+		aq, err := firstCellQuery(q.Perm, q.Dists, s.enc.Config().NumPivots)
+		if err != nil {
+			return nil, err
 		}
-		return s.enc.FirstCellCandidates(mindex.ApproxQuery{Ranks: pivot.Ranks(q.Perm)})
+		return s.enc.FirstCellCandidates(aq)
 	}
 	return nil, fmt.Errorf("unknown batch query kind %d", q.Kind)
+}
+
+// firstCellQuery assembles the ApproxQuery of a first-cell request. The
+// footrule form carries the query permutation, the distance-sum form the
+// (transformed) distance vector; a non-empty permutation is validated
+// here, and the index itself validates that whatever arrived matches what
+// its configured ranking strategy needs — so a request missing the needed
+// field becomes an error response, never a panic inside the promise
+// function.
+func firstCellQuery(perm []int32, dists []float64, numPivots int) (mindex.ApproxQuery, error) {
+	aq := mindex.ApproxQuery{Dists: dists}
+	if len(perm) > 0 {
+		if !pivot.ValidPermutation(perm, numPivots) {
+			return aq, fmt.Errorf("server: request permutation is not a permutation of %d pivots", numPivots)
+		}
+		aq.Ranks = pivot.Ranks(perm)
+	}
+	return aq, nil
 }
 
 // evalBatchRanked evaluates one query of a MsgBatchRanked request, keeping
@@ -698,12 +749,11 @@ func (s *Server) evalBatchRanked(q wire.BatchQuery) ([]mindex.RankedCandidate, e
 				Ranks: pivot.Ranks(pivot.Permutation(q.Dists)),
 			}, int(q.CandSize))
 	case wire.BatchFirstCell:
-		if !pivot.ValidPermutation(q.Perm, s.enc.Config().NumPivots) {
-			return nil, fmt.Errorf("request permutation is not a permutation of %d pivots",
-				s.enc.Config().NumPivots)
+		aq, err := firstCellQuery(q.Perm, q.Dists, s.enc.Config().NumPivots)
+		if err != nil {
+			return nil, err
 		}
-		entries, promise, prefix, err := s.enc.FirstCellRanked(
-			mindex.ApproxQuery{Ranks: pivot.Ranks(q.Perm)})
+		entries, promise, prefix, err := s.enc.FirstCellRanked(aq)
 		if err != nil {
 			return nil, err
 		}

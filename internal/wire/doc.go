@@ -25,4 +25,14 @@
 //
 // Decoders accept exactly what the encoders produce, so the byte counts
 // measured by the benchmarks are the exact bytes a real deployment ships.
+//
+// # Context-derived deadlines
+//
+// ArmContext is the single bridge between context semantics and net.Conn
+// deadlines: it projects a context's deadline onto the connection for the
+// duration of one exchange, interrupts blocked IO when the context is
+// cancelled, and maps the resulting net timeout back to an error wrapping
+// ctx.Err(). Every client round trip, every pipelined batch flight, and
+// every coordinator→node exchange goes through it, so no layer above wire
+// ever calls SetDeadline directly.
 package wire

@@ -109,6 +109,15 @@ const (
 	// MsgBatchRankedCandidates returns one ranked candidate set per query
 	// of a MsgBatchRanked request.
 	MsgBatchRankedCandidates
+
+	// MsgDeleteObjects tombstones plain-deployment objects by ID (the plain
+	// server owns the pivots, so no routing metadata is needed); answered
+	// with MsgDeleteAck, batchable like MsgDeleteEntries.
+	MsgDeleteObjects
+	// MsgFirstCellPlain evaluates the restricted 1-cell approximate k-NN
+	// fully server-side (plain deployment), the non-encrypted counterpart
+	// of MsgFirstCell; answered with MsgResults.
+	MsgFirstCellPlain
 )
 
 var msgNames = map[MsgType]string{
@@ -123,6 +132,7 @@ var msgNames = map[MsgType]string{
 	MsgDeleteEntries: "delete-entries", MsgDeleteAck: "delete-ack",
 	MsgHello: "hello", MsgHelloAck: "hello-ack",
 	MsgBatchRanked: "batch-ranked", MsgBatchRankedCandidates: "batch-ranked-candidates",
+	MsgDeleteObjects: "delete-objects", MsgFirstCellPlain: "first-cell-plain",
 }
 
 // String implements fmt.Stringer.

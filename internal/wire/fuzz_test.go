@@ -78,6 +78,8 @@ func FuzzDecodeRequests(f *testing.F) {
 	f.Add(BatchRankedResp{ServerNanos: 2, Results: [][]mindex.RankedCandidate{{
 		{Entry: mindex.Entry{ID: 3, Perm: []int32{1, 0}}, Promise: 0.5, Prefix: []int32{1}},
 	}}}.Encode())
+	f.Add(DeleteObjectsReq{IDs: []uint64{1, 2, 3}}.Encode())
+	f.Add(FirstCellPlainReq{Q: metric.Vector{1, 2}, K: 4}.Encode())
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// None of these may panic; errors are fine.
@@ -105,5 +107,7 @@ func FuzzDecodeRequests(f *testing.F) {
 		_, _ = DecodeDeleteAckResp(data)
 		_, _ = DecodeHelloResp(data)
 		_, _ = DecodeBatchRankedResp(data)
+		_, _ = DecodeDeleteObjectsReq(data)
+		_, _ = DecodeFirstCellPlainReq(data)
 	})
 }

@@ -211,20 +211,26 @@ func DecodeApproxDistsReq(p []byte) (ApproxDistsReq, error) {
 
 // FirstCellReq asks for the single most promising Voronoi cell.
 type FirstCellReq struct {
-	Perm []int32
+	// Perm carries the query permutation (footrule ranking); Dists carries
+	// the (transformed) query distance vector (distance-sum ranking) —
+	// exactly the per-strategy disclosure split of the approximate k-NN
+	// request pair. Exactly one of the two is non-empty.
+	Perm  []int32
+	Dists []float64
 }
 
 // Encode serializes the request payload.
 func (m FirstCellReq) Encode() []byte {
 	var b Buffer
 	b.I32Slice(m.Perm)
+	b.F64Slice(m.Dists)
 	return b.B
 }
 
 // DecodeFirstCellReq parses a FirstCellReq payload.
 func DecodeFirstCellReq(p []byte) (FirstCellReq, error) {
 	r := NewReader(p)
-	m := FirstCellReq{Perm: r.I32Slice()}
+	m := FirstCellReq{Perm: r.I32Slice(), Dists: r.F64Slice()}
 	return m, r.Err()
 }
 
@@ -267,6 +273,67 @@ func (m KNNPlainReq) Encode() []byte {
 func DecodeKNNPlainReq(p []byte) (KNNPlainReq, error) {
 	r := NewReader(p)
 	m := KNNPlainReq{Q: r.VecField(), K: r.U32()}
+	return m, r.Err()
+}
+
+// FirstCellPlainReq is the restricted 1-cell approximate k-NN of the
+// paper's Section 5.4 comparison, evaluated fully server-side (plain
+// deployment): the server ranks its Voronoi cells against the raw query,
+// refines the single most promising cell and returns the k best answers.
+type FirstCellPlainReq struct {
+	Q metric.Vector
+	K uint32
+}
+
+// Encode serializes the request payload.
+func (m FirstCellPlainReq) Encode() []byte {
+	var b Buffer
+	b.Vec(m.Q)
+	b.U32(m.K)
+	return b.B
+}
+
+// DecodeFirstCellPlainReq parses a FirstCellPlainReq payload.
+func DecodeFirstCellPlainReq(p []byte) (FirstCellPlainReq, error) {
+	r := NewReader(p)
+	m := FirstCellPlainReq{Q: r.VecField(), K: r.U32()}
+	return m, r.Err()
+}
+
+// DeleteObjectsReq tombstones plain-deployment objects by ID. The plain
+// server owns the pivots and the location map, so — unlike the encrypted
+// DeleteEntriesReq — no permutation routing metadata travels with the
+// request. Answered with MsgDeleteAck; batchable like MsgDeleteEntries.
+type DeleteObjectsReq struct {
+	IDs []uint64
+}
+
+// Encode serializes the request payload.
+func (m DeleteObjectsReq) Encode() []byte {
+	var b Buffer
+	b.U32(uint32(len(m.IDs)))
+	for _, id := range m.IDs {
+		b.U64(id)
+	}
+	return b.B
+}
+
+// DecodeDeleteObjectsReq parses a DeleteObjectsReq payload.
+func DecodeDeleteObjectsReq(p []byte) (DeleteObjectsReq, error) {
+	r := NewReader(p)
+	n := int(r.U32())
+	// Each ID occupies exactly 8 bytes on the wire.
+	if n < 0 || n > len(p)/8+1 {
+		return DeleteObjectsReq{}, ErrCodec
+	}
+	m := DeleteObjectsReq{IDs: make([]uint64, 0, n)}
+	for range n {
+		id := r.U64()
+		if r.err != nil {
+			break
+		}
+		m.IDs = append(m.IDs, id)
+	}
 	return m, r.Err()
 }
 
@@ -673,8 +740,8 @@ const (
 // three encrypted query shapes.
 type BatchQuery struct {
 	Kind     uint8
-	Perm     []int32   // BatchApproxPerm, BatchFirstCell
-	Dists    []float64 // BatchRange, BatchApproxDists
+	Perm     []int32   // BatchApproxPerm, BatchFirstCell (footrule)
+	Dists    []float64 // BatchRange, BatchApproxDists, BatchFirstCell (distsum)
 	Radius   float64   // BatchRange
 	CandSize uint32    // BatchApproxPerm, BatchApproxDists
 }
@@ -705,6 +772,7 @@ func (m BatchQueryReq) Encode() []byte {
 			b.U32(q.CandSize)
 		case BatchFirstCell:
 			b.I32Slice(q.Perm)
+			b.F64Slice(q.Dists)
 		}
 	}
 	return b.B
@@ -733,6 +801,7 @@ func DecodeBatchQueryReq(p []byte) (BatchQueryReq, error) {
 			q.CandSize = r.U32()
 		case BatchFirstCell:
 			q.Perm = r.I32Slice()
+			q.Dists = r.F64Slice()
 		default:
 			return BatchQueryReq{}, ErrCodec
 		}

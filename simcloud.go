@@ -1,6 +1,7 @@
 package simcloud
 
 import (
+	"context"
 	"math/rand/v2"
 
 	"simcloud/internal/cluster"
@@ -39,8 +40,20 @@ type (
 	EncryptedClient = core.EncryptedClient
 	// PlainClient is a client of the non-encrypted baseline deployment.
 	PlainClient = core.PlainClient
+	// DirectClient embeds the index engine in-process: same client-side
+	// transform and refinement as EncryptedClient, no network.
+	DirectClient = core.DirectClient
 	// ClientOptions configures an encrypted client.
 	ClientOptions = core.Options
+	// Query is one similarity query, uniform across every backend and kind
+	// (see QueryKind and the Searcher interface).
+	Query = core.Query
+	// QueryKind selects a Query's flavor (KindRange, KindKNN,
+	// KindApproxKNN, KindFirstCell).
+	QueryKind = core.QueryKind
+	// Searcher is the unified context-aware query surface implemented by
+	// EncryptedClient, PlainClient and DirectClient.
+	Searcher = core.Searcher
 	// Dataset is a generated evaluation collection.
 	Dataset = dataset.Dataset
 	// Coordinator federates several encrypted servers into one similarity
@@ -68,6 +81,17 @@ const DefaultDiskCacheBytes = mindex.DefaultDiskCacheBytes
 const (
 	RankFootrule = mindex.RankFootrule
 	RankDistSum  = mindex.RankDistSum
+)
+
+// Query kinds for Query.Kind: the precise range query R(q, r), the precise
+// k-NN query (approximate pass + range ρk), the approximate k-NN over a
+// promise-ranked candidate set, and the restricted 1-cell approximate k-NN
+// of the paper's Section 5.4 comparison.
+const (
+	KindRange     = core.KindRange
+	KindKNN       = core.KindKNN
+	KindApproxKNN = core.KindApproxKNN
+	KindFirstCell = core.KindFirstCell
 )
 
 // Cipher modes for GenerateKeyMode.
@@ -209,8 +233,30 @@ func DialEncrypted(addr string, key *Key, opts ClientOptions) (*EncryptedClient,
 	return core.DialEncrypted(addr, key, opts)
 }
 
+// DialEncryptedContext is DialEncrypted under a context: ctx bounds the
+// dial and the hello handshake that verifies the server is an encrypted
+// deployment over the key's pivot count.
+func DialEncryptedContext(ctx context.Context, addr string, key *Key, opts ClientOptions) (*EncryptedClient, error) {
+	return core.DialEncryptedContext(ctx, addr, key, opts)
+}
+
 // DialPlain connects a client to a plain server.
 func DialPlain(addr string) (*PlainClient, error) { return core.DialPlain(addr) }
+
+// DialPlainContext is DialPlain under a context (see DialEncryptedContext).
+func DialPlainContext(ctx context.Context, addr string) (*PlainClient, error) {
+	return core.DialPlainContext(ctx, addr)
+}
+
+// NewDirectClient creates an in-process client over a fresh index engine
+// built from cfg — the embedded-library deployment: identical privacy
+// posture on disk and in memory (the index stores only ciphertexts plus
+// pivot-space metadata), no network. It implements Searcher, so code
+// written against Search/SearchBatch runs unchanged against all three
+// backends.
+func NewDirectClient(cfg Config, key *Key, opts ClientOptions) (*DirectClient, error) {
+	return core.NewDirect(cfg, key, opts)
+}
 
 // Recall returns |result ∩ exact| / |exact| in percent.
 func Recall(result, exact []uint64) float64 { return stats.Recall(result, exact) }
