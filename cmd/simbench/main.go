@@ -8,6 +8,13 @@
 //	simbench -table 6 -scale 1000000     # Table 6 at the paper's full scale
 //	simbench -table 5 -queries 100 -v    # verbose progress
 //
+// With -workers N it instead runs a closed-loop concurrent load test — N
+// workers issuing approximate k-NN queries back-to-back against one cloud —
+// and reports per-worker and aggregate QPS:
+//
+//	simbench -workers 8 -dataset YEAST -duration 10s
+//	simbench -workers 4 -dataset CoPhIR -encrypted -candsize 2000
+//
 // The absolute milliseconds depend on hardware; the shapes — who wins, by
 // what factor, where recall saturates — are the reproduction target (see
 // EXPERIMENTS.md).
@@ -44,6 +51,12 @@ func run() int {
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 		timeout = flag.Duration("timeout", 0, "per-query deadline through the context-aware Search API (0 = no deadline)")
+
+		workers   = flag.Int("workers", 0, "run a closed-loop concurrent load test with this many workers instead of tables")
+		dataset   = flag.String("dataset", "YEAST", "load test data set: YEAST, HUMAN or CoPhIR")
+		duration  = flag.Duration("duration", 10*time.Second, "load test measurement window")
+		candSize  = flag.Int("candsize", 0, "load test candidate set size (0 = the data set's middle evaluated size)")
+		encrypted = flag.Bool("encrypted", false, "load test the encrypted deployment instead of the plain one")
 	)
 	flag.Parse()
 	if *format != "text" && *format != "csv" {
@@ -91,6 +104,18 @@ func run() int {
 	}
 	if *verbose {
 		opts.Log = os.Stderr
+	}
+
+	if *workers > 0 {
+		start := time.Now()
+		rep, err := bench.LoadTest(opts, *dataset, *encrypted, *workers, *duration, *candSize)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			return 1
+		}
+		rep.Render(os.Stdout)
+		fmt.Fprintf(os.Stderr, "simbench: done in %s\n", bench.Elapsed(start))
+		return 0
 	}
 
 	render := func(t *bench.Table) {

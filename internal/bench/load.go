@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"simcloud/internal/core"
+	"simcloud/internal/dataset"
+	"simcloud/internal/metric"
+)
+
+// WorkerLoad is one closed-loop worker's share of a load test.
+type WorkerLoad struct {
+	Worker  int
+	Queries int64
+	QPS     float64
+}
+
+// LoadReport is the outcome of a closed-loop concurrent load test: per-worker
+// and aggregate throughput over a shared cloud. It is the client-side
+// counterpart of the in-process concurrent benchmarks in internal/mindex —
+// the numbers here include the wire protocol and (in encrypted mode) the
+// cryptography, so they bound what a deployment actually serves.
+type LoadReport struct {
+	Spec      string
+	Encrypted bool
+	Workers   int
+	K         int
+	CandSize  int
+	Indexed   int
+	Elapsed   time.Duration
+	PerWorker []WorkerLoad
+	Total     int64
+	QPS       float64
+}
+
+// Render writes the report in the same spirit as the paper tables: one line
+// per worker, then the aggregate.
+func (r *LoadReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "Load test: %s, %s deployment, %d objects, %d workers, k=%d, candSize=%d\n",
+		r.Spec, mode(r.Encrypted), r.Indexed, r.Workers, r.K, r.CandSize)
+	for _, wl := range r.PerWorker {
+		fmt.Fprintf(w, "  worker %2d: %6d queries  %8.1f q/s\n", wl.Worker, wl.Queries, wl.QPS)
+	}
+	fmt.Fprintf(w, "  aggregate: %6d queries  %8.1f q/s  in %s\n",
+		r.Total, r.QPS, r.Elapsed.Round(time.Millisecond))
+}
+
+// LoadTest runs a closed-loop concurrent approximate k-NN load test: workers
+// goroutines each issue queries back-to-back against one cloud for the given
+// duration. Closed-loop means each worker waits for its answer before asking
+// again, so aggregate throughput scaling with worker count directly measures
+// how well the server's lock-free read path overlaps concurrent searches.
+// candSize <= 0 picks the middle of the spec's evaluated candidate sizes.
+func LoadTest(o Options, specName string, encrypted bool, workers int, duration time.Duration, candSize int) (*LoadReport, error) {
+	o = o.withDefaults()
+	if workers < 1 {
+		return nil, fmt.Errorf("bench: load test needs at least 1 worker, got %d", workers)
+	}
+	if duration <= 0 {
+		duration = 10 * time.Second
+	}
+	s, err := SpecByName(specName)
+	if err != nil {
+		return nil, err
+	}
+	if candSize <= 0 {
+		candSize = s.CandSizes[len(s.CandSizes)/2]
+	}
+	ds := s.Load(o)
+	queries, indexed := dataset.SampleQueries(ds, o.Queries, o.Seed, false)
+
+	var cloud *Cloud
+	if encrypted {
+		cloud, err = NewEncryptedCloud(ds, s.Cfg, o.Seed, core.Options{})
+	} else {
+		cloud, err = NewPlainCloud(ds, s.Cfg, o.Seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer cloud.Close()
+	cloud.Timeout = o.Timeout
+	o.logf("load: inserting %d objects into %s cloud...", len(indexed), mode(encrypted))
+	if _, err := cloud.InsertAll(indexed, o.BulkSize); err != nil {
+		return nil, err
+	}
+
+	search := func(q metric.Vector) error {
+		ctx, cancel := o.opCtx()
+		defer cancel()
+		query := core.Query{Kind: core.KindApproxKNN, Vec: q, K: o.K, CandSize: candSize}
+		if encrypted {
+			_, _, err := cloud.Enc.Search(ctx, query)
+			return err
+		}
+		_, _, err := cloud.Plain.Search(ctx, query)
+		return err
+	}
+
+	// One warm-up query so connection dials and first-touch work do not
+	// land inside the measured window of whichever worker goes first.
+	if err := search(queries[0].Vec); err != nil {
+		return nil, fmt.Errorf("bench: load warm-up query: %w", err)
+	}
+
+	o.logf("load: %d workers x %s, candSize=%d...", workers, duration, candSize)
+	counts := make([]int64, workers)
+	errs := make([]error, workers)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Stagger starting query indexes so workers do not march
+			// through the query set in lockstep.
+			qi := w * len(queries) / workers
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := search(queries[qi%len(queries)].Vec); err != nil {
+					errs[w] = fmt.Errorf("bench: load worker %d: %w", w, err)
+					return
+				}
+				qi++
+				counts[w]++
+			}
+		}()
+	}
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	rep := &LoadReport{
+		Spec:      s.Name,
+		Encrypted: encrypted,
+		Workers:   workers,
+		K:         o.K,
+		CandSize:  candSize,
+		Indexed:   len(indexed),
+		Elapsed:   elapsed,
+	}
+	secs := elapsed.Seconds()
+	for w, n := range counts {
+		rep.PerWorker = append(rep.PerWorker, WorkerLoad{Worker: w, Queries: n, QPS: float64(n) / secs})
+		rep.Total += n
+	}
+	rep.QPS = float64(rep.Total) / secs
+	return rep, nil
+}

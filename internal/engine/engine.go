@@ -23,7 +23,13 @@ type ShardedIndex struct {
 	cfg    mindex.Config
 	shards []*mindex.Index
 	pool   *fanout.Pool
-	closed atomic.Bool
+	// readPool fans searches out separately from the mutation pool, so a
+	// query never queues behind a bulk insert or a shard compaction
+	// occupying the write workers. Shard reads themselves are lock-free
+	// (mindex publishes RCU snapshots), so read tasks never block on shard
+	// state either — the pools only bound goroutine counts.
+	readPool *fanout.Pool
+	closed   atomic.Bool
 
 	// Fan-out scratch pools: the per-shard result slices a query fans out
 	// into are recycled across queries (one pool per result shape), so the
@@ -88,7 +94,9 @@ func Wrap(idx *mindex.Index) *ShardedIndex {
 func newSharded(cfg mindex.Config, shards []*mindex.Index) *ShardedIndex {
 	s := &ShardedIndex{cfg: cfg, shards: shards}
 	if len(shards) > 1 {
-		s.pool = fanout.New(min(len(shards), max(1, runtime.GOMAXPROCS(0))))
+		workers := min(len(shards), max(1, runtime.GOMAXPROCS(0)))
+		s.pool = fanout.New(workers)
+		s.readPool = fanout.New(workers)
 	}
 	return s
 }
@@ -154,6 +162,9 @@ func (s *ShardedIndex) Close() error {
 	if s.pool != nil {
 		s.pool.Close()
 	}
+	if s.readPool != nil {
+		s.readPool.Close()
+	}
 	var firstErr error
 	for _, sh := range s.shards {
 		if err := sh.Close(); err != nil && firstErr == nil {
@@ -180,16 +191,26 @@ func (s *ShardedIndex) route(perm []int32) (int, error) {
 	return int(perm[0]) % len(s.shards), nil
 }
 
-// fanOut runs fn once per shard through the bounded pool (inline for a
-// single shard).
+// fanOut runs fn once per shard through the bounded mutation pool (inline
+// for a single shard).
 func (s *ShardedIndex) fanOut(fn func(i int) error) error {
+	return s.fanOutOn(s.pool, fn)
+}
+
+// fanOutRead runs fn once per shard through the dedicated read pool, keeping
+// search fan-outs from queueing behind mutation tasks.
+func (s *ShardedIndex) fanOutRead(fn func(i int) error) error {
+	return s.fanOutOn(s.readPool, fn)
+}
+
+func (s *ShardedIndex) fanOutOn(pool *fanout.Pool, fn func(i int) error) error {
 	if s.closed.Load() {
 		return errClosed
 	}
-	if s.pool == nil {
+	if pool == nil {
 		return fn(0)
 	}
-	err := s.pool.Run(len(s.shards), fn)
+	err := pool.Run(len(s.shards), fn)
 	if errors.Is(err, fanout.ErrClosed) {
 		return errClosed
 	}
@@ -388,7 +409,7 @@ func (s *ShardedIndex) RangeByDists(qDists []float64, r float64) ([]mindex.Entry
 	perp := s.entriesScratch.get(len(s.shards))
 	defer s.entriesScratch.put(perp)
 	per := *perp
-	err := s.fanOut(func(i int) error {
+	err := s.fanOutRead(func(i int) error {
 		out, err := s.shards[i].RangeByDists(qDists, r)
 		per[i] = out
 		return err
@@ -434,7 +455,7 @@ func (s *ShardedIndex) ApproxCandidatesRanked(q mindex.ApproxQuery, candSize int
 	perp := s.rankedScratch.get(len(s.shards))
 	defer s.rankedScratch.put(perp)
 	per := *perp
-	err := s.fanOut(func(i int) error {
+	err := s.fanOutRead(func(i int) error {
 		out, err := s.shards[i].ApproxCandidatesRanked(q, candSize)
 		per[i] = out
 		return err
@@ -471,7 +492,7 @@ func (s *ShardedIndex) FirstCellRanked(q mindex.ApproxQuery) ([]mindex.Entry, fl
 	perp := s.cellScratch.get(len(s.shards))
 	defer s.cellScratch.put(perp)
 	per := *perp
-	err := s.fanOut(func(i int) error {
+	err := s.fanOutRead(func(i int) error {
 		entries, promise, prefix, err := s.shards[i].FirstCellRanked(q)
 		per[i] = merge.Cell{Entries: entries, Promise: promise, Prefix: prefix}
 		return err

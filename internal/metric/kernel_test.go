@@ -1,0 +1,119 @@
+package metric
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// The distance functions delegate their inner loops to internal/simd; these
+// tests pin the full Distance implementations — including the CoPhIR
+// weighted combination — to scalar reference loops, bit for bit, across
+// dimensions 1..130 (and 280 for CoPhIR). Equal distances must stay exactly
+// equal across code paths, or the ranked-list equivalence suites would see
+// ordering drift.
+
+func refL1(a, b Vector) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s
+}
+
+func refL2(a, b Vector) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func refChebyshev(a, b Vector) float64 {
+	var m float64
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func refLp(a, b Vector, p float64) float64 {
+	var s float64
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		s += math.Pow(d, p)
+	}
+	return math.Pow(s, 1/p)
+}
+
+func refCoPhIR(a, b Vector) float64 {
+	var sum float64
+	sum += 2.0 * refL1(a[0:64], b[0:64])
+	sum += 3.0 * refL1(a[64:128], b[64:128])
+	sum += 2.0 * refL2(a[128:140], b[128:140])
+	sum += 4.0 * refL1(a[140:220], b[140:220])
+	sum += 0.5 * refL1(a[220:280], b[220:280])
+	return math.Max(sum, 0)
+}
+
+func randTestVec(rng *rand.Rand, dim int) Vector {
+	v := make(Vector, dim)
+	for i := range v {
+		switch rng.IntN(4) {
+		case 0:
+			v[i] = float32(rng.NormFloat64() * 100)
+		case 1:
+			v[i] = float32(rng.IntN(256))
+		case 2:
+			v[i] = 0
+		default:
+			v[i] = float32(rng.Float64()*2 - 1)
+		}
+	}
+	return v
+}
+
+func sameBits(x, y float64) bool {
+	return math.Float64bits(x) == math.Float64bits(y)
+}
+
+func TestDistancesMatchScalarReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for dim := 1; dim <= 130; dim++ {
+		for range 10 {
+			a, b := randTestVec(rng, dim), randTestVec(rng, dim)
+			if got, want := (L1{}).Dist(a, b), refL1(a, b); !sameBits(got, want) {
+				t.Fatalf("L1 dim %d: got %x, want %x", dim, got, want)
+			}
+			if got, want := (L2{}).Dist(a, b), refL2(a, b); !sameBits(got, want) {
+				t.Fatalf("L2 dim %d: got %x, want %x", dim, got, want)
+			}
+			if got, want := (Chebyshev{}).Dist(a, b), refChebyshev(a, b); !sameBits(got, want) {
+				t.Fatalf("Chebyshev dim %d: got %x, want %x", dim, got, want)
+			}
+			p := 1 + rng.Float64()*2
+			if got, want := (Lp{P: p}).Dist(a, b), refLp(a, b, p); !sameBits(got, want) {
+				t.Fatalf("Lp dim %d p=%g: got %x, want %x", dim, p, got, want)
+			}
+		}
+	}
+}
+
+func TestCoPhIRMatchesScalarReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 17))
+	d := NewCoPhIR()
+	for range 50 {
+		a, b := randTestVec(rng, CoPhIRDim), randTestVec(rng, CoPhIRDim)
+		if got, want := d.Dist(a, b), refCoPhIR(a, b); !sameBits(got, want) {
+			t.Fatalf("cophir: got %x, want %x", got, want)
+		}
+	}
+}

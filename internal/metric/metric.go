@@ -15,6 +15,8 @@ package metric
 import (
 	"fmt"
 	"math"
+
+	"simcloud/internal/simd"
 )
 
 // Vector is a metric-space descriptor: a fixed-dimension numeric vector.
@@ -78,18 +80,12 @@ type L1 struct{}
 // Name implements Distance.
 func (L1) Name() string { return "L1" }
 
-// Dist implements Distance.
+// Dist implements Distance. The accumulation is delegated to the unrolled
+// kernel, which is bit-for-bit equivalent to the scalar index-order loop
+// (see internal/simd).
 func (L1) Dist(a, b Vector) float64 {
 	dimCheck(a, b)
-	var s float64
-	for i := range a {
-		d := float64(a[i]) - float64(b[i])
-		if d < 0 {
-			d = -d
-		}
-		s += d
-	}
-	return s
+	return simd.L1(a, b)
 }
 
 // L2 is the Euclidean distance.
@@ -101,12 +97,7 @@ func (L2) Name() string { return "L2" }
 // Dist implements Distance.
 func (L2) Dist(a, b Vector) float64 {
 	dimCheck(a, b)
-	var s float64
-	for i := range a {
-		d := float64(a[i]) - float64(b[i])
-		s += d * d
-	}
-	return math.Sqrt(s)
+	return math.Sqrt(simd.SqL2(a, b))
 }
 
 // Chebyshev is the L∞ distance (maximum coordinate difference).
@@ -118,14 +109,7 @@ func (Chebyshev) Name() string { return "Linf" }
 // Dist implements Distance.
 func (Chebyshev) Dist(a, b Vector) float64 {
 	dimCheck(a, b)
-	var m float64
-	for i := range a {
-		d := math.Abs(float64(a[i]) - float64(b[i]))
-		if d > m {
-			m = d
-		}
-	}
-	return m
+	return simd.Chebyshev(a, b)
 }
 
 // Lp is the general Minkowski distance of order P ≥ 1.
@@ -142,12 +126,7 @@ func (l Lp) Dist(a, b Vector) float64 {
 	if l.P < 1 {
 		panic("metric: Lp requires P >= 1 to satisfy the triangle inequality")
 	}
-	var s float64
-	for i := range a {
-		d := math.Abs(float64(a[i]) - float64(b[i]))
-		s += math.Pow(d, l.P)
-	}
-	return math.Pow(s, 1/l.P)
+	return math.Pow(simd.PowSum(a, b, l.P), 1/l.P)
 }
 
 // ByName returns the distance function registered under name, as produced by

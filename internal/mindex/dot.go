@@ -3,7 +3,6 @@ package mindex
 import (
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 )
 
@@ -12,8 +11,7 @@ import (
 // show their occupancy; internal nodes their subtree size. Useful for
 // understanding how a pivot set partitions a concrete collection.
 func (ix *Index) WriteDot(w io.Writer) error {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+	st := ix.state.Load()
 	var b strings.Builder
 	b.WriteString("digraph mindex {\n")
 	b.WriteString("  rankdir=TB;\n")
@@ -37,18 +35,14 @@ func (ix *Index) WriteDot(w io.Writer) error {
 			return my
 		}
 		fmt.Fprintf(&b, "  n%d [shape=ellipse label=\"C(%s)\\n%d objs\"];\n", my, label, n.count)
-		keys := make([]int32, 0, len(n.children))
-		for k := range n.children {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-		for _, k := range keys {
-			child := emit(n.children[k])
-			fmt.Fprintf(&b, "  n%d -> n%d [label=\"p%d\"];\n", my, child, k)
+		for i := range n.kids {
+			k := n.kids[i]
+			child := emit(k.n)
+			fmt.Fprintf(&b, "  n%d -> n%d [label=\"p%d\"];\n", my, child, k.key)
 		}
 		return my
 	}
-	emit(ix.root)
+	emit(st.root)
 	b.WriteString("}\n")
 	_, err := io.WriteString(w, b.String())
 	return err

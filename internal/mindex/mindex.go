@@ -3,8 +3,8 @@ package mindex
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"simcloud/internal/metric"
 	"simcloud/internal/pivot"
@@ -97,6 +97,17 @@ type Config struct {
 	// stored (live + dead) entries. A bare Index never compacts on its own;
 	// 0 disables the policy everywhere.
 	AutoCompactFraction float64
+	// QuantizedPromise enables the fixed-point promise kernel for the
+	// approximate traversal: when the query-side promise terms are exactly
+	// representable on an integer grid (always true for the footrule
+	// ranking, true for distance-sum when every query–pivot distance is a
+	// non-negative integer below 65536 — the uint16 grid), cell promises
+	// are accumulated and compared as integers instead of floats. The
+	// emitted promise values and the ranked candidate lists are bit-for-bit
+	// identical to the float path (see DESIGN.md §Performance); whenever
+	// exactness cannot be proven the traversal silently falls back to the
+	// float path, so enabling this never changes any result.
+	QuantizedPromise bool
 }
 
 func (c Config) validate() error {
@@ -151,6 +162,12 @@ type Entry struct {
 // pivot-space information carried by the entries and queries; see the
 // package comment.
 //
+// Concurrency follows a read-copy-update discipline: every search and
+// statistics call runs against the immutable snapshot last published in
+// state and never takes a lock; mutators serialize on wmu, build their
+// changes on path-copied nodes aside, and publish a new snapshot with one
+// atomic pointer store. See DESIGN.md §Performance for the full protocol.
+//
 // The index is mutable: Delete marks entries dead through an ID-keyed
 // tombstone set (searches skip them immediately), Update replaces an
 // entry's record, and Compact physically drops tombstoned entries while
@@ -158,20 +175,27 @@ type Entry struct {
 // unique among live entries; Insert rejects a duplicate of a live ID and
 // physically purges the dead twin when re-inserting a tombstoned one.
 type Index struct {
-	mu      sync.RWMutex
 	cfg     Config
 	store   BucketStore
-	root    *node
 	weights []float64
-	size    int // live entries
-	dead    int // tombstoned entries still physically stored
+	// eagerPin marks storage whose leaf views are pinned into the nodes at
+	// mutation time (memory storage), so searches never touch the store at
+	// all. Disk-backed leaves are read through the store on demand to keep
+	// the DiskCacheBytes budget meaningful; see leafView.
+	eagerPin bool
 
-	// tombstones holds the IDs of deleted-but-not-yet-compacted entries.
-	tombstones map[uint64]struct{}
+	// state is the published immutable snapshot: the cell tree, the
+	// tombstone set and the live/dead counters, all mutually consistent.
+	// Readers Load it once per operation and never block.
+	state atomic.Pointer[readState]
+
+	// wmu serializes mutators (and snapshot persistence). Readers never
+	// acquire it. The fields below are writer-private state guarded by it.
+	wmu sync.Mutex
 	// loc maps every physically stored entry (live or tombstoned) to its
-	// leaf cell and arrival sequence number. nil after a snapshot restore
-	// until the first mutation rebuilds it from the buckets (queries never
-	// need it).
+	// leaf cell prefix and arrival sequence number. nil after a snapshot
+	// restore until the first mutation rebuilds it from the buckets
+	// (queries never need it).
 	loc     map[uint64]entryLoc
 	nextSeq uint64
 	// dirty records that deletions or updates have driven the tree away
@@ -184,30 +208,67 @@ type Index struct {
 	pqPool sync.Pool
 }
 
-// entryLoc locates one stored entry: its leaf cell and the monotonically
-// increasing arrival sequence number that Compact uses to preserve
-// insertion order when it rebuilds buckets.
+// readState is one published snapshot of the index. All reachable data —
+// the node tree, the tombstone map, pinned bucket views — is immutable once
+// published; mutators clone what they change and publish a fresh readState.
+type readState struct {
+	root *node
+	size int // live entries
+	dead int // tombstoned entries still physically stored
+	// tombstones holds the IDs of deleted-but-not-yet-compacted entries.
+	tombstones map[uint64]struct{}
+}
+
+// entryLoc locates one stored entry: its leaf cell prefix and the
+// monotonically increasing arrival sequence number that Compact uses to
+// preserve insertion order when it rebuilds buckets. The prefix (not a node
+// pointer) is stored because path-copying mutations continually supersede
+// node objects; the prefix stays the entry's stable address until a split
+// moves it (which rewrites the loc entry).
 type entryLoc struct {
-	leaf *node
-	seq  uint64
+	prefix []int32
+	seq    uint64
+}
+
+// pinCell holds a pinned full bucket view shared by every node version of
+// one bucket content era (the span between content-destroying store
+// operations — Replace and Free; appends extend an era). Before a mutator
+// destroys a bucket's content it stores the full pre-destruction view here,
+// so readers of any previously published node version — all of which share
+// this cell and slice the view to their own count — keep a consistent
+// bucket image without locks. See Index.leafView.
+type pinCell struct {
+	v atomic.Pointer[[]Entry]
+}
+
+// child is one entry of a node's sorted child table.
+type child struct {
+	key int32
+	n   *node
 }
 
 // node is a cell of the dynamic Voronoi cell tree. A node is either a leaf
 // owning a bucket, or an internal node with children keyed by the next
-// permutation element.
+// permutation element. Published nodes are immutable: mutators clone the
+// nodes along the root→leaf path they change (path copying) and publish the
+// new root; the only mutable field of a published node is the pin cell's
+// atomic pointer.
 type node struct {
-	prefix   []int32
-	parent   *node           // nil for the root
-	children map[int32]*node // nil for leaves
-	// sorted caches the child keys in ascending order — the deterministic
-	// traversal order. Children are only ever added (deletion works through
-	// tombstones and Compact rebuilds whole trees), so every structural
-	// mutation maintains it via addChild under the write lock and queries
-	// read it allocation-free under the read lock.
-	sorted []int32
+	prefix []int32
+	// kids is the sorted (by key) child table — nil for leaves. A slice
+	// (not a map) so path copying clones a node in one allocation and
+	// traversals walk children in deterministic order with no sorting.
+	kids   []child
 	bucket BucketID
-	count  int // objects in this subtree, tombstoned included
-	dead   int // tombstoned objects in this subtree
+	// era is the bucket content era this node was built against; a
+	// mismatch with the store's current era tells a reader the bucket was
+	// replaced after this node version was published and the pinned view
+	// must be used instead. Only meaningful for lazily read (disk) leaves.
+	era uint64
+	pin *pinCell
+	// count/dead cover this subtree, tombstoned entries included in count.
+	count int
+	dead  int
 
 	// Ball bounds: min/max distance from subtree objects to the cell's
 	// defining pivot (the last prefix element). Valid only while every
@@ -221,19 +282,41 @@ type node struct {
 // live returns the number of non-tombstoned entries in the subtree.
 func (n *node) live() int { return n.count - n.dead }
 
-func (n *node) isLeaf() bool { return n.children == nil }
+func (n *node) isLeaf() bool { return n.kids == nil }
 
-// addChild links child under n at key, keeping the cached sorted key list
-// in ascending order (an insertion into a short slice — child counts are
-// bounded by the pivot count). Callers hold the index write lock.
-func (n *node) addChild(key int32, child *node) {
-	n.children[key] = child
-	i := len(n.sorted)
-	n.sorted = append(n.sorted, key)
-	for ; i > 0 && key < n.sorted[i-1]; i-- {
-		n.sorted[i] = n.sorted[i-1]
+// child returns the child reached via permutation element key, or nil. The
+// child table is short (bounded by the pivot count), so a linear scan over
+// the contiguous slice beats a map lookup and allocates nothing.
+func (n *node) child(key int32) *node {
+	for i := range n.kids {
+		if n.kids[i].key == key {
+			return n.kids[i].n
+		}
 	}
-	n.sorted[i] = key
+	return nil
+}
+
+// addKid links c under n at key, keeping the child table sorted by key.
+// Callers own n (it is unpublished or path-copied this transaction).
+func (n *node) addKid(key int32, c *node) {
+	i := len(n.kids)
+	n.kids = append(n.kids, child{key: key, n: c})
+	for ; i > 0 && key < n.kids[i-1].key; i-- {
+		n.kids[i] = n.kids[i-1]
+	}
+	n.kids[i] = child{key: key, n: c}
+}
+
+// setKid replaces the child at key with c (used when path copying descends
+// through an already-linked child). Callers own n.
+func (n *node) setKid(key int32, c *node) {
+	for i := range n.kids {
+		if n.kids[i].key == key {
+			n.kids[i].n = c
+			return
+		}
+	}
+	panic("mindex: setKid of missing key")
 }
 
 func (n *node) level() int { return len(n.prefix) }
@@ -265,17 +348,18 @@ func New(cfg Config) (*Index, error) {
 		store = ds
 	}
 	idx := &Index{
-		cfg:        cfg,
-		store:      store,
-		weights:    pivot.FootruleWeights(cfg.MaxLevel),
-		tombstones: make(map[uint64]struct{}),
-		loc:        make(map[uint64]entryLoc),
+		cfg:      cfg,
+		store:    store,
+		weights:  pivot.FootruleWeights(cfg.MaxLevel),
+		eagerPin: cfg.Storage == StorageMemory,
+		loc:      make(map[uint64]entryLoc),
 	}
 	rootBucket, err := store.Create()
 	if err != nil {
 		return nil, err
 	}
-	idx.root = &node{bucket: rootBucket, rmin: 0, rmax: 0, boundsValid: true}
+	root := &node{bucket: rootBucket, pin: &pinCell{}, rmin: 0, rmax: 0, boundsValid: true}
+	idx.state.Store(&readState{root: root, tombstones: make(map[uint64]struct{})})
 	return idx, nil
 }
 
@@ -283,24 +367,24 @@ func New(cfg Config) (*Index, error) {
 func (ix *Index) Config() Config { return ix.cfg }
 
 // Size returns the number of live (non-tombstoned) indexed entries.
-func (ix *Index) Size() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.size
-}
+func (ix *Index) Size() int { return ix.state.Load().size }
 
 // Dead returns the number of tombstoned entries still physically stored
 // (they disappear on Compact).
-func (ix *Index) Dead() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.dead
+func (ix *Index) Dead() int { return ix.state.Load().dead }
+
+// Counts returns the live and dead entry counts read from one snapshot, so
+// the two figures are mutually consistent even while mutations are in
+// flight (Size and Dead called separately may straddle a publication).
+func (ix *Index) Counts() (live, dead int) {
+	st := ix.state.Load()
+	return st.size, st.dead
 }
 
 // Close releases the bucket storage.
 func (ix *Index) Close() error {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
 	return ix.store.Close()
 }
 
@@ -328,451 +412,49 @@ func (ix *Index) CheckEntry(e Entry) error {
 	return nil
 }
 
-// Insert adds an entry to the index — the server side of the paper's insert
-// operation (Figure 4): locate the leaf cell of the entry's permutation
-// prefix, store the entry, split the leaf if it overflows. Inserting an ID
-// that is live fails with ErrDuplicateID; inserting an ID that is
-// tombstoned first purges the dead record, so at most one physical entry
-// ever carries a given ID.
-func (ix *Index) Insert(e Entry) error {
-	if err := ix.CheckEntry(e); err != nil {
-		return err
+// leafView returns leaf n's stored entries — exactly the n.count entries
+// that existed when n's snapshot was published, tombstoned ones included —
+// without copying. The protocol (see DESIGN.md §Performance):
+//
+//  1. A pinned view, when present, is authoritative: it was stored by the
+//     mutator that superseded this node version (or, for memory storage, by
+//     the mutation that built it) and covers at least n.count entries.
+//  2. Otherwise the bucket is read through the store. If the store's
+//     content era still matches the node's, only appends can have happened
+//     since this node version was current, and appends strictly extend a
+//     bucket — the first n.count entries are this version's content.
+//  3. On an era mismatch (or a store error, e.g. the bucket was freed), the
+//     destroying mutator is guaranteed to have pinned the old content into
+//     the shared cell before touching the store, so a re-check of the pin
+//     must succeed.
+func (ix *Index) leafView(n *node) ([]Entry, error) {
+	if p := n.pin.v.Load(); p != nil {
+		return (*p)[:n.count], nil
 	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	return ix.insertLocked(e)
-}
-
-// insertLocked is the body of Insert once the entry is validated and the
-// write lock is held (shared with Update).
-func (ix *Index) insertLocked(e Entry) error {
-	if err := ix.ensureLoc(); err != nil {
-		return err
+	v, era, err := viewVersioned(ix.store, n.bucket)
+	if err == nil && era == n.era && len(v) >= n.count {
+		return v[:n.count], nil
 	}
-	if _, ok := ix.loc[e.ID]; ok {
-		if _, gone := ix.tombstones[e.ID]; !gone {
-			return fmt.Errorf("%w: %d", ErrDuplicateID, e.ID)
-		}
-		if err := ix.purgeLocked(e.ID); err != nil {
-			return err
-		}
+	if p := n.pin.v.Load(); p != nil {
+		return (*p)[:n.count], nil
 	}
-	if err := ix.insertAt(ix.root, e); err != nil {
-		return err
-	}
-	ix.size++
-	return nil
-}
-
-// InsertBulk inserts a batch of entries, the unit the construction-phase
-// experiments measure (bulk size 1,000 in the paper).
-func (ix *Index) InsertBulk(entries []Entry) error {
-	for i := range entries {
-		if err := ix.Insert(entries[i]); err != nil {
-			return fmt.Errorf("mindex: bulk insert entry %d: %w", i, err)
-		}
-	}
-	return nil
-}
-
-func (ix *Index) insertAt(n *node, e Entry) error {
-	for !n.isLeaf() {
-		n.count++
-		n.updateBounds(e)
-		key := e.Perm[n.level()]
-		child, ok := n.children[key]
-		if !ok {
-			b, err := ix.store.Create()
-			if err != nil {
-				return err
-			}
-			child = &node{
-				prefix:      appendPrefix(n.prefix, key),
-				parent:      n,
-				bucket:      b,
-				boundsValid: true,
-			}
-			if e.Dists != nil {
-				child.rmin = e.Dists[key]
-				child.rmax = e.Dists[key]
-			}
-			n.addChild(key, child)
-		}
-		n = child
-	}
-	n.count++
-	n.updateBounds(e)
-	if err := ix.store.Append(n.bucket, e); err != nil {
-		return err
-	}
-	ix.loc[e.ID] = entryLoc{leaf: n, seq: ix.nextSeq}
-	ix.nextSeq++
-	overflow := n.count > ix.cfg.BucketCapacity ||
-		(ix.cfg.EagerRootSplit && n.level() == 0)
-	if overflow && n.level() < ix.cfg.MaxLevel {
-		return ix.split(n)
-	}
-	return nil
-}
-
-// updateBounds maintains the node's ball bounds from the entry's distance
-// vector; entries without distances invalidate the bounds (the cell can then
-// no longer be ball-pruned, but remains correct).
-func (n *node) updateBounds(e Entry) {
-	p := n.lastPivot()
-	if p < 0 {
-		return
-	}
-	if e.Dists == nil {
-		n.boundsValid = false
-		return
-	}
-	d := e.Dists[p]
-	if n.count == 1 {
-		n.rmin, n.rmax = d, d
-		return
-	}
-	if d < n.rmin {
-		n.rmin = d
-	}
-	if d > n.rmax {
-		n.rmax = d
-	}
-}
-
-// split turns an overflowing leaf into an internal node, redistributing its
-// bucket by the next permutation element — the recursive Voronoi step.
-func (ix *Index) split(n *node) error {
-	// View, not Load: the entries are only read (and re-encoded into the
-	// child buckets), and the Free below drops the store's reference while
-	// this snapshot stays valid.
-	entries, err := ix.store.View(n.bucket)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if err := ix.store.Free(n.bucket); err != nil {
-		return err
-	}
-	n.children = make(map[int32]*node)
-	n.sorted = nil
-	n.bucket = 0
-	level := n.level()
-	for _, e := range entries {
-		key := e.Perm[level]
-		child, ok := n.children[key]
-		if !ok {
-			b, err := ix.store.Create()
-			if err != nil {
-				return err
-			}
-			child = &node{
-				prefix:      appendPrefix(n.prefix, key),
-				parent:      n,
-				bucket:      b,
-				boundsValid: true,
-			}
-			n.addChild(key, child)
-		}
-		child.count++
-		if _, gone := ix.tombstones[e.ID]; gone {
-			child.dead++
-		}
-		child.updateBounds(e)
-		if err := ix.store.Append(child.bucket, e); err != nil {
-			return err
-		}
-		if l, ok := ix.loc[e.ID]; ok {
-			l.leaf = child
-			ix.loc[e.ID] = l
-		}
-	}
-	// A pathological split can put everything into one child (all objects
-	// share the next permutation element); recurse so capacity is restored
-	// where possible.
-	for _, child := range n.children {
-		if child.count > ix.cfg.BucketCapacity && child.level() < ix.cfg.MaxLevel {
-			if err := ix.split(child); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	return nil, fmt.Errorf("mindex: bucket %d content superseded with no pinned view", n.bucket)
 }
 
-func appendPrefix(prefix []int32, key int32) []int32 {
-	out := make([]int32, len(prefix)+1)
-	copy(out, prefix)
-	out[len(prefix)] = key
-	return out
-}
-
-// sortedChildKeys returns the node's child keys in ascending order — the
-// deterministic traversal order used by searches, snapshots, the loc
-// rebuild and Compact (map iteration order must never leak into results or
-// persisted state). The list is the node's maintained cache (see
-// node.addChild), so calling this allocates and sorts nothing; the returned
-// slice must not be modified.
-func sortedChildKeys(n *node) []int32 {
-	return n.sorted
-}
-
-// ensureLoc builds the entry-location map when it is missing (after a
-// snapshot restore). Queries never need it; the first mutation pays one
-// walk over all buckets. Sequence numbers are assigned in deterministic
-// tree order (preorder, children by ascending key, bucket order), so a
-// later Compact rebuilds restored entries in that same order. Callers hold
-// the write lock.
-func (ix *Index) ensureLoc() error {
-	if ix.loc != nil {
-		return nil
+// viewVersioned reads a bucket view together with its content era. Stores
+// without era tracking (MemStore — its leaves are eagerly pinned, so lazy
+// reads never reach it) report era 0.
+func viewVersioned(s BucketStore, id BucketID) ([]Entry, uint64, error) {
+	if vv, ok := s.(interface {
+		ViewVersioned(BucketID) ([]Entry, uint64, error)
+	}); ok {
+		return vv.ViewVersioned(id)
 	}
-	loc := make(map[uint64]entryLoc, ix.size+ix.dead)
-	var walk func(n *node) error
-	walk = func(n *node) error {
-		if n.isLeaf() {
-			entries, err := ix.store.View(n.bucket)
-			if err != nil {
-				return err
-			}
-			for _, e := range entries {
-				loc[e.ID] = entryLoc{leaf: n, seq: ix.nextSeq}
-				ix.nextSeq++
-			}
-			return nil
-		}
-		for _, k := range sortedChildKeys(n) {
-			if err := walk(n.children[k]); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := walk(ix.root); err != nil {
-		return err
-	}
-	ix.loc = loc
-	return nil
-}
-
-// purgeLocked physically removes the tombstoned entry id from its bucket
-// and repairs the count/dead bookkeeping along its path. Callers hold the
-// write lock and have verified the tombstone.
-func (ix *Index) purgeLocked(id uint64) error {
-	l := ix.loc[id]
-	entries, err := ix.store.View(l.leaf.bucket)
-	if err != nil {
-		return err
-	}
-	// The view is read-only — survivors are gathered into a fresh slice
-	// instead of compacting in place.
-	kept := make([]Entry, 0, len(entries))
-	removed := 0
-	for _, e := range entries {
-		if e.ID == id {
-			removed++
-			continue
-		}
-		kept = append(kept, e)
-	}
-	if removed > 0 {
-		if err := ix.store.Replace(l.leaf.bucket, kept); err != nil {
-			return err
-		}
-		for n := l.leaf; n != nil; n = n.parent {
-			n.count -= removed
-			n.dead -= removed
-		}
-		ix.dead -= removed
-	}
-	delete(ix.tombstones, id)
-	delete(ix.loc, id)
-	ix.dirty = true
-	return nil
-}
-
-// Delete tombstones the entries with the given IDs: they vanish from every
-// search immediately, and Compact later reclaims their storage. IDs that
-// are unknown or already tombstoned are skipped; the count of entries
-// actually deleted is returned.
-func (ix *Index) Delete(ids []uint64) (int, error) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	return ix.deleteLocked(ids)
-}
-
-// deleteLocked is the body of Delete once the write lock is held (shared
-// with Update).
-func (ix *Index) deleteLocked(ids []uint64) (int, error) {
-	if err := ix.ensureLoc(); err != nil {
-		return 0, err
-	}
-	deleted := 0
-	for _, id := range ids {
-		l, ok := ix.loc[id]
-		if !ok {
-			continue
-		}
-		if _, gone := ix.tombstones[id]; gone {
-			continue
-		}
-		ix.tombstones[id] = struct{}{}
-		for n := l.leaf; n != nil; n = n.parent {
-			n.dead++
-		}
-		ix.size--
-		ix.dead++
-		ix.dirty = true
-		deleted++
-	}
-	return deleted, nil
-}
-
-// Update replaces the entry carrying e.ID with e — the delete + re-insert
-// of a mutable similarity cloud, performed atomically under one lock
-// acquisition: no search ever observes the entry absent, and concurrent
-// Updates of the same ID serialize instead of tripping over each other's
-// tombstones. The old record (which may live in a different cell when the
-// object moved in pivot space) is tombstoned and physically purged before
-// the fresh entry is filed; an unknown ID makes Update a plain insert.
-// The replacement is validated first, so an invalid e leaves the existing
-// record untouched.
-func (ix *Index) Update(e Entry) error {
-	if err := ix.CheckEntry(e); err != nil {
-		return err
-	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	tombstoned, err := ix.deleteLocked([]uint64{e.ID})
-	if err != nil {
-		return err
-	}
-	if err := ix.insertLocked(e); err != nil {
-		// Resurrect the old record when it is still physically present
-		// (the tombstone is pure bookkeeping until a purge or compaction
-		// touches the bucket), so a failed insert does not destroy the
-		// entry it was meant to replace.
-		if tombstoned == 1 {
-			if l, ok := ix.loc[e.ID]; ok {
-				if _, gone := ix.tombstones[e.ID]; gone {
-					delete(ix.tombstones, e.ID)
-					for n := l.leaf; n != nil; n = n.parent {
-						n.dead--
-					}
-					ix.size++
-					ix.dead--
-				}
-			}
-		}
-		return err
-	}
-	return nil
-}
-
-// Compact physically drops every tombstoned entry and merges underfull
-// cells back into their parents by rebuilding the cell tree from the
-// surviving entries in arrival order. The post-compaction index is
-// byte-identical — tree shape, ball bounds, bucket order, and therefore
-// every range candidate set and ranked approximate candidate list — to a
-// fresh index into which only the survivors were inserted (in their
-// original arrival order). A no-op on an index untouched by deletions.
-func (ix *Index) Compact() error {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if !ix.dirty {
-		return nil
-	}
-	if err := ix.ensureLoc(); err != nil {
-		return err
-	}
-	// Gather the survivors without touching the live tree, so any error
-	// up to the final bucket swap leaves the pre-compact index intact.
-	type seqEntry struct {
-		e   Entry
-		seq uint64
-	}
-	live := make([]seqEntry, 0, ix.size)
-	var oldBuckets []BucketID
-	var gather func(n *node) error
-	gather = func(n *node) error {
-		if n.isLeaf() {
-			oldBuckets = append(oldBuckets, n.bucket)
-			entries, err := ix.store.View(n.bucket)
-			if err != nil {
-				return err
-			}
-			for _, e := range entries {
-				if _, gone := ix.tombstones[e.ID]; gone {
-					continue
-				}
-				live = append(live, seqEntry{e: e, seq: ix.loc[e.ID].seq})
-			}
-			return nil
-		}
-		for _, c := range n.children {
-			if err := gather(c); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := gather(ix.root); err != nil {
-		return err
-	}
-	sort.Slice(live, func(i, j int) bool { return live[i].seq < live[j].seq })
-
-	// Rebuild into fresh buckets. On any failure the previous tree,
-	// tombstones and bookkeeping are restored and the partially built
-	// buckets are released (best effort) — the index stays consistent.
-	oldRoot, oldLoc, oldTombstones := ix.root, ix.loc, ix.tombstones
-	oldSize, oldDead := ix.size, ix.dead
-	rollback := func() {
-		ix.freeSubtreeBuckets(ix.root)
-		ix.root, ix.loc, ix.tombstones = oldRoot, oldLoc, oldTombstones
-		ix.size, ix.dead = oldSize, oldDead
-	}
-	rootBucket, err := ix.store.Create()
-	if err != nil {
-		return err
-	}
-	ix.root = &node{bucket: rootBucket, rmin: 0, rmax: 0, boundsValid: true}
-	ix.tombstones = make(map[uint64]struct{})
-	ix.loc = make(map[uint64]entryLoc, len(live))
-	ix.size = 0
-	ix.dead = 0
-	for _, se := range live {
-		if err := ix.insertAt(ix.root, se.e); err != nil {
-			rollback()
-			return err
-		}
-		ix.size++
-	}
-	ix.dirty = false
-	// Only now retire the old buckets. A failing Free leaks the bucket
-	// but the rebuilt index is already fully consistent, so the error is
-	// reported without rolling anything back.
-	var firstErr error
-	for _, b := range oldBuckets {
-		if err := ix.store.Free(b); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	return firstErr
-}
-
-// freeSubtreeBuckets releases every bucket of a partially built subtree
-// during a Compact rollback; errors are ignored (best effort on an
-// already-failing path).
-func (ix *Index) freeSubtreeBuckets(n *node) {
-	if n == nil {
-		return
-	}
-	if n.isLeaf() {
-		ix.store.Free(n.bucket)
-		return
-	}
-	for _, c := range n.children {
-		ix.freeSubtreeBuckets(c)
-	}
+	v, err := s.View(id)
+	return v, 0, err
 }
 
 // Stats summarizes the tree shape, used by tooling and tests. Entries
@@ -802,13 +484,15 @@ func (ix *Index) CacheStats() (hits, misses uint64, ok bool) {
 	return hits, misses, true
 }
 
-// TreeStats walks the cell tree and reports its shape.
+// TreeStats walks the cell tree and reports its shape. Like every read it
+// runs against one published snapshot and takes no lock, so its figures are
+// internally consistent (Entries, Dead and the bucket totals all describe
+// the same moment).
 func (ix *Index) TreeStats() Stats {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+	st := ix.state.Load()
 	var s Stats
-	s.Entries = ix.size
-	s.Dead = ix.dead
+	s.Entries = st.size
+	s.Dead = st.dead
 	var walk func(n *node)
 	walk = func(n *node) {
 		if n.level() > s.MaxDepth {
@@ -823,10 +507,10 @@ func (ix *Index) TreeStats() Stats {
 			return
 		}
 		s.InnerNodes++
-		for _, c := range n.children {
-			walk(c)
+		for i := range n.kids {
+			walk(n.kids[i].n)
 		}
 	}
-	walk(ix.root)
+	walk(st.root)
 	return s
 }

@@ -134,7 +134,11 @@ func TestTreeInvariants(t *testing.T) {
 			return
 		}
 		childTotal := 0
-		for key, c := range n.children {
+		for i := range n.kids {
+			key, c := n.kids[i].key, n.kids[i].n
+			if i > 0 && key <= n.kids[i-1].key {
+				t.Fatalf("node %v child table not strictly sorted at key %d", n.prefix, key)
+			}
 			if c.lastPivot() != key {
 				t.Fatalf("child keyed %d has prefix %v", key, c.prefix)
 			}
@@ -148,7 +152,7 @@ func TestTreeInvariants(t *testing.T) {
 			t.Fatalf("node %v count %d != sum of children %d", n.prefix, n.count, childTotal)
 		}
 	}
-	walk(ix.root)
+	walk(ix.state.Load().root)
 	if seen != len(objs) {
 		t.Fatalf("walked %d entries, want %d", seen, len(objs))
 	}

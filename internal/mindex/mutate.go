@@ -1,0 +1,693 @@
+package mindex
+
+// Mutation machinery for the RCU read path. Every mutator serializes on
+// Index.wmu, builds its changes on path-copied nodes inside a txn, and
+// publishes the result as a fresh immutable readState with one atomic
+// store. The txn keeps the under-construction state consistent after every
+// store operation, so a mutation that fails halfway can still publish
+// (partial but coherent) progress instead of corrupting the tree — e.g. a
+// failed split leaves a consistent overfull leaf behind.
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+)
+
+// txn is one mutation transaction: a private, mutable view of the index
+// state. Nodes reachable from the published snapshot are never written;
+// mutable() clones them on first touch (path copying) and remembers the
+// clones so later steps of the same transaction can mutate them in place.
+type txn struct {
+	ix   *Index
+	root *node
+	size int
+	dead int
+	// tomb aliases the published tombstone map until tombMutable clones it
+	// (copy-on-write: most transactions never touch tombstones).
+	tomb      map[uint64]struct{}
+	tombOwned bool
+	// loc is the entry-location map this transaction maintains — the
+	// writer-private ix.loc for ordinary mutations, a fresh map for the
+	// Compact rebuild.
+	loc    map[uint64]entryLoc
+	cloned map[*node]struct{}
+}
+
+// begin opens a transaction over the currently published snapshot. Callers
+// hold wmu and have run ensureLoc.
+func (ix *Index) begin() *txn {
+	st := ix.state.Load()
+	return &txn{
+		ix:     ix,
+		root:   st.root,
+		size:   st.size,
+		dead:   st.dead,
+		tomb:   st.tombstones,
+		loc:    ix.loc,
+		cloned: make(map[*node]struct{}),
+	}
+}
+
+// commit publishes the transaction's state as the new snapshot. Everything
+// reachable from it is immutable from this moment on.
+func (t *txn) commit() {
+	t.ix.state.Store(&readState{root: t.root, size: t.size, dead: t.dead, tombstones: t.tomb})
+}
+
+// tombMutable returns a tombstone map the transaction owns and may mutate.
+func (t *txn) tombMutable() map[uint64]struct{} {
+	if !t.tombOwned {
+		m := make(map[uint64]struct{}, len(t.tomb)+1)
+		for id := range t.tomb {
+			m[id] = struct{}{}
+		}
+		t.tomb = m
+		t.tombOwned = true
+	}
+	return t.tomb
+}
+
+// mutable returns a node the transaction owns: n itself when it was already
+// cloned (or created) by this transaction, otherwise a shallow path-copy
+// clone. The clone shares the pin cell with the original — they describe
+// the same bucket content era.
+func (t *txn) mutable(n *node) *node {
+	if _, ok := t.cloned[n]; ok {
+		return n
+	}
+	c := &node{
+		prefix:      n.prefix,
+		bucket:      n.bucket,
+		era:         n.era,
+		pin:         n.pin,
+		count:       n.count,
+		dead:        n.dead,
+		rmin:        n.rmin,
+		rmax:        n.rmax,
+		boundsValid: n.boundsValid,
+	}
+	if n.kids != nil {
+		c.kids = slices.Clone(n.kids)
+	}
+	t.cloned[c] = struct{}{}
+	return c
+}
+
+// fresh registers a node created by this transaction as owned.
+func (t *txn) fresh(n *node) *node {
+	t.cloned[n] = struct{}{}
+	return n
+}
+
+// pathTo clones the nodes along prefix — which must address an existing
+// leaf — and returns the owned path, root first, leaf last.
+func (t *txn) pathTo(prefix []int32) ([]*node, error) {
+	t.root = t.mutable(t.root)
+	n := t.root
+	path := make([]*node, 0, len(prefix)+1)
+	path = append(path, n)
+	for n.level() < len(prefix) {
+		key := prefix[n.level()]
+		c := n.child(key)
+		if c == nil {
+			return nil, fmt.Errorf("mindex: no cell at prefix %v", prefix)
+		}
+		c = t.mutable(c)
+		n.setKid(key, c)
+		n = c
+		path = append(path, n)
+	}
+	if !n.isLeaf() {
+		return nil, fmt.Errorf("mindex: prefix %v addresses an internal cell", prefix)
+	}
+	return path, nil
+}
+
+// refreshPin re-pins a leaf's current full bucket view into its cell.
+// Only eager-pinning storage (memory) does this on every content change;
+// it is what lets memory-backed searches never touch the store at all.
+func (t *txn) refreshPin(n *node) {
+	if !t.ix.eagerPin {
+		return
+	}
+	v, err := t.ix.store.View(n.bucket)
+	if err != nil {
+		return // unreachable for MemStore on a live bucket
+	}
+	n.pin.v.Store(&v)
+}
+
+// updateBounds maintains the node's ball bounds from the entry's distance
+// vector; entries without distances invalidate the bounds (the cell can then
+// no longer be ball-pruned, but remains correct).
+func (n *node) updateBounds(e Entry) {
+	p := n.lastPivot()
+	if p < 0 {
+		return
+	}
+	if e.Dists == nil {
+		n.boundsValid = false
+		return
+	}
+	d := e.Dists[p]
+	if n.count == 1 {
+		n.rmin, n.rmax = d, d
+		return
+	}
+	if d < n.rmin {
+		n.rmin = d
+	}
+	if d > n.rmax {
+		n.rmax = d
+	}
+}
+
+// insertEntry is the full insert protocol: reject live duplicates, purge a
+// tombstoned twin, then file the entry.
+func (t *txn) insertEntry(e Entry) error {
+	if _, ok := t.loc[e.ID]; ok {
+		if _, gone := t.tomb[e.ID]; !gone {
+			return fmt.Errorf("%w: %d", ErrDuplicateID, e.ID)
+		}
+		if err := t.purge(e.ID); err != nil {
+			return err
+		}
+	}
+	return t.insert(e)
+}
+
+// insert files e into its leaf cell (the server side of the paper's insert
+// operation, Figure 4): descend by the permutation prefix cloning the path,
+// append to the leaf bucket, split on overflow. Bookkeeping (counts,
+// bounds, loc, size) is only touched after the append succeeded, so a
+// failed insert leaves the transaction state unchanged.
+func (t *txn) insert(e Entry) error {
+	t.root = t.mutable(t.root)
+	n := t.root
+	path := make([]*node, 0, t.ix.cfg.MaxLevel+1)
+	path = append(path, n)
+	for !n.isLeaf() {
+		key := e.Perm[n.level()]
+		c := n.child(key)
+		if c == nil {
+			b, err := t.ix.store.Create()
+			if err != nil {
+				return err
+			}
+			c = t.fresh(&node{
+				prefix:      appendPrefix(n.prefix, key),
+				bucket:      b,
+				pin:         &pinCell{},
+				boundsValid: true,
+			})
+			if e.Dists != nil {
+				c.rmin, c.rmax = e.Dists[key], e.Dists[key]
+			}
+			n.addKid(key, c)
+		} else {
+			c = t.mutable(c)
+			n.setKid(key, c)
+		}
+		n = c
+		path = append(path, n)
+	}
+	if err := t.ix.store.Append(n.bucket, e); err != nil {
+		return err
+	}
+	for _, pn := range path {
+		pn.count++
+		pn.updateBounds(e)
+	}
+	t.refreshPin(n)
+	t.loc[e.ID] = entryLoc{prefix: n.prefix, seq: t.ix.nextSeq}
+	t.ix.nextSeq++
+	t.size++
+	overflow := n.count > t.ix.cfg.BucketCapacity ||
+		(t.ix.cfg.EagerRootSplit && n.level() == 0)
+	if overflow && n.level() < t.ix.cfg.MaxLevel {
+		return t.split(n)
+	}
+	return nil
+}
+
+// split turns an overflowing leaf into an internal node, redistributing its
+// bucket by the next permutation element — the recursive Voronoi step. The
+// children are fully built beside the leaf first; only once they are
+// complete is the old content pinned for published readers, the old bucket
+// freed and the leaf converted. A failure before that point frees the
+// half-built children and leaves a consistent overfull leaf.
+func (t *txn) split(n *node) error {
+	view, err := t.ix.leafView(n)
+	if err != nil {
+		return err
+	}
+	level := n.level()
+	var kids []child
+	var created []BucketID
+	fail := func(err error) error {
+		for _, b := range created {
+			t.ix.store.Free(b)
+		}
+		return err
+	}
+	childFor := func(key int32) (*node, error) {
+		for i := range kids {
+			if kids[i].key == key {
+				return kids[i].n, nil
+			}
+		}
+		b, err := t.ix.store.Create()
+		if err != nil {
+			return nil, err
+		}
+		created = append(created, b)
+		c := t.fresh(&node{
+			prefix:      appendPrefix(n.prefix, key),
+			bucket:      b,
+			pin:         &pinCell{},
+			boundsValid: true,
+		})
+		i := len(kids)
+		kids = append(kids, child{key: key, n: c})
+		for ; i > 0 && key < kids[i-1].key; i-- {
+			kids[i] = kids[i-1]
+		}
+		kids[i] = child{key: key, n: c}
+		return c, nil
+	}
+	for _, e := range view {
+		c, err := childFor(e.Perm[level])
+		if err != nil {
+			return fail(err)
+		}
+		if err := t.ix.store.Append(c.bucket, e); err != nil {
+			return fail(err)
+		}
+		c.count++
+		if _, gone := t.tomb[e.ID]; gone {
+			c.dead++
+		}
+		c.updateBounds(e)
+	}
+	// Point of no return: pin the old content for readers of previously
+	// published versions of this leaf (they share the cell), then retire
+	// the bucket and convert the leaf.
+	full := view
+	n.pin.v.Store(&full)
+	freeErr := t.ix.store.Free(n.bucket)
+	n.kids = kids
+	n.bucket = 0
+	n.era = 0
+	n.pin = nil
+	for i := range n.kids {
+		t.refreshPin(n.kids[i].n)
+	}
+	for _, e := range view {
+		if l, ok := t.loc[e.ID]; ok {
+			l.prefix = n.child(e.Perm[level]).prefix
+			t.loc[e.ID] = l
+		}
+	}
+	if freeErr != nil {
+		return freeErr
+	}
+	// A pathological split can put everything into one child (all objects
+	// share the next permutation element); recurse so capacity is restored
+	// where possible.
+	for i := range n.kids {
+		c := n.kids[i].n
+		if c.count > t.ix.cfg.BucketCapacity && c.level() < t.ix.cfg.MaxLevel {
+			if err := t.split(c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func appendPrefix(prefix []int32, key int32) []int32 {
+	out := make([]int32, len(prefix)+1)
+	copy(out, prefix)
+	out[len(prefix)] = key
+	return out
+}
+
+// purge physically removes the tombstoned entry id from its bucket and
+// repairs the count/dead bookkeeping along its path. The old bucket content
+// is pinned for published readers before the Replace destroys it; the new
+// leaf version starts a fresh content era with its own cell.
+func (t *txn) purge(id uint64) error {
+	l := t.loc[id]
+	path, err := t.pathTo(l.prefix)
+	if err != nil {
+		return err
+	}
+	n := path[len(path)-1]
+	view, err := t.ix.leafView(n)
+	if err != nil {
+		return err
+	}
+	// The view is read-only — survivors are gathered into a fresh slice
+	// instead of compacting in place.
+	kept := make([]Entry, 0, len(view))
+	removed := 0
+	for _, e := range view {
+		if e.ID == id {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	if removed > 0 {
+		full := view
+		n.pin.v.Store(&full)
+		if err := t.ix.store.Replace(n.bucket, kept); err != nil {
+			return err
+		}
+		n.era++ // DiskStore.Replace bumped the store-side era in lockstep
+		n.pin = &pinCell{}
+		t.refreshPin(n)
+		for _, pn := range path {
+			pn.count -= removed
+			pn.dead -= removed
+		}
+		t.dead -= removed
+	}
+	delete(t.tombMutable(), id)
+	delete(t.loc, id)
+	t.ix.dirty = true
+	return nil
+}
+
+// delete tombstones the given IDs; unknown or already-tombstoned IDs are
+// skipped. Returns the number actually deleted.
+func (t *txn) delete(ids []uint64) (int, error) {
+	deleted := 0
+	for _, id := range ids {
+		l, ok := t.loc[id]
+		if !ok {
+			continue
+		}
+		if _, gone := t.tomb[id]; gone {
+			continue
+		}
+		path, err := t.pathTo(l.prefix)
+		if err != nil {
+			return deleted, err
+		}
+		t.tombMutable()[id] = struct{}{}
+		for _, pn := range path {
+			pn.dead++
+		}
+		t.size--
+		t.dead++
+		t.ix.dirty = true
+		deleted++
+	}
+	return deleted, nil
+}
+
+// resurrect undoes a tombstone set earlier in this transaction when the
+// entry is still physically present (Update's failed-insert recovery).
+func (t *txn) resurrect(id uint64) {
+	l, ok := t.loc[id]
+	if !ok {
+		return
+	}
+	if _, gone := t.tomb[id]; !gone {
+		return
+	}
+	path, err := t.pathTo(l.prefix)
+	if err != nil {
+		return
+	}
+	delete(t.tombMutable(), id)
+	for _, pn := range path {
+		pn.dead--
+	}
+	t.size++
+	t.dead--
+}
+
+// Insert adds an entry to the index. Inserting an ID that is live fails
+// with ErrDuplicateID; inserting an ID that is tombstoned first purges the
+// dead record, so at most one physical entry ever carries a given ID.
+func (ix *Index) Insert(e Entry) error {
+	if err := ix.CheckEntry(e); err != nil {
+		return err
+	}
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
+	if err := ix.ensureLoc(); err != nil {
+		return err
+	}
+	t := ix.begin()
+	err := t.insertEntry(e)
+	// Publish even on error: the transaction is consistent after every
+	// store operation (a failed split, for instance, leaves a valid
+	// overfull leaf that the entry was appended to).
+	t.commit()
+	return err
+}
+
+// InsertBulk inserts a batch of entries under one transaction — the unit
+// the construction-phase experiments measure (bulk size 1,000 in the
+// paper). The batch is published as one snapshot, so concurrent readers see
+// it atomically; on error the entries inserted so far are published and the
+// failing entry reported.
+func (ix *Index) InsertBulk(entries []Entry) error {
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
+	if err := ix.ensureLoc(); err != nil {
+		return err
+	}
+	t := ix.begin()
+	for i := range entries {
+		err := ix.CheckEntry(entries[i])
+		if err == nil {
+			err = t.insertEntry(entries[i])
+		}
+		if err != nil {
+			t.commit()
+			return fmt.Errorf("mindex: bulk insert entry %d: %w", i, err)
+		}
+	}
+	t.commit()
+	return nil
+}
+
+// Delete tombstones the entries with the given IDs: they vanish from every
+// search as soon as the transaction publishes, and Compact later reclaims
+// their storage. IDs that are unknown or already tombstoned are skipped;
+// the count of entries actually deleted is returned.
+func (ix *Index) Delete(ids []uint64) (int, error) {
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
+	if err := ix.ensureLoc(); err != nil {
+		return 0, err
+	}
+	t := ix.begin()
+	deleted, err := t.delete(ids)
+	t.commit()
+	return deleted, err
+}
+
+// Update replaces the entry carrying e.ID with e — the delete + re-insert
+// of a mutable similarity cloud, performed inside one transaction: the
+// single snapshot publication means no search ever observes the entry
+// absent, and concurrent Updates of the same ID serialize instead of
+// tripping over each other's tombstones. The old record (which may live in
+// a different cell when the object moved in pivot space) is tombstoned and
+// physically purged before the fresh entry is filed; an unknown ID makes
+// Update a plain insert. The replacement is validated first, so an invalid
+// e leaves the existing record untouched.
+func (ix *Index) Update(e Entry) error {
+	if err := ix.CheckEntry(e); err != nil {
+		return err
+	}
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
+	if err := ix.ensureLoc(); err != nil {
+		return err
+	}
+	t := ix.begin()
+	tombstoned, err := t.delete([]uint64{e.ID})
+	if err != nil {
+		t.commit()
+		return err
+	}
+	if err := t.insertEntry(e); err != nil {
+		// Resurrect the old record when it is still physically present
+		// (the tombstone is pure bookkeeping until a purge or compaction
+		// touches the bucket), so a failed insert does not destroy the
+		// entry it was meant to replace.
+		if tombstoned == 1 {
+			t.resurrect(e.ID)
+		}
+		t.commit()
+		return err
+	}
+	t.commit()
+	return nil
+}
+
+// ensureLoc builds the entry-location map when it is missing (after a
+// snapshot restore). Queries never need it; the first mutation pays one
+// walk over all buckets. Sequence numbers are assigned in deterministic
+// tree order (preorder, children by ascending key, bucket order), so a
+// later Compact rebuilds restored entries in that same order. Callers hold
+// wmu.
+func (ix *Index) ensureLoc() error {
+	if ix.loc != nil {
+		return nil
+	}
+	st := ix.state.Load()
+	loc := make(map[uint64]entryLoc, st.size+st.dead)
+	var walk func(n *node) error
+	walk = func(n *node) error {
+		if n.isLeaf() {
+			entries, err := ix.leafView(n)
+			if err != nil {
+				return err
+			}
+			for _, e := range entries {
+				loc[e.ID] = entryLoc{prefix: n.prefix, seq: ix.nextSeq}
+				ix.nextSeq++
+			}
+			return nil
+		}
+		for i := range n.kids {
+			if err := walk(n.kids[i].n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(st.root); err != nil {
+		return err
+	}
+	ix.loc = loc
+	return nil
+}
+
+// Compact physically drops every tombstoned entry and merges underfull
+// cells back into their parents by rebuilding the cell tree from the
+// surviving entries in arrival order. The post-compaction index is
+// byte-identical — tree shape, ball bounds, bucket order, and therefore
+// every range candidate set and ranked approximate candidate list — to a
+// fresh index into which only the survivors were inserted (in their
+// original arrival order). A no-op on an index untouched by deletions.
+//
+// The rebuild happens entirely beside the published tree: readers keep
+// traversing the old snapshot until the one atomic publication at the end,
+// and the old leaves' bucket views are pinned before the old buckets are
+// freed, so even searches that started long before the compaction finish
+// on a complete, consistent image.
+func (ix *Index) Compact() error {
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
+	if !ix.dirty {
+		return nil
+	}
+	if err := ix.ensureLoc(); err != nil {
+		return err
+	}
+	st := ix.state.Load()
+	// Gather the survivors without touching the live tree, so any error
+	// up to the final publication leaves the pre-compact index intact.
+	type seqEntry struct {
+		e   Entry
+		seq uint64
+	}
+	type oldLeaf struct {
+		n    *node
+		view []Entry
+	}
+	live := make([]seqEntry, 0, st.size)
+	var olds []oldLeaf
+	var gather func(n *node) error
+	gather = func(n *node) error {
+		if n.isLeaf() {
+			view, err := ix.leafView(n)
+			if err != nil {
+				return err
+			}
+			olds = append(olds, oldLeaf{n: n, view: view})
+			for _, e := range view {
+				if _, gone := st.tombstones[e.ID]; gone {
+					continue
+				}
+				live = append(live, seqEntry{e: e, seq: ix.loc[e.ID].seq})
+			}
+			return nil
+		}
+		for i := range n.kids {
+			if err := gather(n.kids[i].n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := gather(st.root); err != nil {
+		return err
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].seq < live[j].seq })
+
+	// Rebuild into fresh buckets beside the published tree, through the
+	// same insert machinery a fresh index would use. On any failure the
+	// new buckets are released (best effort) and nothing was published —
+	// the index is untouched.
+	rootBucket, err := ix.store.Create()
+	if err != nil {
+		return err
+	}
+	b := &txn{
+		ix:     ix,
+		tomb:   make(map[uint64]struct{}),
+		loc:    make(map[uint64]entryLoc, len(live)),
+		cloned: make(map[*node]struct{}),
+	}
+	b.tombOwned = true
+	b.root = b.fresh(&node{bucket: rootBucket, pin: &pinCell{}, boundsValid: true})
+	for _, se := range live {
+		if err := b.insert(se.e); err != nil {
+			ix.freeSubtreeBuckets(b.root)
+			return err
+		}
+	}
+	// Pin every old leaf's content for searches still traversing previous
+	// snapshots, publish the rebuilt tree, then retire the old buckets. A
+	// failing Free leaks the bucket but the rebuilt index is already fully
+	// consistent, so the error is reported without rolling anything back.
+	for i := range olds {
+		o := olds[i]
+		o.n.pin.v.Store(&o.view)
+	}
+	ix.loc = b.loc
+	ix.dirty = false
+	b.commit()
+	var firstErr error
+	for i := range olds {
+		if err := ix.store.Free(olds[i].n.bucket); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// freeSubtreeBuckets releases every bucket of a partially built subtree
+// during a Compact rollback; errors are ignored (best effort on an
+// already-failing path).
+func (ix *Index) freeSubtreeBuckets(n *node) {
+	if n == nil {
+		return
+	}
+	if n.isLeaf() {
+		ix.store.Free(n.bucket)
+		return
+	}
+	for i := range n.kids {
+		ix.freeSubtreeBuckets(n.kids[i].n)
+	}
+}

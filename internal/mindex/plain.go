@@ -135,12 +135,11 @@ func (p *Plain) KNN(q metric.Vector, k int) ([]Result, error) {
 	}
 	ix := p.Idx
 	qDists := p.Pivots.Distances(q)
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+	st := ix.state.Load()
 
 	best := &knnHeap{}
 	radius := math.Inf(1)
-	pq := ix.getQueue() // promise reused as lower bound
+	pq := ix.getQueue(st.root, false) // promise reused as lower bound
 	defer ix.putQueue(pq)
 	for pq.Len() > 0 {
 		item := pq.pop()
@@ -148,12 +147,15 @@ func (p *Plain) KNN(q metric.Vector, k int) ([]Result, error) {
 			break // every remaining cell is at least this far
 		}
 		if item.n.isLeaf() {
-			entries, err := ix.store.View(item.n.bucket)
+			if item.n.live() == 0 {
+				continue
+			}
+			entries, err := ix.leafView(item.n)
 			if err != nil {
 				return nil, err
 			}
 			for _, e := range entries {
-				if _, gone := ix.tombstones[e.ID]; gone {
+				if _, gone := st.tombstones[e.ID]; gone {
 					continue
 				}
 				if e.Dists != nil && pivot.LowerBound(qDists, e.Dists) > radius {
@@ -166,13 +168,14 @@ func (p *Plain) KNN(q metric.Vector, k int) ([]Result, error) {
 			}
 			continue
 		}
-		for key, child := range item.n.children {
-			lb := ix.cellLowerBound(child, key, item.n, qDists)
+		for i := range item.n.kids {
+			kid := item.n.kids[i]
+			lb := ix.cellLowerBound(kid.n, kid.key, item.n, qDists)
 			if lb < item.promise {
 				lb = item.promise // bounds accumulate along the path
 			}
 			if lb <= radius {
-				pq.push(rankedNode{n: child, promise: lb})
+				pq.push(rankedNode{n: kid.n, promise: lb})
 			}
 		}
 	}
@@ -259,27 +262,29 @@ func (p *Plain) Delete(ids []uint64) (int, error) {
 // AllEntries returns every live stored entry (used by the trivial
 // download-all baseline and diagnostics). The order is unspecified.
 func (ix *Index) AllEntries() ([]Entry, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	out := make([]Entry, 0, ix.size)
+	st := ix.state.Load()
+	out := make([]Entry, 0, st.size)
 	var walk func(n *node) error
 	walk = func(n *node) error {
 		if n.isLeaf() {
-			entries, err := ix.store.View(n.bucket)
+			if n.count == 0 {
+				return nil
+			}
+			entries, err := ix.leafView(n)
 			if err != nil {
 				return err
 			}
-			out = append(out, ix.liveOnly(entries)...)
+			out = append(out, st.liveOnly(entries)...)
 			return nil
 		}
-		for _, c := range n.children {
-			if err := walk(c); err != nil {
+		for i := range n.kids {
+			if err := walk(n.kids[i].n); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	if err := walk(ix.root); err != nil {
+	if err := walk(st.root); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -289,32 +294,34 @@ func (ix *Index) AllEntries() ([]Entry, error) {
 // recall measurements and tests. It requires raw vectors (plain deployment).
 func (p *Plain) BruteForceKNN(q metric.Vector, k int) ([]Result, error) {
 	ix := p.Idx
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+	st := ix.state.Load()
 	var out []Result
 	var walk func(n *node) error
 	walk = func(n *node) error {
 		if n.isLeaf() {
-			entries, err := ix.store.View(n.bucket)
+			if n.count == 0 {
+				return nil
+			}
+			entries, err := ix.leafView(n)
 			if err != nil {
 				return err
 			}
 			for _, e := range entries {
-				if _, gone := ix.tombstones[e.ID]; gone {
+				if _, gone := st.tombstones[e.ID]; gone {
 					continue
 				}
 				out = append(out, Result{ID: e.ID, Dist: p.Pivots.Dist.Dist(q, e.Vec), Vec: e.Vec})
 			}
 			return nil
 		}
-		for _, c := range n.children {
-			if err := walk(c); err != nil {
+		for i := range n.kids {
+			if err := walk(n.kids[i].n); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	if err := walk(ix.root); err != nil {
+	if err := walk(st.root); err != nil {
 		return nil, err
 	}
 	return sortResults(out, k), nil

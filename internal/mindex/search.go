@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"simcloud/internal/pivot"
+	"simcloud/internal/simd"
 )
 
 // RangeByDists evaluates the server side of a precise range query
@@ -16,7 +17,8 @@ import (
 // within the radius is guaranteed to be returned (no false dismissals — the
 // applied bounds are true metric lower bounds). The caller refines by
 // computing real distances: the server in the plain deployment, the
-// authorized client in the encrypted one.
+// authorized client in the encrypted one. Like every search, the traversal
+// runs lock-free against the last published snapshot.
 func (ix *Index) RangeByDists(qDists []float64, r float64) ([]Entry, error) {
 	if len(qDists) != ix.cfg.NumPivots {
 		return nil, fmt.Errorf("mindex: query has %d pivot distances, want %d", len(qDists), ix.cfg.NumPivots)
@@ -24,8 +26,7 @@ func (ix *Index) RangeByDists(qDists []float64, r float64) ([]Entry, error) {
 	if r < 0 {
 		return nil, fmt.Errorf("mindex: negative query radius %g", r)
 	}
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+	st := ix.state.Load()
 	var out []Entry
 	var visit func(n *node) error
 	visit = func(n *node) error {
@@ -33,12 +34,12 @@ func (ix *Index) RangeByDists(qDists []float64, r float64) ([]Entry, error) {
 			if n.live() == 0 {
 				return nil
 			}
-			entries, err := ix.store.View(n.bucket)
+			entries, err := ix.leafView(n)
 			if err != nil {
 				return err
 			}
 			for _, e := range entries {
-				if _, gone := ix.tombstones[e.ID]; gone {
+				if _, gone := st.tombstones[e.ID]; gone {
 					continue
 				}
 				// Pivot filtering (Algorithm 3, lines 5–7): discard when the
@@ -50,22 +51,20 @@ func (ix *Index) RangeByDists(qDists []float64, r float64) ([]Entry, error) {
 			}
 			return nil
 		}
-		// Children are visited in ascending key order, so the candidate
-		// list is fully deterministic (map iteration order must not leak
-		// into results — it would break response reproducibility and the
-		// compaction equivalence guarantee).
-		for _, key := range sortedChildKeys(n) {
-			child := n.children[key]
-			if ix.pruneCell(child, key, n, qDists, r) {
+		// The child table is sorted by key, so the candidate list is fully
+		// deterministic.
+		for i := range n.kids {
+			k := n.kids[i]
+			if ix.pruneCell(k.n, k.key, n, qDists, r) {
 				continue
 			}
-			if err := visit(child); err != nil {
+			if err := visit(k.n); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	if err := visit(ix.root); err != nil {
+	if err := visit(st.root); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -135,10 +134,13 @@ func (ix *Index) cellLowerBound(child *node, key int32, parent *node, qDists []f
 }
 
 // rankedNode is a cell-tree node queued by its promise value during the
-// approximate search (lower promise = more promising).
+// approximate search (lower promise = more promising). In the fixed-point
+// traversal (see promiser) ikey carries the promise scaled to an integer;
+// the float promise is only materialized when a cell is emitted.
 type rankedNode struct {
 	n       *node
 	promise float64
+	ikey    uint64
 }
 
 // rankedQueue is a typed min-heap of rankedNodes. It is hand-rolled rather
@@ -148,53 +150,62 @@ type rankedNode struct {
 // and because less is a total order over distinct cells (promise, then
 // prefix — no two distinct cells share a prefix) the pop sequence is
 // byte-identical to container/heap's.
-type rankedQueue []rankedNode
+type rankedQueue struct {
+	items []rankedNode
+	// useInt orders by the integer promise key instead of the float
+	// promise. The fixed-point path only runs when the integer order
+	// provably equals the float order (see promiser), so the pop sequence
+	// is identical either way.
+	useInt bool
+}
 
 // Len returns the number of queued nodes.
-func (q rankedQueue) Len() int { return len(q) }
+func (q *rankedQueue) Len() int { return len(q.items) }
 
 // less orders by promise, breaking ties by cell prefix so traversal order —
-// and therefore every candidate set — is fully deterministic (children are
-// discovered in map order, which must not leak into results).
-func (q rankedQueue) less(i, j int) bool {
-	if q[i].promise != q[j].promise {
-		return q[i].promise < q[j].promise
+// and therefore every candidate set — is fully deterministic.
+func (q *rankedQueue) less(i, j int) bool {
+	h := q.items
+	if q.useInt {
+		if h[i].ikey != h[j].ikey {
+			return h[i].ikey < h[j].ikey
+		}
+	} else if h[i].promise != h[j].promise {
+		return h[i].promise < h[j].promise
 	}
-	return PrefixLess(q[i].n.prefix, q[j].n.prefix)
+	return PrefixLess(h[i].n.prefix, h[j].n.prefix)
 }
 
 // push adds an element and restores the heap invariant (sift-up).
 func (q *rankedQueue) push(it rankedNode) {
-	*q = append(*q, it)
-	h := *q
-	for i := len(h) - 1; i > 0; {
+	q.items = append(q.items, it)
+	for i := len(q.items) - 1; i > 0; {
 		parent := (i - 1) / 2
-		if !h.less(i, parent) {
+		if !q.less(i, parent) {
 			break
 		}
-		h[i], h[parent] = h[parent], h[i]
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
 		i = parent
 	}
 }
 
 // pop removes and returns the minimum element (sift-down).
 func (q *rankedQueue) pop() rankedNode {
-	h := *q
+	h := q.items
 	n := len(h) - 1
 	h[0], h[n] = h[n], h[0]
 	top := h[n]
-	h = h[:n]
-	*q = h
+	q.items = h[:n]
 	for i := 0; ; {
 		l := 2*i + 1
 		if l >= n {
 			break
 		}
 		m := l
-		if r := l + 1; r < n && h.less(r, l) {
+		if r := l + 1; r < n && q.less(r, l) {
 			m = r
 		}
-		if !h.less(m, i) {
+		if !q.less(m, i) {
 			break
 		}
 		h[i], h[m] = h[m], h[i]
@@ -203,26 +214,27 @@ func (q *rankedQueue) pop() rankedNode {
 	return top
 }
 
-// getQueue hands out a promise queue seeded with the root, recycling
-// backing arrays across searches; putQueue returns it. Steady-state
-// searches therefore allocate no traversal state.
-func (ix *Index) getQueue() *rankedQueue {
+// getQueue hands out a promise queue seeded with the given snapshot root,
+// recycling backing arrays across searches; putQueue returns it.
+// Steady-state searches therefore allocate no traversal state.
+func (ix *Index) getQueue(root *node, useInt bool) *rankedQueue {
 	var q *rankedQueue
 	if v := ix.pqPool.Get(); v != nil {
 		q = v.(*rankedQueue)
 	} else {
 		q = new(rankedQueue)
 	}
-	q.push(rankedNode{n: ix.root, promise: 0})
+	q.useInt = useInt
+	q.push(rankedNode{n: root})
 	return q
 }
 
 func (ix *Index) putQueue(q *rankedQueue) {
-	// Zero the full capacity so a pooled queue cannot pin nodes of a tree
-	// that Compact has since discarded.
-	full := (*q)[:cap(*q)]
+	// Zero the full capacity so a pooled queue cannot pin nodes of a
+	// snapshot that has since been superseded.
+	full := q.items[:cap(q.items)]
 	clear(full)
-	*q = (*q)[:0]
+	q.items = q.items[:0]
 	ix.pqPool.Put(q)
 }
 
@@ -266,16 +278,107 @@ func (ix *Index) validateApprox(q ApproxQuery) error {
 	return nil
 }
 
+// promiser computes cell promises incrementally along the traversal: a
+// child's promise is its parent's promise plus one level-weighted term, so
+// each heap push costs O(1) instead of the O(prefix) a from-scratch
+// pivot.FootrulePromise/DistSumPromise evaluation would. The terms are
+// added in ascending level order along every root→leaf path — exactly the
+// summation order of the from-scratch functions — so the accumulated floats
+// are bit-for-bit identical to theirs (enforced by TestPromiseIncremental*).
+//
+// When Config.QuantizedPromise is set and exactness is provable, promises
+// are instead accumulated and compared as integers scaled by 2^(MaxLevel-1)
+// (useInt): footrule terms |rank−level| are integers by construction;
+// distance-sum terms qualify when every query–pivot distance lies on the
+// non-negative uint16 integer grid (simd.CanQuantizeU16). Every such
+// promise is a dyadic rational whose partial sums are exactly representable
+// in float64, so the integer order equals the float order and the emitted
+// float promises (materialized via Ldexp) are bit-identical — otherwise the
+// promiser silently falls back to the float path.
+type promiser struct {
+	ranking RankStrategy
+	weights []float64
+	ranks   []int32
+	dists   []float64
+	useInt  bool
+	lm1     int // MaxLevel-1: the fixed-point scale is 2^lm1
+}
+
+// quantizedMaxLevel bounds MaxLevel for the fixed-point path: with terms
+// below 2^17 and shifts up to MaxLevel-1, integer keys stay far below 2^53,
+// keeping the float64 materialization exact.
+const quantizedMaxLevel = 32
+
+// quantizedMaxPivots bounds the footrule term magnitude (|rank−level| <
+// NumPivots) for the same exactness argument.
+const quantizedMaxPivots = 1 << 20
+
+func (ix *Index) newPromiser(q ApproxQuery) promiser {
+	p := promiser{
+		ranking: ix.cfg.Ranking,
+		weights: ix.weights,
+		ranks:   q.Ranks,
+		dists:   q.Dists,
+		lm1:     ix.cfg.MaxLevel - 1,
+	}
+	if ix.cfg.QuantizedPromise && ix.cfg.MaxLevel <= quantizedMaxLevel {
+		switch p.ranking {
+		case RankFootrule:
+			p.useInt = ix.cfg.NumPivots <= quantizedMaxPivots
+		case RankDistSum:
+			p.useInt = simd.CanQuantizeU16(q.Dists)
+		}
+	}
+	return p
+}
+
+// childItem derives the queue item of child c (reached from item's node via
+// permutation element key at the given level) from its parent's item.
+func (p *promiser) childItem(item rankedNode, c *node, level int, key int32) rankedNode {
+	if p.useInt {
+		var t uint64
+		if p.ranking == RankDistSum {
+			t = uint64(p.dists[key])
+		} else {
+			d := p.ranks[key] - int32(level)
+			if d < 0 {
+				d = -d
+			}
+			t = uint64(d)
+		}
+		return rankedNode{n: c, ikey: item.ikey + t<<(p.lm1-level)}
+	}
+	var term float64
+	if p.ranking == RankDistSum {
+		term = p.weights[level] * p.dists[key]
+	} else {
+		d := float64(p.ranks[key] - int32(level))
+		if d < 0 {
+			d = -d
+		}
+		term = p.weights[level] * d
+	}
+	return rankedNode{n: c, promise: item.promise + term}
+}
+
+// emitPromise materializes the float promise of a queue item.
+func (p *promiser) emitPromise(item rankedNode) float64 {
+	if p.useInt {
+		return math.Ldexp(float64(item.ikey), -p.lm1)
+	}
+	return item.promise
+}
+
 // approxCollect visits leaf cells in promise order and emits their live
 // entries (with the source cell's promise and prefix) until at least
 // candSize have been emitted — the traversal shared by ApproxCandidates and
-// ApproxCandidatesRanked. The caller holds no lock. The emitted slice may
-// be a read-only store view: callers copy out, never mutate or retain it.
+// ApproxCandidatesRanked. The emitted slice may be a read-only snapshot
+// view: callers copy out, never mutate or retain it.
 func (ix *Index) approxCollect(q ApproxQuery, candSize int,
 	emit func(entries []Entry, promise float64, prefix []int32)) error {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	pq := ix.getQueue()
+	st := ix.state.Load()
+	pr := ix.newPromiser(q)
+	pq := ix.getQueue(st.root, pr.useInt)
 	defer ix.putQueue(pq)
 	emitted := 0
 	for pq.Len() > 0 && emitted < candSize {
@@ -284,17 +387,19 @@ func (ix *Index) approxCollect(q ApproxQuery, candSize int,
 			if item.n.live() == 0 {
 				continue
 			}
-			entries, err := ix.store.View(item.n.bucket)
+			entries, err := ix.leafView(item.n)
 			if err != nil {
 				return err
 			}
-			entries = ix.liveOnly(entries)
-			emit(entries, item.promise, item.n.prefix)
+			entries = st.liveOnly(entries)
+			emit(entries, pr.emitPromise(item), item.n.prefix)
 			emitted += len(entries)
 			continue
 		}
-		for _, child := range item.n.children {
-			pq.push(rankedNode{n: child, promise: ix.promise(child, q)})
+		level := item.n.level()
+		for i := range item.n.kids {
+			k := item.n.kids[i]
+			pq.push(pr.childItem(item, k.n, level, k.key))
 		}
 	}
 	return nil
@@ -304,13 +409,13 @@ func (ix *Index) approxCollect(q ApproxQuery, candSize int,
 // tombstones pending it returns the view untouched (the common case);
 // otherwise the survivors are copied into a fresh slice — views are
 // read-only and must never be compacted in place.
-func (ix *Index) liveOnly(entries []Entry) []Entry {
-	if len(ix.tombstones) == 0 {
+func (st *readState) liveOnly(entries []Entry) []Entry {
+	if len(st.tombstones) == 0 {
 		return entries
 	}
 	out := make([]Entry, 0, len(entries))
 	for _, e := range entries {
-		if _, gone := ix.tombstones[e.ID]; gone {
+		if _, gone := st.tombstones[e.ID]; gone {
 			continue
 		}
 		out = append(out, e)
@@ -381,7 +486,10 @@ func (ix *Index) ApproxCandidatesRanked(q ApproxQuery, candSize int) ([]RankedCa
 }
 
 // promise computes the cell-ordering key of Algorithm 4, line 3 ("next
-// promising Voronoi cell") under the configured strategy.
+// promising Voronoi cell") under the configured strategy, from scratch in
+// O(prefix length). The traversals use the incremental promiser instead;
+// this remains the reference implementation their results are tested
+// against.
 func (ix *Index) promise(n *node, q ApproxQuery) float64 {
 	switch ix.cfg.Ranking {
 	case RankDistSum:
@@ -412,9 +520,9 @@ func (ix *Index) FirstCellRanked(q ApproxQuery) ([]Entry, float64, []int32, erro
 	if err := ix.validateApprox(q); err != nil {
 		return nil, 0, nil, err
 	}
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	pq := ix.getQueue()
+	st := ix.state.Load()
+	pr := ix.newPromiser(q)
+	pq := ix.getQueue(st.root, pr.useInt)
 	defer ix.putQueue(pq)
 	for pq.Len() > 0 {
 		item := pq.pop()
@@ -422,7 +530,7 @@ func (ix *Index) FirstCellRanked(q ApproxQuery) ([]Entry, float64, []int32, erro
 			if item.n.live() == 0 {
 				continue // skip empty cells; the experiment wants a non-empty one
 			}
-			entries, err := ix.store.View(item.n.bucket)
+			entries, err := ix.leafView(item.n)
 			if err != nil {
 				return nil, 0, nil, err
 			}
@@ -430,15 +538,17 @@ func (ix *Index) FirstCellRanked(q ApproxQuery) ([]Entry, float64, []int32, erro
 			// to the caller, which owns its result.
 			out := make([]Entry, 0, item.n.live())
 			for _, e := range entries {
-				if _, gone := ix.tombstones[e.ID]; gone {
+				if _, gone := st.tombstones[e.ID]; gone {
 					continue
 				}
 				out = append(out, e)
 			}
-			return out, item.promise, item.n.prefix, nil
+			return out, pr.emitPromise(item), item.n.prefix, nil
 		}
-		for _, child := range item.n.children {
-			pq.push(rankedNode{n: child, promise: ix.promise(child, q)})
+		level := item.n.level()
+		for i := range item.n.kids {
+			k := item.n.kids[i]
+			pq.push(pr.childItem(item, k.n, level, k.key))
 		}
 	}
 	return nil, 0, nil, nil

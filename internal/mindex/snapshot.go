@@ -45,8 +45,12 @@ var ErrSnapshot = errors.New("mindex: invalid snapshot")
 // The file is written to a temporary sibling and renamed into place, so an
 // interrupted save never truncates an existing snapshot.
 func (ix *Index) SaveSnapshot(path string) error {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+	// Serialize with mutators: the writer-private dirty flag must describe
+	// the snapshot being persisted, and no mutation may replace or free
+	// buckets between reading the tree and syncing the store.
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
+	st := ix.state.Load()
 	ds, ok := ix.store.(*DiskStore)
 	if !ok {
 		return errors.New("mindex: only disk-backed indexes support snapshots")
@@ -55,7 +59,7 @@ func (ix *Index) SaveSnapshot(path string) error {
 		return err
 	}
 	tmp := path + ".tmp"
-	if err := ix.writeSnapshot(tmp, ds); err != nil {
+	if err := ix.writeSnapshot(tmp, ds, st); err != nil {
 		os.Remove(tmp)
 		return err
 	}
@@ -73,7 +77,7 @@ func (ix *Index) SaveSnapshot(path string) error {
 	return nil
 }
 
-func (ix *Index) writeSnapshot(path string, ds *DiskStore) error {
+func (ix *Index) writeSnapshot(path string, ds *DiskStore, st *readState) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -83,23 +87,23 @@ func (ix *Index) writeSnapshot(path string, ds *DiskStore) error {
 		f.Close()
 		return err
 	}
-	hdr := make([]byte, 0, 64+8*len(ix.tombstones))
+	hdr := make([]byte, 0, 64+8*len(st.tombstones))
 	hdr = append(hdr, 2) // version
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(ix.cfg.NumPivots))
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(ix.cfg.MaxLevel))
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(ix.cfg.BucketCapacity))
 	hdr = append(hdr, byte(ix.cfg.Ranking))
-	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(ix.size))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(st.size))
 	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(ds.NextID()))
 	dirty := byte(0)
 	if ix.dirty {
 		dirty = 1
 	}
 	hdr = append(hdr, dirty)
-	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(ix.tombstones)))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(st.tombstones)))
 	// Deterministic tombstone order: ascending ID.
-	dead := make([]uint64, 0, len(ix.tombstones))
-	for id := range ix.tombstones {
+	dead := make([]uint64, 0, len(st.tombstones))
+	for id := range st.tombstones {
 		dead = append(dead, id)
 	}
 	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
@@ -110,7 +114,7 @@ func (ix *Index) writeSnapshot(path string, ds *DiskStore) error {
 		f.Close()
 		return err
 	}
-	if err := writeNode(w, ix.root); err != nil {
+	if err := writeNode(w, st.root); err != nil {
 		f.Close()
 		return err
 	}
@@ -162,13 +166,13 @@ func writeNode(w io.Writer, n *node) error {
 		_, err := w.Write(buf)
 		return err
 	}
-	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(n.children)))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(n.kids)))
 	if _, err := w.Write(buf); err != nil {
 		return err
 	}
-	// Deterministic child order: ascending key.
-	for _, k := range sortedChildKeys(n) {
-		if err := writeNode(w, n.children[k]); err != nil {
+	// The child table is sorted by key, so the file order is deterministic.
+	for i := range n.kids {
+		if err := writeNode(w, n.kids[i].n); err != nil {
 			return err
 		}
 	}
@@ -245,16 +249,18 @@ func LoadSnapshot(cfg Config, path string) (*Index, error) {
 	}
 	store.SetCacheBudget(cfg.DiskCacheBytes)
 	ix := &Index{
-		cfg:        cfg,
-		store:      store,
-		root:       root,
-		weights:    pivot.FootruleWeights(cfg.MaxLevel),
-		size:       size,
-		dead:       len(tombstones),
-		tombstones: tombstones,
+		cfg:     cfg,
+		store:   store,
+		weights: pivot.FootruleWeights(cfg.MaxLevel),
 		// loc stays nil: the first mutation rebuilds it from the buckets.
 		dirty: dirty,
 	}
+	ix.state.Store(&readState{
+		root:       root,
+		size:       size,
+		dead:       len(tombstones),
+		tombstones: tombstones,
+	})
 	return ix, nil
 }
 
@@ -315,6 +321,7 @@ func readNode(r *snapReader, depth, version int) (*node, map[BucketID]int, error
 	switch kind {
 	case 1:
 		n.bucket = BucketID(r.u64())
+		n.pin = &pinCell{}
 		if r.err != nil {
 			return nil, nil, fmt.Errorf("%w: truncated leaf", ErrSnapshot)
 		}
@@ -325,24 +332,29 @@ func readNode(r *snapReader, depth, version int) (*node, map[BucketID]int, error
 		if r.err != nil || childCount > 1<<16 {
 			return nil, nil, fmt.Errorf("%w: implausible child count", ErrSnapshot)
 		}
-		n.children = make(map[int32]*node, childCount)
+		if childCount == 0 {
+			// A childless internal node would be indistinguishable from a
+			// leaf (kids == nil) and the writer never produces one.
+			return nil, nil, fmt.Errorf("%w: internal node without children", ErrSnapshot)
+		}
+		n.kids = make([]child, 0, childCount)
 		for range childCount {
-			child, childCounts, err := readNode(r, depth+1, version)
+			c, childCounts, err := readNode(r, depth+1, version)
 			if err != nil {
 				return nil, nil, err
 			}
-			if len(child.prefix) != len(prefix)+1 {
+			if len(c.prefix) != len(prefix)+1 {
 				return nil, nil, fmt.Errorf("%w: child depth mismatch", ErrSnapshot)
 			}
-			child.parent = n
-			if _, dup := n.children[child.lastPivot()]; dup {
-				return nil, nil, fmt.Errorf("%w: duplicate child key %d", ErrSnapshot, child.lastPivot())
+			// Children are written in strictly ascending key order; appending
+			// under that check rebuilds the sorted child table in O(1) each.
+			key := c.lastPivot()
+			if len(n.kids) > 0 && key <= n.kids[len(n.kids)-1].key {
+				return nil, nil, fmt.Errorf("%w: duplicate or misordered child key %d", ErrSnapshot, key)
 			}
-			// addChild maintains the sorted-key cache; children were
-			// written in ascending key order, so each insertion is O(1).
-			n.addChild(child.lastPivot(), child)
-			for id, c := range childCounts {
-				counts[id] = c
+			n.kids = append(n.kids, child{key: key, n: c})
+			for id, cnt := range childCounts {
+				counts[id] = cnt
 			}
 		}
 		return n, counts, nil

@@ -18,8 +18,9 @@ type BucketID uint64
 // Table 2 uses memory storage for the small gene-expression sets and disk
 // storage for CoPhIR; both are provided.
 //
-// Implementations must be safe for concurrent use — searches View buckets
-// under the index read-lock while other goroutines may be reading too.
+// Implementations must be safe for concurrent use — lock-free searches View
+// buckets while mutators append, replace and free others (see
+// Index.leafView for the read protocol layered on top).
 type BucketStore interface {
 	// Create allocates a new empty bucket.
 	Create() (BucketID, error)
@@ -161,6 +162,12 @@ type DiskStore struct {
 	dir    string
 	next   BucketID
 	counts map[BucketID]int
+	// eras counts content-destroying rewrites (Replace) per bucket. Bucket
+	// IDs are never reused, so a (bucket, era) pair names one content
+	// lineage that only ever grows by appends; ViewVersioned hands the era
+	// out with the view so snapshot readers can detect a replacement that
+	// happened after their tree version was published (Index.leafView).
+	eras   map[BucketID]uint64
 	closed bool
 
 	// Append-handle cache. handleLRU is ordered least → most recently
@@ -209,6 +216,7 @@ func NewDiskStore(dir string) (*DiskStore, error) {
 	return &DiskStore{
 		dir:         dir,
 		counts:      make(map[BucketID]int),
+		eras:        make(map[BucketID]uint64),
 		open:        make(map[BucketID]*appendHandle),
 		handleLRU:   list.New(),
 		cache:       make(map[BucketID]*cachedBucket),
@@ -409,6 +417,20 @@ func (s *DiskStore) View(id BucketID) ([]Entry, error) {
 	return s.readLocked(id)
 }
 
+// ViewVersioned is View plus the bucket's content era, read atomically with
+// the view under the store mutex. Snapshot readers compare the era against
+// the one recorded in their node version: a match proves the first n entries
+// of the view are exactly that version's content (appends only extend).
+func (s *DiskStore) ViewVersioned(id BucketID) ([]Entry, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries, err := s.readLocked(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	return entries, s.eras[id], nil
+}
+
 // readLocked returns the bucket's decoded entries, serving from the cache
 // when possible. The returned slice is shared with the cache — callers copy
 // if they need ownership.
@@ -559,6 +581,7 @@ func (s *DiskStore) Replace(id BucketID, entries []Entry) error {
 		return syncErr
 	}
 	s.counts[id] = len(entries)
+	s.eras[id]++
 	s.insertCacheLocked(id, entries, false)
 	return nil
 }
@@ -578,6 +601,7 @@ func (s *DiskStore) Free(id BucketID) error {
 	}
 	s.dropCacheLocked(id)
 	delete(s.counts, id)
+	delete(s.eras, id)
 	return os.Remove(s.path(id))
 }
 

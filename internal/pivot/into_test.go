@@ -1,0 +1,62 @@
+package pivot
+
+import (
+	"math/rand/v2"
+	"slices"
+	"sort"
+	"testing"
+)
+
+// Permutation switched from sort.SliceStable to an allocation-free insertion
+// sort; this pins the new implementation to the old one. The ordering key
+// (distance, pivot index) is total, so the two must agree exactly — ties
+// included, which the generator forces by drawing distances from a small
+// integer grid.
+func TestPermutationMatchesStableSortReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 34))
+	for n := 0; n <= 64; n++ {
+		for range 20 {
+			dists := make([]float64, n)
+			for i := range dists {
+				dists[i] = float64(rng.IntN(max(n/2, 1)))
+			}
+			want := make([]int32, n)
+			for i := range want {
+				want[i] = int32(i)
+			}
+			sort.SliceStable(want, func(a, b int) bool {
+				da, db := dists[want[a]], dists[want[b]]
+				if da != db {
+					return da < db
+				}
+				return want[a] < want[b]
+			})
+			got := PermutationInto(make([]int32, n), dists)
+			if !slices.Equal(got, want) {
+				t.Fatalf("n=%d dists=%v: got %v, want %v", n, dists, got, want)
+			}
+			if !slices.Equal(Permutation(dists), want) {
+				t.Fatalf("n=%d: Permutation disagrees with PermutationInto", n)
+			}
+		}
+	}
+}
+
+// The Into variants must write into the provided buffer and return it.
+func TestIntoVariantsReuseBuffers(t *testing.T) {
+	dists := []float64{3, 1, 2}
+	perm := make([]int32, 3)
+	if got := PermutationInto(perm, dists); &got[0] != &perm[0] {
+		t.Fatal("PermutationInto did not reuse the buffer")
+	}
+	if want := []int32{1, 2, 0}; !slices.Equal(perm, want) {
+		t.Fatalf("perm = %v, want %v", perm, want)
+	}
+	ranks := make([]int32, 3)
+	if got := RanksInto(ranks, perm); &got[0] != &ranks[0] {
+		t.Fatal("RanksInto did not reuse the buffer")
+	}
+	if want := []int32{2, 0, 1}; !slices.Equal(ranks, want) {
+		t.Fatalf("ranks = %v, want %v", ranks, want)
+	}
+}

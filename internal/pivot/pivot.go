@@ -18,9 +18,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
-	"sort"
 
 	"simcloud/internal/metric"
+	"simcloud/internal/simd"
 )
 
 // Set is an ordered collection of pivot vectors together with the distance
@@ -109,28 +109,56 @@ func (s *Set) N() int { return len(s.Pivots) }
 // This is the only metric computation an authorized client must perform
 // before contacting the server (Algorithm 1 / Algorithm 2, line 1).
 func (s *Set) Distances(v metric.Vector) []float64 {
-	out := make([]float64, len(s.Pivots))
-	for i, p := range s.Pivots {
-		out[i] = s.Dist.Dist(p, v)
+	return s.DistancesInto(make([]float64, len(s.Pivots)), v)
+}
+
+// DistancesInto is Distances writing into a caller-provided slice of length
+// N() — the allocation-free form query loops use (cmd/simbench workers
+// compute one pivot-distance row per query).
+func (s *Set) DistancesInto(dst []float64, v metric.Vector) []float64 {
+	if len(dst) != len(s.Pivots) {
+		panic(fmt.Sprintf("pivot: destination holds %d distances, need %d", len(dst), len(s.Pivots)))
 	}
-	return out
+	for i, p := range s.Pivots {
+		dst[i] = s.Dist.Dist(p, v)
+	}
+	return dst
 }
 
 // Permutation converts a distance vector (as returned by Distances) into a
 // pivot permutation: the pivot indexes ordered by increasing distance, ties
 // broken by smaller index.
 func Permutation(dists []float64) []int32 {
-	perm := make([]int32, len(dists))
+	return PermutationInto(make([]int32, len(dists)), dists)
+}
+
+// PermutationInto is Permutation writing into a caller-provided slice of
+// length len(dists). The ordering key — (distance, pivot index) — is a total
+// order, so the result is unique and algorithm-independent; an insertion
+// sort (quadratic in the pivot count, which the paper keeps small) avoids
+// both the sort.SliceStable closure allocations and the interface
+// conversion, fusing the Distances+Permutation path into zero allocations
+// when the caller reuses buffers.
+func PermutationInto(perm []int32, dists []float64) []int32 {
+	if len(perm) != len(dists) {
+		panic(fmt.Sprintf("pivot: destination holds %d elements, need %d", len(perm), len(dists)))
+	}
 	for i := range perm {
 		perm[i] = int32(i)
 	}
-	sort.SliceStable(perm, func(a, b int) bool {
-		da, db := dists[perm[a]], dists[perm[b]]
-		if da != db {
-			return da < db
+	for i := 1; i < len(perm); i++ {
+		p := perm[i]
+		d := dists[p]
+		j := i
+		for ; j > 0; j-- {
+			q := perm[j-1]
+			if dists[q] < d || (dists[q] == d && q < p) {
+				break
+			}
+			perm[j] = q
 		}
-		return perm[a] < perm[b]
-	})
+		perm[j] = p
+	}
 	return perm
 }
 
@@ -138,7 +166,15 @@ func Permutation(dists []float64) []int32 {
 // perm (0-based). The approximate search uses ranks to compute the
 // Spearman-footrule promise of a cell prefix in O(prefix length).
 func Ranks(perm []int32) []int32 {
-	ranks := make([]int32, len(perm))
+	return RanksInto(make([]int32, len(perm)), perm)
+}
+
+// RanksInto is Ranks writing into a caller-provided slice of length
+// len(perm).
+func RanksInto(ranks, perm []int32) []int32 {
+	if len(ranks) != len(perm) {
+		panic(fmt.Sprintf("pivot: destination holds %d elements, need %d", len(ranks), len(perm)))
+	}
 	for pos, p := range perm {
 		ranks[p] = int32(pos)
 	}
@@ -179,18 +215,7 @@ func ValidPermutation(perm []int32, n int) bool {
 // This is the pivot-filtering bound applied on lines 5–7 of the paper's
 // Algorithm 3 to shrink candidate sets server-side without knowing q or o.
 func LowerBound(qDists, oDists []float64) float64 {
-	n := min(len(qDists), len(oDists))
-	var m float64
-	for i := range n {
-		d := qDists[i] - oDists[i]
-		if d < 0 {
-			d = -d
-		}
-		if d > m {
-			m = d
-		}
-	}
-	return m
+	return simd.AbsMaxDiff64(qDists, oDists)
 }
 
 // FootruleWeights precomputes the geometric level weights 1, 1/2, 1/4, ...

@@ -1,0 +1,235 @@
+// Package simd holds the unrolled hot-loop kernels behind the metric
+// distance functions and the pivot machinery: float32→float64 accumulation
+// for L1/L2/Lp/Chebyshev, the float64 Chebyshev used by pivot filtering, and
+// the uint16 quantization gate of the fixed-point promise path.
+//
+// The package is pure Go — no assembly, no build tags — written so the
+// compiler's autovectorizer and scheduler get straight-line unrolled bodies
+// with the bounds checks hoisted. The contract every kernel obeys, enforced
+// by the property tests in simd_test.go, is bit-for-bit equivalence with the
+// scalar reference loop:
+//
+//   - Sum kernels (L1, SqL2, PowSum) keep a single accumulator and add the
+//     per-element terms in index order, exactly like the scalar loop —
+//     unrolling only removes loop overhead and lets the independent
+//     subtract/abs/multiply work of 4–8 elements overlap. Reassociating the
+//     sum into lanes would be faster but would change results in the last
+//     bit, and equal distances must stay equal across every code path (the
+//     ranked-list equivalence suites compare them exactly).
+//   - Max kernels (Chebyshev, AbsMaxDiff64) may use multiple accumulator
+//     lanes: max over non-NaN floats is associative and commutative, so the
+//     lane split cannot change the result.
+package simd
+
+import "math"
+
+// L1 returns Σ|a[i]−b[i]| accumulated in float64. Both slices must have the
+// same length (callers check dimensions; see metric.dimCheck).
+func L1(a, b []float32) float64 {
+	n := len(a)
+	_ = b[:n]
+	var s float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d0 := float64(a[i]) - float64(b[i])
+		d1 := float64(a[i+1]) - float64(b[i+1])
+		d2 := float64(a[i+2]) - float64(b[i+2])
+		d3 := float64(a[i+3]) - float64(b[i+3])
+		if d0 < 0 {
+			d0 = -d0
+		}
+		if d1 < 0 {
+			d1 = -d1
+		}
+		if d2 < 0 {
+			d2 = -d2
+		}
+		if d3 < 0 {
+			d3 = -d3
+		}
+		s += d0
+		s += d1
+		s += d2
+		s += d3
+	}
+	for ; i < n; i++ {
+		d := float64(a[i]) - float64(b[i])
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s
+}
+
+// SqL2 returns Σ(a[i]−b[i])² accumulated in float64 (the squared Euclidean
+// distance; the caller takes the root).
+func SqL2(a, b []float32) float64 {
+	n := len(a)
+	_ = b[:n]
+	var s float64
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		d0 := float64(a[i]) - float64(b[i])
+		d1 := float64(a[i+1]) - float64(b[i+1])
+		d2 := float64(a[i+2]) - float64(b[i+2])
+		d3 := float64(a[i+3]) - float64(b[i+3])
+		d4 := float64(a[i+4]) - float64(b[i+4])
+		d5 := float64(a[i+5]) - float64(b[i+5])
+		d6 := float64(a[i+6]) - float64(b[i+6])
+		d7 := float64(a[i+7]) - float64(b[i+7])
+		s += d0 * d0
+		s += d1 * d1
+		s += d2 * d2
+		s += d3 * d3
+		s += d4 * d4
+		s += d5 * d5
+		s += d6 * d6
+		s += d7 * d7
+	}
+	for ; i < n; i++ {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+// Chebyshev returns max|a[i]−b[i]| in float64. Four independent max lanes
+// break the loop-carried dependence; the lane merge is exact because max is
+// associative and commutative.
+func Chebyshev(a, b []float32) float64 {
+	n := len(a)
+	_ = b[:n]
+	var m0, m1, m2, m3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d0 := math.Abs(float64(a[i]) - float64(b[i]))
+		d1 := math.Abs(float64(a[i+1]) - float64(b[i+1]))
+		d2 := math.Abs(float64(a[i+2]) - float64(b[i+2]))
+		d3 := math.Abs(float64(a[i+3]) - float64(b[i+3]))
+		if d0 > m0 {
+			m0 = d0
+		}
+		if d1 > m1 {
+			m1 = d1
+		}
+		if d2 > m2 {
+			m2 = d2
+		}
+		if d3 > m3 {
+			m3 = d3
+		}
+	}
+	for ; i < n; i++ {
+		if d := math.Abs(float64(a[i]) - float64(b[i])); d > m0 {
+			m0 = d
+		}
+	}
+	if m1 > m0 {
+		m0 = m1
+	}
+	if m2 > m0 {
+		m0 = m2
+	}
+	if m3 > m0 {
+		m0 = m3
+	}
+	return m0
+}
+
+// PowSum returns Σ|a[i]−b[i]|^p accumulated in float64 (the Minkowski Lp
+// core; the caller applies the outer 1/p root). math.Pow dominates the cost,
+// so the unroll only overlaps the subtract/abs work, still adding terms in
+// index order through the single accumulator.
+func PowSum(a, b []float32, p float64) float64 {
+	n := len(a)
+	_ = b[:n]
+	var s float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d0 := math.Abs(float64(a[i]) - float64(b[i]))
+		d1 := math.Abs(float64(a[i+1]) - float64(b[i+1]))
+		d2 := math.Abs(float64(a[i+2]) - float64(b[i+2]))
+		d3 := math.Abs(float64(a[i+3]) - float64(b[i+3]))
+		s += math.Pow(d0, p)
+		s += math.Pow(d1, p)
+		s += math.Pow(d2, p)
+		s += math.Pow(d3, p)
+	}
+	for ; i < n; i++ {
+		s += math.Pow(math.Abs(float64(a[i])-float64(b[i])), p)
+	}
+	return s
+}
+
+// AbsMaxDiff64 returns max|a[i]−b[i]| over the first min(len(a), len(b))
+// elements — the pivot-filtering lower bound of the paper's Algorithm 3
+// (pivot.LowerBound), which compares two float64 distance vectors.
+func AbsMaxDiff64(a, b []float64) float64 {
+	n := min(len(a), len(b))
+	a, b = a[:n], b[:n]
+	var m0, m1, m2, m3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d0 := math.Abs(a[i] - b[i])
+		d1 := math.Abs(a[i+1] - b[i+1])
+		d2 := math.Abs(a[i+2] - b[i+2])
+		d3 := math.Abs(a[i+3] - b[i+3])
+		if d0 > m0 {
+			m0 = d0
+		}
+		if d1 > m1 {
+			m1 = d1
+		}
+		if d2 > m2 {
+			m2 = d2
+		}
+		if d3 > m3 {
+			m3 = d3
+		}
+	}
+	for ; i < n; i++ {
+		if d := math.Abs(a[i] - b[i]); d > m0 {
+			m0 = d
+		}
+	}
+	if m1 > m0 {
+		m0 = m1
+	}
+	if m2 > m0 {
+		m0 = m2
+	}
+	if m3 > m0 {
+		m0 = m3
+	}
+	return m0
+}
+
+// CanQuantizeU16 reports whether every distance lies exactly on the
+// non-negative uint16 integer grid — the gate of the fixed-point promise
+// path: when it holds, each distance is exactly representable as an integer
+// below 2^16 and promise sums over such terms are exact dyadic rationals in
+// float64 (see mindex's promiser). The check rejects NaN, negatives,
+// fractional values and anything ≥ 65536.
+func CanQuantizeU16(dists []float64) bool {
+	for _, d := range dists {
+		if !(d >= 0) || d >= 65536 || d != math.Trunc(d) {
+			return false
+		}
+	}
+	return true
+}
+
+// QuantizeDistsU16 converts a distance vector that passed CanQuantizeU16
+// into its exact uint16 representation, appending to dst (pass dst[:0] to
+// reuse a buffer). It returns false without writing when the vector does not
+// qualify.
+func QuantizeDistsU16(dst []uint16, dists []float64) ([]uint16, bool) {
+	if !CanQuantizeU16(dists) {
+		return dst, false
+	}
+	for _, d := range dists {
+		dst = append(dst, uint16(d))
+	}
+	return dst, true
+}

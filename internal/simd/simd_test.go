@@ -1,0 +1,222 @@
+package simd
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// Scalar reference loops — the exact accumulation the metric package used
+// before the kernels existed. The property tests assert the unrolled kernels
+// reproduce these bit-for-bit on every dimension.
+
+func scalarL1(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s
+}
+
+func scalarSqL2(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+func scalarChebyshev(a, b []float32) float64 {
+	var m float64
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func scalarPowSum(a, b []float32, p float64) float64 {
+	var s float64
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		s += math.Pow(d, p)
+	}
+	return s
+}
+
+func scalarAbsMaxDiff64(a, b []float64) float64 {
+	n := min(len(a), len(b))
+	var m float64
+	for i := range n {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// sameBits reports float64 identity including the sign of zero — the
+// equivalence the ranked-list suites depend on (equal distances must stay
+// equal across code paths).
+func sameBits(x, y float64) bool {
+	return math.Float64bits(x) == math.Float64bits(y)
+}
+
+// randVec draws components from a mix of smooth values, exact integers
+// (quantization-friendly), repeats and zeros so ties and cancellation
+// actually occur.
+func randVec(rng *rand.Rand, dim int) []float32 {
+	v := make([]float32, dim)
+	for i := range v {
+		switch rng.IntN(4) {
+		case 0:
+			v[i] = float32(rng.NormFloat64() * 100)
+		case 1:
+			v[i] = float32(rng.IntN(256))
+		case 2:
+			v[i] = 0
+		default:
+			v[i] = float32(rng.Float64()*2 - 1)
+		}
+	}
+	return v
+}
+
+// TestKernelsMatchScalar sweeps every dimension 1..130 — crossing every
+// unroll-width boundary (4, 8) with every remainder — with many random
+// vector pairs per dimension, asserting bitwise agreement of all float32
+// kernels with the scalar references.
+func TestKernelsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for dim := 1; dim <= 130; dim++ {
+		for range 20 {
+			a, b := randVec(rng, dim), randVec(rng, dim)
+			if got, want := L1(a, b), scalarL1(a, b); !sameBits(got, want) {
+				t.Fatalf("L1 dim %d: got %x, want %x", dim, got, want)
+			}
+			if got, want := SqL2(a, b), scalarSqL2(a, b); !sameBits(got, want) {
+				t.Fatalf("SqL2 dim %d: got %x, want %x", dim, got, want)
+			}
+			if got, want := Chebyshev(a, b), scalarChebyshev(a, b); !sameBits(got, want) {
+				t.Fatalf("Chebyshev dim %d: got %x, want %x", dim, got, want)
+			}
+			p := 1 + rng.Float64()*3
+			if got, want := PowSum(a, b, p), scalarPowSum(a, b, p); !sameBits(got, want) {
+				t.Fatalf("PowSum dim %d p=%g: got %x, want %x", dim, p, got, want)
+			}
+		}
+	}
+}
+
+// TestAbsMaxDiff64MatchesScalar covers the float64 pivot-filter kernel,
+// including mismatched lengths (LowerBound truncates to the shorter vector).
+func TestAbsMaxDiff64MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for dim := 1; dim <= 130; dim++ {
+		for range 10 {
+			a := make([]float64, dim)
+			b := make([]float64, rng.IntN(dim)+1)
+			for i := range a {
+				a[i] = rng.NormFloat64() * 50
+			}
+			for i := range b {
+				b[i] = rng.NormFloat64() * 50
+			}
+			if got, want := AbsMaxDiff64(a, b), scalarAbsMaxDiff64(a, b); !sameBits(got, want) {
+				t.Fatalf("AbsMaxDiff64 %d/%d: got %x, want %x", len(a), len(b), got, want)
+			}
+		}
+	}
+}
+
+// TestCanQuantizeU16 pins the quantization gate to exactly the non-negative
+// uint16 integer grid.
+func TestCanQuantizeU16(t *testing.T) {
+	cases := []struct {
+		dists []float64
+		want  bool
+	}{
+		{nil, true},
+		{[]float64{0, 1, 2, 65535}, true},
+		{[]float64{math.Copysign(0, -1)}, true}, // -0 is on the grid
+		{[]float64{65536}, false},
+		{[]float64{-1}, false},
+		{[]float64{0.5}, false},
+		{[]float64{math.NaN()}, false},
+		{[]float64{math.Inf(1)}, false},
+		{[]float64{3, 4, 4.000001}, false},
+	}
+	for _, c := range cases {
+		if got := CanQuantizeU16(c.dists); got != c.want {
+			t.Errorf("CanQuantizeU16(%v) = %v, want %v", c.dists, got, c.want)
+		}
+		q, ok := QuantizeDistsU16(nil, c.dists)
+		if ok != c.want {
+			t.Errorf("QuantizeDistsU16(%v) ok = %v, want %v", c.dists, ok, c.want)
+		}
+		if ok {
+			for i, u := range q {
+				if float64(u) != math.Abs(c.dists[i]) {
+					t.Errorf("QuantizeDistsU16(%v)[%d] = %d", c.dists, i, u)
+				}
+			}
+		}
+	}
+}
+
+// FuzzKernels lets the fuzzer hunt for inputs where any kernel diverges from
+// its scalar reference; the byte corpus is reinterpreted as two float32
+// vectors of equal, arbitrary length.
+func FuzzKernels(f *testing.F) {
+	f.Add([]byte{0, 0, 128, 63, 0, 0, 0, 64, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(make([]byte, 130*8))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		n := len(raw) / 8 // bytes per element pair
+		if n == 0 {
+			return
+		}
+		a := make([]float32, n)
+		b := make([]float32, n)
+		for i := range n {
+			a[i] = math.Float32frombits(le32(raw[i*8:]))
+			b[i] = math.Float32frombits(le32(raw[i*8+4:]))
+		}
+		// NaN payloads can legally differ between code paths; the metric
+		// domain is finite vectors, so normalize them away.
+		for i := range n {
+			if a[i] != a[i] {
+				a[i] = 0
+			}
+			if b[i] != b[i] {
+				b[i] = 0
+			}
+		}
+		if got, want := L1(a, b), scalarL1(a, b); !sameBits(got, want) {
+			t.Fatalf("L1: got %x, want %x", got, want)
+		}
+		if got, want := SqL2(a, b), scalarSqL2(a, b); !sameBits(got, want) {
+			t.Fatalf("SqL2: got %x, want %x", got, want)
+		}
+		if got, want := Chebyshev(a, b), scalarChebyshev(a, b); !sameBits(got, want) {
+			t.Fatalf("Chebyshev: got %x, want %x", got, want)
+		}
+		if got, want := PowSum(a, b, 2.5), scalarPowSum(a, b, 2.5); !sameBits(got, want) {
+			t.Fatalf("PowSum: got %x, want %x", got, want)
+		}
+	})
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
