@@ -11,6 +11,7 @@ package simcloud
 // via b.ReportMetric.
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"os"
@@ -152,10 +153,11 @@ func benchSearch(b *testing.B, specName string, encrypted bool, candSize int) {
 		var res []core.Result
 		var costs stats.Costs
 		var err error
+		query := core.Query{Kind: core.KindApproxKNN, Vec: q.Vec, K: k, CandSize: candSize}
 		if encrypted {
-			res, costs, err = env.cloud.Enc.ApproxKNN(q.Vec, k, candSize)
+			res, costs, err = env.cloud.Enc.Search(context.Background(), query)
 		} else {
-			res, costs, err = env.cloud.Plain.ApproxKNN(q.Vec, k, candSize)
+			res, costs, err = env.cloud.Plain.Search(context.Background(), query)
 		}
 		if err != nil {
 			b.Fatal(err)
@@ -319,7 +321,7 @@ func benchTable9(b *testing.B, query func(env *table9Env, q Vector) ([]core.Resu
 func BenchmarkTable9ApproxOneNN(b *testing.B) {
 	b.Run("EncMIndex", func(b *testing.B) {
 		benchTable9(b, func(env *table9Env, q Vector) ([]core.Result, stats.Costs, error) {
-			return env.cloud.Enc.FirstCellKNN(q, 1)
+			return env.cloud.Enc.Search(context.Background(), core.Query{Kind: core.KindFirstCell, Vec: q, K: 1})
 		})
 	})
 	b.Run("EHI", func(b *testing.B) {
@@ -543,7 +545,9 @@ func BenchmarkAblationPromise(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				qi := i % len(queries)
-				res, _, err := cloud.Enc.ApproxKNN(queries[qi].Vec, 30, 600)
+				res, _, err := cloud.Enc.Search(context.Background(), core.Query{
+					Kind: core.KindApproxKNN, Vec: queries[qi].Vec, K: 30, CandSize: 600,
+				})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -582,7 +586,9 @@ func BenchmarkAblationFilter(b *testing.B) {
 			var sum stats.Costs
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				_, costs, err := cloud.Enc.Range(queries[i%len(queries)].Vec, 300)
+				_, costs, err := cloud.Enc.Search(context.Background(), core.Query{
+					Kind: core.KindRange, Vec: queries[i%len(queries)].Vec, Radius: 300,
+				})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -616,7 +622,9 @@ func BenchmarkAblationStorage(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := cloud.Enc.ApproxKNN(queries[i%len(queries)].Vec, 30, 600); err != nil {
+				if _, _, err := cloud.Enc.Search(context.Background(), core.Query{
+					Kind: core.KindApproxKNN, Vec: queries[i%len(queries)].Vec, K: 30, CandSize: 600,
+				}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -692,7 +700,9 @@ func BenchmarkAblationPivotSelection(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				qi := i % len(queries)
-				res, _, err := client.ApproxKNN(queries[qi].Vec, 30, 600)
+				res, _, err := client.Search(context.Background(), core.Query{
+					Kind: core.KindApproxKNN, Vec: queries[qi].Vec, K: 30, CandSize: 600,
+				})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -738,7 +748,9 @@ func BenchmarkAblationTransform(b *testing.B) {
 			var sum stats.Costs
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				_, costs, err := cloud.Enc.Range(queries[i%len(queries)].Vec, 300)
+				_, costs, err := cloud.Enc.Search(context.Background(), core.Query{
+					Kind: core.KindRange, Vec: queries[i%len(queries)].Vec, Radius: 300,
+				})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -777,7 +789,9 @@ func BenchmarkAblationPivots(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				qi := i % len(queries)
-				res, _, err := cloud.Enc.ApproxKNN(queries[qi].Vec, 30, 600)
+				res, _, err := cloud.Enc.Search(context.Background(), core.Query{
+					Kind: core.KindApproxKNN, Vec: queries[qi].Vec, K: 30, CandSize: 600,
+				})
 				if err != nil {
 					b.Fatal(err)
 				}

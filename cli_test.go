@@ -5,7 +5,11 @@ package simcloud
 // client — the deployment story the README documents.
 
 import (
+	"encoding/json"
+	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -18,7 +22,7 @@ import (
 func buildTools(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
-	for _, tool := range []string{"simdatagen", "simkeygen", "simserver", "simclient", "simbench", "simcoord"} {
+	for _, tool := range []string{"simdatagen", "simkeygen", "simserver", "simclient", "simbench", "simcoord", "simgate"} {
 		out := filepath.Join(dir, tool)
 		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+tool)
 		cmd.Dir = "."
@@ -309,5 +313,81 @@ func TestCommandLineClusterPipeline(t *testing.T) {
 		"-op", "delete", "-data", data, "-from", "5", "-to", "6")
 	if !strings.Contains(out, "deleted 1") {
 		t.Fatalf("delete output: %s", out)
+	}
+}
+
+// TestCommandLineGatewayPipeline is the HTTP deployment story end to end:
+// a simgate process serving demo tenants, driven by simbench's open-loop
+// generator over real sockets, then scraped — the CI gateway-e2e job in
+// Go-test form.
+func TestCommandLineGatewayPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped with -short")
+	}
+	bins := buildTools(t)
+	work := t.TempDir()
+
+	addr := freePort(t)
+	gate := exec.Command(filepath.Join(bins, "simgate"),
+		"-addr", addr, "-tenants", "smoke=smoke-key", "-n", "500")
+	if err := gate.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		gate.Process.Kill()
+		gate.Wait()
+	}()
+	waitListening(t, addr)
+
+	// Open-loop run: ~2s at 100 q/s, JSON report to a file.
+	jsonPath := filepath.Join(work, "openloop.json")
+	out := run(t, filepath.Join(bins, "simbench"),
+		"-openloop", "-gateway", "http://"+addr, "-apikey", "smoke-key",
+		"-qps", "100", "-conns", "4", "-duration", "2s", "-k", "5", "-json", jsonPath)
+	if !strings.Contains(out, "Open-loop load test") {
+		t.Fatalf("openloop output: %s", out)
+	}
+
+	blob, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Results []struct {
+			Iterations int64              `json:"iterations"`
+			Metrics    map[string]float64 `json:"metrics"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatalf("openloop JSON: %v\n%s", err, blob)
+	}
+	if len(doc.Results) != 1 {
+		t.Fatalf("openloop JSON has %d results, want 1", len(doc.Results))
+	}
+	m := doc.Results[0].Metrics
+	if m["achieved_qps"] <= 0 {
+		t.Fatalf("achieved_qps %v, want > 0", m["achieved_qps"])
+	}
+	if m["errors"] != 0 {
+		t.Fatalf("open-loop run hit %v errors", m["errors"])
+	}
+	if m["p50_ms"] <= 0 || m["p999_ms"] < m["p99_ms"] || m["p99_ms"] < m["p50_ms"] {
+		t.Fatalf("implausible percentiles: p50=%v p99=%v p999=%v", m["p50_ms"], m["p99_ms"], m["p999_ms"])
+	}
+
+	// The gateway's request counter must agree with the generator: every
+	// served query plus the warm-up request.
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	metrics, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf(`simgate_requests_total{tenant="smoke",code="200"} %d`, int64(m["ok"])+1)
+	if !strings.Contains(string(metrics), want) {
+		t.Fatalf("metrics missing %q:\n%s", want, metrics)
 	}
 }

@@ -15,6 +15,19 @@
 //	simbench -workers 8 -dataset YEAST -duration 10s
 //	simbench -workers 4 -dataset CoPhIR -encrypted -candsize 2000
 //
+// With -openloop it becomes a multi-connection open-loop load generator
+// against an HTTP gateway (cmd/simgate): arrivals are offered at -qps
+// whether or not earlier requests finished, and the report gives achieved
+// throughput plus p50/p99/p999 latency measured from each request's
+// scheduled arrival (queueing included — no coordinated omission). With no
+// -gateway it self-hosts a demo gateway in-process:
+//
+//	simbench -openloop -qps 500 -conns 8 -duration 10s
+//	simbench -openloop -gateway http://127.0.0.1:8080 -apikey alice-key -qps 2000 -conns 16
+//
+// Both load modes also emit the report as machine-readable JSON with
+// -json FILE (same document shape as cmd/benchjson; "-" for stdout).
+//
 // The absolute milliseconds depend on hardware; the shapes — who wins, by
 // what factor, where recall saturates — are the reproduction target (see
 // EXPERIMENTS.md).
@@ -23,13 +36,41 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"time"
 
 	"simcloud/internal/bench"
+	"simcloud/internal/gateway"
 )
+
+// selfHostKey is the API key of the self-hosted open-loop demo gateway.
+const selfHostKey = "bench-key"
+
+// selfHostGateway serves a single-tenant demo gateway on a loopback port
+// for -openloop runs without an external simgate. It returns a stop
+// function and the listen address.
+func selfHostGateway(dim int) (stop func(), addr string, err error) {
+	tenant, err := gateway.DemoTenant("bench", selfHostKey, 1, 2000, dim, 16, 8)
+	if err != nil {
+		return nil, "", err
+	}
+	gw, err := gateway.New(gateway.Config{Tenants: []gateway.Tenant{tenant}})
+	if err != nil {
+		return nil, "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		gw.Close()
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: gw}
+	go srv.Serve(ln)
+	return func() { srv.Close(); gw.Close() }, ln.Addr().String(), nil
+}
 
 func main() {
 	// All work happens in run so deferred cleanups — most importantly the
@@ -57,6 +98,14 @@ func run() int {
 		duration  = flag.Duration("duration", 10*time.Second, "load test measurement window")
 		candSize  = flag.Int("candsize", 0, "load test candidate set size (0 = the data set's middle evaluated size)")
 		encrypted = flag.Bool("encrypted", false, "load test the encrypted deployment instead of the plain one")
+
+		openloop = flag.Bool("openloop", false, "run an open-loop HTTP load test against a gateway instead of tables")
+		qps      = flag.Float64("qps", 100, "open loop: offered arrival rate in queries/s")
+		conns    = flag.Int("conns", 4, "open loop: concurrent sender connections")
+		gate     = flag.String("gateway", "", "open loop: gateway base URL (empty self-hosts a demo gateway in-process)")
+		apiKey   = flag.String("apikey", "", "open loop: tenant API key for -gateway")
+		dim      = flag.Int("dim", 8, "open loop: query vector dimensionality (must match the target's data)")
+		jsonOut  = flag.String("json", "", "also write the load report as JSON to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
 	if *format != "text" && *format != "csv" {
@@ -106,6 +155,64 @@ func run() int {
 		opts.Log = os.Stderr
 	}
 
+	// writeJSON emits a load report's machine-readable document per -json.
+	writeJSON := func(doc *bench.JSONDocument) error {
+		if *jsonOut == "" {
+			return nil
+		}
+		if *jsonOut == "-" {
+			return doc.Write(os.Stdout)
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return doc.Write(f)
+	}
+
+	if *openloop {
+		start := time.Now()
+		target, apikey := *gate, *apiKey
+		if target == "" {
+			// No gateway given: self-host a demo gateway over an in-process
+			// index, so one command measures the whole HTTP serving stack.
+			stop, addr, err := selfHostGateway(*dim)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+				return 1
+			}
+			defer stop()
+			target, apikey = "http://"+addr, selfHostKey
+			if opts.Log != nil {
+				fmt.Fprintf(opts.Log, "openloop: self-hosted demo gateway on %s\n", target)
+			}
+		}
+		rep, err := bench.OpenLoop(bench.OpenLoopOptions{
+			Target:   target,
+			APIKey:   apikey,
+			QPS:      *qps,
+			Conns:    *conns,
+			Duration: *duration,
+			K:        *k,
+			CandSize: *candSize,
+			Dim:      *dim,
+			Seed:     *seed,
+			Log:      opts.Log,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			return 1
+		}
+		rep.Render(os.Stdout)
+		if err := writeJSON(rep.JSONDocument()); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "simbench: done in %s\n", bench.Elapsed(start))
+		return 0
+	}
+
 	if *workers > 0 {
 		start := time.Now()
 		rep, err := bench.LoadTest(opts, *dataset, *encrypted, *workers, *duration, *candSize)
@@ -114,6 +221,10 @@ func run() int {
 			return 1
 		}
 		rep.Render(os.Stdout)
+		if err := writeJSON(rep.JSONDocument()); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			return 1
+		}
 		fmt.Fprintf(os.Stderr, "simbench: done in %s\n", bench.Elapsed(start))
 		return 0
 	}

@@ -1,6 +1,7 @@
 package simcloud_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,7 +39,9 @@ func Example() {
 	}
 
 	// The query object is indexed, so it is its own nearest neighbor.
-	results, _, err := client.ApproxKNN(data.Objects[42].Vec, 3, 100)
+	results, _, err := client.Search(context.Background(), simcloud.Query{
+		Kind: simcloud.KindApproxKNN, Vec: data.Objects[42].Vec, K: 3, CandSize: 100,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+)
+
+// Machine-readable load-test artifacts, in the same document shape
+// cmd/benchjson emits for `go test -bench` runs (goos/goarch header plus a
+// results list of name + iterations + metrics map), so CI uploads both
+// kinds of artifact through one downstream pipeline.
+
+// JSONResult is one measurement: a name, how many operations it covers and
+// its metrics. Mirrors benchjson's Result.
+type JSONResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// JSONDocument is the emitted artifact. Mirrors benchjson's Document.
+type JSONDocument struct {
+	Goos    string       `json:"goos,omitempty"`
+	Goarch  string       `json:"goarch,omitempty"`
+	Results []JSONResult `json:"results"`
+}
+
+// Write writes the document as indented JSON.
+func (d *JSONDocument) Write(w io.Writer) error {
+	blob, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(blob, '\n'))
+	return err
+}
+
+func newJSONDocument() *JSONDocument {
+	return &JSONDocument{Goos: runtime.GOOS, Goarch: runtime.GOARCH}
+}
+
+// JSONDocument renders the closed-loop report machine-readably: one result
+// per worker plus the aggregate, throughput in q/s.
+func (r *LoadReport) JSONDocument() *JSONDocument {
+	doc := newJSONDocument()
+	base := fmt.Sprintf("LoadTest/%s/%s/workers=%d", r.Spec, mode(r.Encrypted), r.Workers)
+	for _, wl := range r.PerWorker {
+		doc.Results = append(doc.Results, JSONResult{
+			Name:       fmt.Sprintf("%s/worker=%d", base, wl.Worker),
+			Iterations: wl.Queries,
+			Metrics:    map[string]float64{"qps": wl.QPS},
+		})
+	}
+	doc.Results = append(doc.Results, JSONResult{
+		Name:       base,
+		Iterations: r.Total,
+		Metrics: map[string]float64{
+			"qps":        r.QPS,
+			"workers":    float64(r.Workers),
+			"k":          float64(r.K),
+			"cand_size":  float64(r.CandSize),
+			"indexed":    float64(r.Indexed),
+			"elapsed_ms": float64(r.Elapsed.Milliseconds()),
+		},
+	})
+	return doc
+}
+
+// JSONDocument renders the open-loop report machine-readably: offered and
+// achieved rates, the outcome counts, and the latency percentiles in
+// milliseconds.
+func (r *OpenLoopReport) JSONDocument() *JSONDocument {
+	doc := newJSONDocument()
+	doc.Results = append(doc.Results, JSONResult{
+		Name:       fmt.Sprintf("OpenLoop/qps=%.0f/conns=%d", r.OfferedQPS, r.Conns),
+		Iterations: r.Sent,
+		Metrics: map[string]float64{
+			"offered_qps":  r.OfferedQPS,
+			"achieved_qps": r.Achieved,
+			"ok":           float64(r.OK),
+			"rejected":     float64(r.Rejected),
+			"errors":       float64(r.Errors),
+			"degraded":     float64(r.Degraded),
+			"p50_ms":       ms(r.P50),
+			"p99_ms":       ms(r.P99),
+			"p999_ms":      ms(r.P999),
+			"max_ms":       ms(r.Max),
+			"elapsed_ms":   ms(r.Duration),
+		},
+	})
+	return doc
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,271 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"simcloud/internal/gateway"
+)
+
+// OpenLoopOptions configures an open-loop load run against a gateway.
+type OpenLoopOptions struct {
+	// Target is the gateway base URL (e.g. "http://127.0.0.1:8080").
+	Target string
+	// APIKey authenticates every request.
+	APIKey string
+	// QPS is the offered arrival rate. Open loop: arrivals keep coming at
+	// this rate whether or not earlier requests finished, so queueing delay
+	// under overload shows up in the latency tail instead of silently
+	// throttling the generator (the coordinated-omission trap of closed
+	// loops).
+	QPS float64
+	// Conns is the number of concurrent sender connections.
+	Conns int
+	// Duration is the offered-load window. Senders drain what was scheduled
+	// inside it, so the run can finish slightly later under overload.
+	Duration time.Duration
+	// K, CandSize and Dim shape the approx-knn query stream (Dim must match
+	// the target's indexed vectors).
+	K        int
+	CandSize int
+	Dim      int
+	// Seed derives the query vectors.
+	Seed uint64
+	// Log, when set, receives progress lines.
+	Log io.Writer
+}
+
+func (o OpenLoopOptions) withDefaults() OpenLoopOptions {
+	if o.QPS <= 0 {
+		o.QPS = 100
+	}
+	if o.Conns <= 0 {
+		o.Conns = 4
+	}
+	if o.Duration <= 0 {
+		o.Duration = 10 * time.Second
+	}
+	if o.K <= 0 {
+		o.K = 10
+	}
+	if o.Dim <= 0 {
+		o.Dim = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 2012
+	}
+	return o
+}
+
+// OpenLoopReport is the outcome of one open-loop run. Latency percentiles
+// are measured from each request's scheduled arrival time — not its send
+// time — so time spent queueing for a free connection counts, exactly the
+// delay a real open-world client would see.
+type OpenLoopReport struct {
+	Target     string        `json:"target"`
+	OfferedQPS float64       `json:"offered_qps"`
+	Conns      int           `json:"conns"`
+	Duration   time.Duration `json:"duration_ns"`
+	Sent       int64         `json:"sent"`
+	OK         int64         `json:"ok"`
+	Rejected   int64         `json:"rejected"` // 429s
+	Errors     int64         `json:"errors"`   // transport failures + non-200/429
+	Degraded   int64         `json:"degraded"` // 200s served with a shed CandSize
+	Achieved   float64       `json:"achieved_qps"`
+	P50        time.Duration `json:"p50_ns"`
+	P99        time.Duration `json:"p99_ns"`
+	P999       time.Duration `json:"p999_ns"`
+	Max        time.Duration `json:"max_ns"`
+}
+
+// Render writes the human-readable summary.
+func (r *OpenLoopReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "Open-loop load test: %s, offered %.0f q/s over %d conns for %s\n",
+		r.Target, r.OfferedQPS, r.Conns, r.Duration.Round(time.Millisecond))
+	fmt.Fprintf(w, "  sent %d: %d ok (%d degraded), %d rejected (429), %d errors\n",
+		r.Sent, r.OK, r.Degraded, r.Rejected, r.Errors)
+	fmt.Fprintf(w, "  achieved %8.1f q/s\n", r.Achieved)
+	fmt.Fprintf(w, "  latency  p50 %v  p99 %v  p999 %v  max %v\n",
+		r.P50.Round(10*time.Microsecond), r.P99.Round(10*time.Microsecond),
+		r.P999.Round(10*time.Microsecond), r.Max.Round(10*time.Microsecond))
+}
+
+// OpenLoop offers requests to a gateway at a fixed rate from Conns
+// concurrent connections and reports achieved throughput and the latency
+// distribution. Arrivals are scheduled on the ideal clock (arrival i is due
+// at start + i/QPS) and buffered, so a slow or refusing server cannot slow
+// the offered rate down.
+func OpenLoop(o OpenLoopOptions) (*OpenLoopReport, error) {
+	o = o.withDefaults()
+	logf := func(format string, args ...any) {
+		if o.Log != nil {
+			fmt.Fprintf(o.Log, format+"\n", args...)
+		}
+	}
+
+	// Pre-encode the query bodies: a pool of distinct vectors large enough
+	// to defeat any response caching, cycled per arrival. Encoding outside
+	// the measured window keeps the generator's own cost out of the tail.
+	rng := rand.New(rand.NewPCG(o.Seed, 0x0417))
+	const nBodies = 256
+	bodies := make([][]byte, nBodies)
+	for i := range bodies {
+		vec := make([]float32, o.Dim)
+		for d := range vec {
+			vec[d] = float32(rng.NormFloat64() * 10)
+		}
+		body, err := json.Marshal(gateway.SearchRequest{
+			Kind: "approx-knn", Vec: vec, K: o.K, CandSize: o.CandSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = body
+	}
+
+	total := int64(o.QPS * o.Duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	interval := time.Duration(float64(time.Second) / o.QPS)
+	arrivals := make(chan arrival, total)
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        o.Conns,
+		MaxIdleConnsPerHost: o.Conns,
+	}}
+	defer client.CloseIdleConnections()
+	url := o.Target + "/v1/search"
+
+	// Warm up the connections (and the server's first-touch paths) before
+	// the clock starts.
+	if code, _, err := postOne(client, url, o.APIKey, bodies[0]); err != nil {
+		return nil, fmt.Errorf("bench: open-loop warm-up: %w", err)
+	} else if code != http.StatusOK {
+		return nil, fmt.Errorf("bench: open-loop warm-up: gateway answered %d", code)
+	}
+
+	logf("openloop: offering %.0f q/s x %s over %d conns (%d requests)...",
+		o.QPS, o.Duration, o.Conns, total)
+
+	type counts struct {
+		ok, rejected, errors, degraded int64
+		lats                           []time.Duration
+	}
+	perConn := make([]counts, o.Conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := range o.Conns {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cc := &perConn[c]
+			cc.lats = make([]time.Duration, 0, int(total)/o.Conns+1)
+			for a := range arrivals {
+				code, degraded, err := postOne(client, url, o.APIKey, bodies[a.seq%nBodies])
+				lat := time.Since(start) - a.due
+				switch {
+				case err != nil:
+					cc.errors++
+				case code == http.StatusOK:
+					cc.ok++
+					if degraded {
+						cc.degraded++
+					}
+					cc.lats = append(cc.lats, lat)
+				case code == http.StatusTooManyRequests:
+					cc.rejected++
+				default:
+					cc.errors++
+				}
+			}
+		}()
+	}
+
+	// The scheduler: enqueue each arrival when its ideal due time passes.
+	// The channel holds the full run, so a stalled server backs requests up
+	// in the queue (where their waiting is measured) — never in the
+	// scheduler.
+	for i := int64(0); i < total; i++ {
+		due := time.Duration(i) * interval
+		if sleep := due - time.Since(start); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		arrivals <- arrival{seq: int(i), due: due}
+	}
+	close(arrivals)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &OpenLoopReport{
+		Target:     o.Target,
+		OfferedQPS: o.QPS,
+		Conns:      o.Conns,
+		Duration:   elapsed,
+		Sent:       total,
+	}
+	var all []time.Duration
+	for _, cc := range perConn {
+		rep.OK += cc.ok
+		rep.Rejected += cc.rejected
+		rep.Errors += cc.errors
+		rep.Degraded += cc.degraded
+		all = append(all, cc.lats...)
+	}
+	rep.Achieved = float64(rep.OK) / elapsed.Seconds()
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		rep.P50 = percentile(all, 0.50)
+		rep.P99 = percentile(all, 0.99)
+		rep.P999 = percentile(all, 0.999)
+		rep.Max = all[len(all)-1]
+	}
+	return rep, nil
+}
+
+type arrival struct {
+	seq int
+	due time.Duration // offset from the run's start on the ideal clock
+}
+
+// percentile reads the q-quantile from an ascending latency sample
+// (nearest-rank; exact, unlike a bucketed histogram).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	idx := int(q*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[min(idx, len(sorted)-1)]
+}
+
+// postOne sends one search request and reports the status code and whether
+// the gateway flagged the answer as degraded.
+func postOne(client *http.Client, url, apiKey string, body []byte) (code int, degraded bool, err error) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-API-Key", apiKey)
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		var sr gateway.SearchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			return resp.StatusCode, false, err
+		}
+		return resp.StatusCode, sr.Degraded, nil
+	}
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, false, nil
+}

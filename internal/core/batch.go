@@ -172,8 +172,8 @@ func (c *EncryptedClient) InsertBatchContext(ctx context.Context, objs []metric.
 
 // ApproxKNNBatch evaluates approximate k-NN for many queries at once.
 //
-// Legacy entry point: prefer SearchBatch with KindApproxKNN queries, which
-// adds context support and mixed query kinds.
+// Deprecated: use SearchBatch with KindApproxKNN queries, which adds
+// context support and mixed query kinds.
 func (c *EncryptedClient) ApproxKNNBatch(qs []metric.Vector, k, candSize int) ([][]Result, stats.Costs, error) {
 	if k <= 0 || candSize <= 0 {
 		return nil, stats.Costs{}, fmt.Errorf("core: k and candSize must be positive (k=%d, candSize=%d)", k, candSize)

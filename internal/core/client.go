@@ -136,6 +136,11 @@ func DialEncryptedContext(ctx context.Context, addr string, key *secret.Key, opt
 // Addr returns the server address the client dials.
 func (c *EncryptedClient) Addr() string { return c.addr }
 
+// PoolStats reports the connection-lease pool's current depth and lifetime
+// dial/discard counters (see PoolStats; surfaced per backend through
+// CollectStats and the gateway's /metrics endpoint).
+func (c *EncryptedClient) PoolStats() PoolStats { return c.pool.stats() }
+
 // Close releases every pooled connection, interrupting in-flight
 // operations.
 func (c *EncryptedClient) Close() error { return c.pool.close() }
@@ -377,7 +382,7 @@ func (c *coder) refineLimited(q metric.Vector, cands []mindex.Entry, limit int, 
 // the query–pivot distance vector; the server returns pivot-filtered
 // candidates that the client decrypts and refines.
 //
-// Legacy entry point: prefer Search with KindRange.
+// Deprecated: use Search with KindRange.
 func (c *EncryptedClient) Range(q metric.Vector, r float64) ([]Result, stats.Costs, error) {
 	return c.Search(context.Background(), Query{Kind: KindRange, Vec: q, Radius: r})
 }
@@ -387,7 +392,7 @@ func (c *EncryptedClient) Range(q metric.Vector, r float64) ([]Result, stats.Cos
 // (distance-sum ranking) plus the requested candidate-set size, then refines
 // the returned pre-ranked candidates.
 //
-// Legacy entry point: prefer Search with KindApproxKNN.
+// Deprecated: use Search with KindApproxKNN.
 func (c *EncryptedClient) ApproxKNN(q metric.Vector, k, candSize int) ([]Result, stats.Costs, error) {
 	if k <= 0 || candSize <= 0 {
 		return nil, stats.Costs{}, fmt.Errorf("core: k and candSize must be positive (k=%d, candSize=%d)", k, candSize)
@@ -402,7 +407,7 @@ func (c *EncryptedClient) ApproxKNN(q metric.Vector, k, candSize int) ([]Result,
 // first refineLimit candidates are decrypted and refined; the remainder is
 // paid for in communication but not in decryption or distance time.
 //
-// Legacy entry point: prefer Search with KindApproxKNN and RefineLimit.
+// Deprecated: use Search with KindApproxKNN and RefineLimit.
 func (c *EncryptedClient) ApproxKNNPartial(q metric.Vector, k, candSize, refineLimit int) ([]Result, stats.Costs, error) {
 	if k <= 0 || candSize <= 0 || refineLimit <= 0 {
 		return nil, stats.Costs{}, fmt.Errorf("core: k, candSize and refineLimit must be positive (k=%d candSize=%d refineLimit=%d)",
@@ -418,7 +423,7 @@ func (c *EncryptedClient) ApproxKNNPartial(q metric.Vector, k, candSize, refineL
 // precise range query R(q, ρk) then guarantees completeness. Two round
 // trips; candSize tunes the first phase.
 //
-// Legacy entry point: prefer Search with KindKNN.
+// Deprecated: use Search with KindKNN.
 func (c *EncryptedClient) KNN(q metric.Vector, k, candSize int) ([]Result, stats.Costs, error) {
 	if k <= 0 || candSize <= 0 {
 		return nil, stats.Costs{}, fmt.Errorf("core: k and candSize must be positive (k=%d, candSize=%d)", k, candSize)
@@ -430,7 +435,7 @@ func (c *EncryptedClient) KNN(q metric.Vector, k, candSize int) ([]Result, stats
 // paper's Section 5.4 comparison: the server contributes exactly one
 // Voronoi cell as the candidate set.
 //
-// Legacy entry point: prefer Search with KindFirstCell.
+// Deprecated: use Search with KindFirstCell.
 func (c *EncryptedClient) FirstCellKNN(q metric.Vector, k int) ([]Result, stats.Costs, error) {
 	if k <= 0 {
 		return nil, stats.Costs{}, fmt.Errorf("core: k must be positive, got %d", k)

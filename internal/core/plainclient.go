@@ -52,6 +52,10 @@ func DialPlainContext(ctx context.Context, addr string) (*PlainClient, error) {
 // Addr returns the server address the client dials.
 func (c *PlainClient) Addr() string { return c.addr }
 
+// PoolStats reports the connection-lease pool's current depth and lifetime
+// dial/discard counters (see PoolStats).
+func (c *PlainClient) PoolStats() PoolStats { return c.pool.stats() }
+
 // Close releases every pooled connection, interrupting in-flight
 // operations.
 func (c *PlainClient) Close() error { return c.pool.close() }
@@ -202,14 +206,14 @@ func (c *PlainClient) SearchBatch(ctx context.Context, qs []Query) ([][]Result, 
 
 // Range evaluates the precise range query R(q, r) fully server-side.
 //
-// Legacy entry point: prefer Search with KindRange.
+// Deprecated: use Search with KindRange.
 func (c *PlainClient) Range(q metric.Vector, r float64) ([]Result, stats.Costs, error) {
 	return c.Search(context.Background(), Query{Kind: KindRange, Vec: q, Radius: r})
 }
 
 // KNN evaluates the precise k-NN query fully server-side.
 //
-// Legacy entry point: prefer Search with KindKNN.
+// Deprecated: use Search with KindKNN.
 func (c *PlainClient) KNN(q metric.Vector, k int) ([]Result, stats.Costs, error) {
 	if k <= 0 {
 		return nil, stats.Costs{}, fmt.Errorf("core: k must be positive, got %d", k)
@@ -221,7 +225,7 @@ func (c *PlainClient) KNN(q metric.Vector, k int) ([]Result, stats.Costs, error)
 // candidate set of candSize objects is collected and refined on the server,
 // which returns only the k best answers.
 //
-// Legacy entry point: prefer Search with KindApproxKNN.
+// Deprecated: use Search with KindApproxKNN.
 func (c *PlainClient) ApproxKNN(q metric.Vector, k, candSize int) ([]Result, stats.Costs, error) {
 	if k <= 0 || candSize <= 0 {
 		return nil, stats.Costs{}, fmt.Errorf("core: k and candSize must be positive (k=%d, candSize=%d)", k, candSize)
@@ -232,6 +236,8 @@ func (c *PlainClient) ApproxKNN(q metric.Vector, k, candSize int) ([]Result, sta
 // FirstCellKNN evaluates the restricted 1-cell approximate k-NN fully
 // server-side — the plain counterpart of the encrypted first-cell query,
 // completing kind parity between the deployments.
+//
+// Deprecated: use Search with KindFirstCell.
 func (c *PlainClient) FirstCellKNN(q metric.Vector, k int) ([]Result, stats.Costs, error) {
 	if k <= 0 {
 		return nil, stats.Costs{}, fmt.Errorf("core: k must be positive, got %d", k)

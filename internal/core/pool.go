@@ -27,6 +27,32 @@ type connPool struct {
 	idle   []*wire.CountingConn
 	leased map[*wire.CountingConn]struct{}
 	closed bool
+	dialed uint64 // connections ever dialed (monotonic)
+	broken uint64 // connections discarded as broken (monotonic)
+}
+
+// PoolStats is a point-in-time view of a client's connection-lease pool —
+// the per-upstream serving depth an operator watches: Leased is the number
+// of exchanges in flight right now, Idle the warm connections ready for
+// the next ones, and the monotonic Dialed/Discarded counters expose churn
+// (a climbing Discarded means exchanges keep poisoning their connections).
+type PoolStats struct {
+	Idle      int    `json:"idle"`
+	Leased    int    `json:"leased"`
+	Dialed    uint64 `json:"dialed"`
+	Discarded uint64 `json:"discarded"`
+}
+
+// stats reports the pool's current depth and lifetime counters.
+func (p *connPool) stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{
+		Idle:      len(p.idle),
+		Leased:    len(p.leased),
+		Dialed:    p.dialed,
+		Discarded: p.broken,
+	}
 }
 
 func newConnPool(dial func(ctx context.Context) (*wire.CountingConn, error)) *connPool {
@@ -73,6 +99,7 @@ func (p *connPool) get(ctx context.Context) (*wire.CountingConn, error) {
 		conn.Close()
 		return nil, ErrClientClosed
 	}
+	p.dialed++
 	p.leased[conn] = struct{}{}
 	p.mu.Unlock()
 	return conn, nil
@@ -84,6 +111,9 @@ func (p *connPool) get(ctx context.Context) (*wire.CountingConn, error) {
 func (p *connPool) put(conn *wire.CountingConn, broken bool) {
 	p.mu.Lock()
 	delete(p.leased, conn)
+	if broken {
+		p.broken++
+	}
 	if broken || p.closed || len(p.idle) >= maxIdle {
 		p.mu.Unlock()
 		conn.Close()
@@ -102,6 +132,7 @@ func (p *connPool) putIdle(conn *wire.CountingConn) {
 		conn.Close()
 		return
 	}
+	p.dialed++
 	p.idle = append(p.idle, conn)
 }
 

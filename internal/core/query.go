@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"simcloud/internal/metric"
@@ -81,38 +82,52 @@ type Query struct {
 // sweeps use 10–70 candidates per requested neighbor).
 func DefaultCandSize(k int) int { return max(20*k, 100) }
 
+// ErrBadQuery marks query-validation failures, so callers serving remote
+// users (the gateway) can separate "the request was malformed" from "the
+// backend failed" without matching error strings: errors.Is(err,
+// ErrBadQuery), or the IsQueryError shorthand.
+var ErrBadQuery = errors.New("invalid query")
+
+// IsQueryError reports whether err is a query-validation failure.
+func IsQueryError(err error) bool { return errors.Is(err, ErrBadQuery) }
+
+func badQuery(format string, args ...any) error {
+	return fmt.Errorf("core: "+format+": %w", append(args, ErrBadQuery)...)
+}
+
 // normalized validates the query and fills defaults; every backend calls it
 // first, so the three implementations agree on what a well-formed Query is.
+// All validation failures wrap ErrBadQuery.
 func (q Query) normalized() (Query, error) {
 	if len(q.Vec) == 0 {
-		return q, fmt.Errorf("core: query vector is empty")
+		return q, badQuery("query vector is empty")
 	}
 	switch q.Kind {
 	case KindRange:
 		if q.Radius < 0 {
-			return q, fmt.Errorf("core: range radius must be non-negative, got %g", q.Radius)
+			return q, badQuery("range radius must be non-negative, got %g", q.Radius)
 		}
 		if q.RefineLimit != 0 {
-			return q, fmt.Errorf("core: RefineLimit applies to approximate queries only (kind %v)", q.Kind)
+			return q, badQuery("RefineLimit applies to approximate queries only (kind %v)", q.Kind)
 		}
 	case KindKNN, KindApproxKNN, KindFirstCell:
 		if q.K <= 0 {
-			return q, fmt.Errorf("core: k must be positive, got %d", q.K)
+			return q, badQuery("k must be positive, got %d", q.K)
 		}
 		if q.CandSize < 0 {
-			return q, fmt.Errorf("core: CandSize must be non-negative, got %d", q.CandSize)
+			return q, badQuery("CandSize must be non-negative, got %d", q.CandSize)
 		}
 		if q.CandSize == 0 {
 			q.CandSize = DefaultCandSize(q.K)
 		}
 		if q.RefineLimit < 0 {
-			return q, fmt.Errorf("core: RefineLimit must be non-negative, got %d", q.RefineLimit)
+			return q, badQuery("RefineLimit must be non-negative, got %d", q.RefineLimit)
 		}
 		if q.RefineLimit != 0 && q.Kind == KindKNN {
-			return q, fmt.Errorf("core: RefineLimit would break the precise k-NN guarantee (kind %v)", q.Kind)
+			return q, badQuery("RefineLimit would break the precise k-NN guarantee (kind %v)", q.Kind)
 		}
 	default:
-		return q, fmt.Errorf("core: unknown query kind %v", q.Kind)
+		return q, badQuery("unknown query kind %v", q.Kind)
 	}
 	return q, nil
 }

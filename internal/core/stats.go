@@ -1,0 +1,139 @@
+package core
+
+import "simcloud/internal/engine"
+
+// The unified stats surface: three ad-hoc shapes used to describe a
+// deployment's health — engine.Stats (per-shard live/dead), mindex.Stats
+// (tree shape) and the bare (hits, misses, ok) tuple of Index.CacheStats —
+// and each consumer stitched them together by hand. Stats is the one
+// facade over all of them plus the connection-lease pool, consumed by the
+// gateway's /metrics endpoint, simbench and any operator tooling. Every
+// section is plain data, JSON-encodable as-is.
+
+// EngineStats describes the index engine's entry population: totals plus
+// the per-shard decomposition (ShardLive[i]/ShardDead[i] describe shard i).
+type EngineStats struct {
+	Shards    int   `json:"shards"`
+	Live      int   `json:"live"`
+	Dead      int   `json:"dead"`
+	ShardLive []int `json:"shard_live,omitempty"`
+	ShardDead []int `json:"shard_dead,omitempty"`
+}
+
+// TreeStats describes the aggregated cell-tree shape across shards (counts
+// sum; depth and bucket maxima take the max over shards).
+type TreeStats struct {
+	Leaves      int `json:"leaves"`
+	InnerNodes  int `json:"inner_nodes"`
+	MaxDepth    int `json:"max_depth"`
+	MaxBucket   int `json:"max_bucket"`
+	TotalBucket int `json:"total_bucket"`
+}
+
+// CacheStats reports the disk-bucket read-through cache counters summed
+// over all disk-backed shards (all zero for memory storage).
+type CacheStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (c CacheStats) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+// Stats is the unified operational view of one Searcher backend. Which
+// sections carry data depends on the backend: an in-process DirectClient
+// (or anything else exposing its engine) fills Engine/Tree/Cache; a
+// networked client fills Pool (its lease-pool depth — the engine lives on
+// the remote server). Collect it with CollectStats.
+type Stats struct {
+	Engine EngineStats `json:"engine"`
+	Tree   TreeStats   `json:"tree"`
+	Cache  CacheStats  `json:"cache"`
+	Pool   PoolStats   `json:"pool"`
+}
+
+// engineStatser is satisfied by backends that can hand out their embedded
+// engine (DirectClient; also any future server-side wrapper).
+type engineStatser interface {
+	Engine() *engine.ShardedIndex
+}
+
+// poolStatser is satisfied by the networked clients (their lease pool is
+// the client-side resource worth watching).
+type poolStatser interface {
+	PoolStats() PoolStats
+}
+
+// CollectStats gathers the unified stats a Searcher backend can report:
+// engine-side sections when the backend embeds the engine in-process,
+// lease-pool depth when it is networked. Unknown backends yield a zero
+// Stats — collection never fails, it just reports less.
+func CollectStats(s Searcher) Stats {
+	var out Stats
+	if es, ok := s.(engineStatser); ok {
+		out.Merge(EngineStatsOf(es.Engine()))
+	}
+	if ps, ok := s.(poolStatser); ok {
+		out.Pool = ps.PoolStats()
+	}
+	return out
+}
+
+// EngineStatsOf renders one engine's stats into the unified shape (the
+// Pool section stays zero — an engine has no client pool).
+func EngineStatsOf(eng *engine.ShardedIndex) Stats {
+	es := eng.Stats()
+	out := Stats{
+		Engine: EngineStats{
+			Shards: len(es.Shards),
+			Live:   es.Total.Entries,
+			Dead:   es.Total.Dead,
+		},
+		Tree: TreeStats{
+			Leaves:      es.Total.Leaves,
+			InnerNodes:  es.Total.InnerNodes,
+			MaxDepth:    es.Total.MaxDepth,
+			MaxBucket:   es.Total.MaxBucket,
+			TotalBucket: es.Total.TotalBucket,
+		},
+		Cache: CacheStats{Hits: es.CacheHits, Misses: es.CacheMisses},
+	}
+	if len(es.Shards) > 1 {
+		out.Engine.ShardLive = make([]int, len(es.Shards))
+		out.Engine.ShardDead = make([]int, len(es.Shards))
+		for i, sh := range es.Shards {
+			out.Engine.ShardLive[i] = sh.Entries
+			out.Engine.ShardDead[i] = sh.Dead
+		}
+	}
+	return out
+}
+
+// Merge folds other's engine-side sections into s (summing counts, taking
+// maxima where the per-engine aggregation does) and adds the pool depths.
+// A gateway fronting several tenants uses it to report fleet totals next
+// to the per-tenant figures.
+func (s *Stats) Merge(other Stats) {
+	s.Engine.Shards += other.Engine.Shards
+	s.Engine.Live += other.Engine.Live
+	s.Engine.Dead += other.Engine.Dead
+	s.Engine.ShardLive = append(s.Engine.ShardLive, other.Engine.ShardLive...)
+	s.Engine.ShardDead = append(s.Engine.ShardDead, other.Engine.ShardDead...)
+	s.Tree.Leaves += other.Tree.Leaves
+	s.Tree.InnerNodes += other.Tree.InnerNodes
+	s.Tree.MaxDepth = max(s.Tree.MaxDepth, other.Tree.MaxDepth)
+	s.Tree.MaxBucket = max(s.Tree.MaxBucket, other.Tree.MaxBucket)
+	s.Tree.TotalBucket += other.Tree.TotalBucket
+	s.Cache.Hits += other.Cache.Hits
+	s.Cache.Misses += other.Cache.Misses
+	s.Pool.Idle += other.Pool.Idle
+	s.Pool.Leased += other.Pool.Leased
+	s.Pool.Dialed += other.Pool.Dialed
+	s.Pool.Discarded += other.Pool.Discarded
+}

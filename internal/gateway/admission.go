@@ -1,0 +1,154 @@
+package gateway
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Admission configures the gateway's admission-control ladder. The zero
+// value means "defaults": a 256-request hard cap, shedding from half load,
+// CandSize floor at a quarter, no per-tenant rate limit.
+type Admission struct {
+	// MaxInflight is the hard cap on concurrently served requests. A
+	// request arriving beyond it is refused with 429 + Retry-After.
+	// 0 picks DefaultMaxInflight; negative disables the cap (no refusal,
+	// no shedding — benchmarking only).
+	MaxInflight int
+	// ShedStart is the inflight fraction of MaxInflight at which CandSize
+	// degradation begins. 0 picks DefaultShedStart. At or below it,
+	// queries run at full fidelity.
+	ShedStart float64
+	// ShedFloor is the lowest CandSize multiplier shedding may apply
+	// (never below the query's K). 0 picks DefaultShedFloor.
+	ShedFloor float64
+	// TenantQPS is the per-tenant token-bucket refill rate in queries per
+	// second (batch requests consume one token per query). 0 = unlimited.
+	TenantQPS float64
+	// TenantBurst is the token-bucket capacity. 0 picks
+	// max(1, 2×TenantQPS).
+	TenantBurst int
+	// RetryAfter is the Retry-After hint attached to max-inflight
+	// refusals (rate-limit refusals compute the exact token wait).
+	// 0 picks one second.
+	RetryAfter time.Duration
+}
+
+// Admission-control defaults.
+const (
+	DefaultMaxInflight = 256
+	DefaultShedStart   = 0.5
+	DefaultShedFloor   = 0.25
+)
+
+func (a Admission) withDefaults() Admission {
+	if a.MaxInflight == 0 {
+		a.MaxInflight = DefaultMaxInflight
+	}
+	if a.ShedStart == 0 {
+		a.ShedStart = DefaultShedStart
+	}
+	if a.ShedFloor == 0 {
+		a.ShedFloor = DefaultShedFloor
+	}
+	if a.TenantBurst == 0 {
+		a.TenantBurst = max(1, int(2*a.TenantQPS))
+	}
+	if a.RetryAfter == 0 {
+		a.RetryAfter = time.Second
+	}
+	return a
+}
+
+// admission is the runtime state of the ladder: one inflight counter for
+// the whole gateway (tenant buckets live on the tenants).
+type admission struct {
+	cfg      Admission
+	inflight atomic.Int64
+}
+
+func newAdmission(cfg Admission) *admission {
+	return &admission{cfg: cfg.withDefaults()}
+}
+
+// acquire claims one inflight slot. It returns the release closure, the
+// CandSize multiplier the current load dictates (1 = full fidelity), and
+// whether the request was admitted at all. The counter is incremented
+// optimistically and rolled back on refusal, so concurrent acquires never
+// admit past the cap.
+func (a *admission) acquire() (release func(), shed float64, ok bool) {
+	if a.cfg.MaxInflight < 0 {
+		return func() {}, 1, true
+	}
+	n := a.inflight.Add(1)
+	if n > int64(a.cfg.MaxInflight) {
+		a.inflight.Add(-1)
+		return nil, 0, false
+	}
+	return func() { a.inflight.Add(-1) }, a.shedFactor(n), true
+}
+
+// shedFactor maps the current inflight count onto the CandSize multiplier:
+// 1 at or below ShedStart×MaxInflight, then three discrete steps down to
+// ShedFloor as load approaches the hard cap. Steps — not a continuum — so
+// a given load level yields a stable, explainable fidelity, and the
+// response's cand_size field takes one of four values an operator can
+// alert on.
+func (a *admission) shedFactor(inflight int64) float64 {
+	frac := float64(inflight) / float64(a.cfg.MaxInflight)
+	if frac <= a.cfg.ShedStart {
+		return 1
+	}
+	// Position within (ShedStart, 1], split into three equal bands.
+	pos := (frac - a.cfg.ShedStart) / (1 - a.cfg.ShedStart)
+	span := 1 - a.cfg.ShedFloor
+	switch {
+	case pos <= 1.0/3:
+		return 1 - span/3 // e.g. 0.75 with the defaults
+	case pos <= 2.0/3:
+		return 1 - 2*span/3 // e.g. 0.50
+	default:
+		return a.cfg.ShedFloor // e.g. 0.25
+	}
+}
+
+// Inflight returns the number of requests currently being served.
+func (a *admission) Inflight() int64 { return a.inflight.Load() }
+
+// tokenBucket is a classic leaky token bucket: tokens refill continuously
+// at rate per second up to burst; each admitted query spends one.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if rate <= 0 {
+		return nil // unlimited
+	}
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst)}
+}
+
+// take spends n tokens if available. When they are not, it reports how
+// long until they will be — the Retry-After a client should honor.
+func (b *tokenBucket) take(now time.Time, n float64) (ok bool, wait time.Duration) {
+	if b == nil {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens = math.Min(b.burst, b.tokens+b.rate*now.Sub(b.last).Seconds())
+	}
+	b.last = now
+	if b.tokens >= n {
+		b.tokens -= n
+		return true, 0
+	}
+	need := n - b.tokens
+	return false, time.Duration(need / b.rate * float64(time.Second))
+}

@@ -1,0 +1,103 @@
+package gateway
+
+import (
+	"fmt"
+
+	"simcloud/internal/core"
+	"simcloud/internal/metric"
+)
+
+// The gateway's JSON vocabulary. These types are the HTTP API contract —
+// the open-loop load generator (internal/bench) and any HTTP client build
+// requests and decode responses through them.
+
+// SearchRequest is the body of POST /v1/search: one Query in JSON form.
+// Kind uses the QueryKind string names ("range", "knn", "approx-knn",
+// "first-cell"); unset optional fields follow the Query defaults
+// (cand_size 0 = DefaultCandSize(k)).
+type SearchRequest struct {
+	Kind        string    `json:"kind"`
+	Vec         []float32 `json:"vec"`
+	K           int       `json:"k,omitempty"`
+	Radius      float64   `json:"radius,omitempty"`
+	CandSize    int       `json:"cand_size,omitempty"`
+	RefineLimit int       `json:"refine_limit,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/search/batch.
+type BatchRequest struct {
+	Queries []SearchRequest `json:"queries"`
+}
+
+// SearchResult is one answer object.
+type SearchResult struct {
+	ID   uint64    `json:"id"`
+	Dist float64   `json:"dist"`
+	Vec  []float32 `json:"vec,omitempty"`
+}
+
+// SearchResponse is the body of a successful POST /v1/search. CandSize is
+// the candidate-set size actually evaluated — smaller than requested when
+// admission control shed load — and Degraded flags exactly that case, so a
+// client can distinguish a full-fidelity answer from a shed one.
+type SearchResponse struct {
+	Results  []SearchResult `json:"results"`
+	CandSize int            `json:"cand_size,omitempty"`
+	Degraded bool           `json:"degraded,omitempty"`
+}
+
+// BatchResponse is the body of a successful POST /v1/search/batch:
+// per-query result lists in input order, one shed flag for the whole batch
+// (the factor is decided at admission, before any query runs).
+type BatchResponse struct {
+	Results  [][]SearchResult `json:"results"`
+	Degraded bool             `json:"degraded,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// parseKind maps the JSON kind names onto core.QueryKind — the inverse of
+// QueryKind.String().
+func parseKind(s string) (core.QueryKind, error) {
+	switch s {
+	case "range":
+		return core.KindRange, nil
+	case "knn":
+		return core.KindKNN, nil
+	case "approx-knn":
+		return core.KindApproxKNN, nil
+	case "first-cell":
+		return core.KindFirstCell, nil
+	}
+	return 0, fmt.Errorf(`unknown query kind %q (want "range", "knn", "approx-knn" or "first-cell")`, s)
+}
+
+// toQuery converts the JSON form into the core Query every backend
+// validates (Query.normalized stays the single validation point — the
+// gateway only translates).
+func (r SearchRequest) toQuery() (core.Query, error) {
+	kind, err := parseKind(r.Kind)
+	if err != nil {
+		return core.Query{}, err
+	}
+	return core.Query{
+		Kind:        kind,
+		Vec:         metric.Vector(r.Vec),
+		K:           r.K,
+		Radius:      r.Radius,
+		CandSize:    r.CandSize,
+		RefineLimit: r.RefineLimit,
+	}, nil
+}
+
+// fromResults renders backend results into the JSON shape.
+func fromResults(rs []core.Result) []SearchResult {
+	out := make([]SearchResult, len(rs))
+	for i, r := range rs {
+		out[i] = SearchResult{ID: r.ID, Dist: r.Dist, Vec: r.Object.Vec}
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+// Package gateway is the similarity cloud's front door for fleets: an
+// HTTP/JSON server over the unified Searcher interface, so anything that
+// can speak HTTP — load balancers, sidecars, curl — can search without
+// linking the Go client or speaking the custom TCP protocol.
+//
+// Three concerns live here, in the order a request meets them:
+//
+//   - Tenancy. Every request authenticates with a per-tenant API key
+//     (Authorization: Bearer or X-API-Key) that maps to that tenant's own
+//     Searcher backend — its own secret key, its own index. Tenants are
+//     fully isolated: one tenant's key can never touch another tenant's
+//     entries, generalizing the examples/multiuser story to a served API.
+//
+//   - Admission control. A gateway fronting millions of users must degrade
+//     before it collapses. Requests pass a per-tenant token bucket (flood
+//     isolation: one tenant's burst cannot starve another's quota), then a
+//     server-wide max-inflight gate. Between the shed threshold and the
+//     hard cap, approximate queries keep being served with a CandSize
+//     degraded in steps — recall bends before availability breaks — and
+//     only past the hard cap does the gateway refuse, with 429 and a
+//     Retry-After hint. See DESIGN.md §Gateway for the full ladder.
+//
+//   - Observability. /metrics exports the unified stats surface
+//     (core.CollectStats: engine live/dead per shard, cache hit rate,
+//     lease-pool depth) plus the gateway's own counters and latency
+//     histogram in Prometheus text format; /v1/stats serves the same as
+//     JSON.
+//
+// The HTTP layer adds semantics, never changes results: a query answered
+// through the gateway returns exactly what the tenant's backend returns
+// for the same Query (enforced by the gateway equivalence test), modulo
+// admission-control CandSize degradation, which is reported in the
+// response (`cand_size`, `degraded`) so clients can tell a shed answer
+// from a full one.
+package gateway

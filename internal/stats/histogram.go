@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a concurrency-safe latency histogram over exponentially
+// spaced duration buckets. Observations land in atomic counters, so the
+// serving hot path records a latency with two atomic adds and no lock; the
+// read side (quantiles, Prometheus export) walks a consistent-enough view
+// for monitoring — counters are read individually, not snapshotted, which
+// is the standard contract of a scrape-oriented histogram.
+//
+// The quantile estimate interpolates within the winning bucket (assuming a
+// uniform distribution inside it), so its error is bounded by the bucket
+// ratio — ~1.6x worst case with DefaultLatencyBounds, far tighter in the
+// dense middle of the range. That is the usual precision trade of a fixed-
+// bucket histogram: constant memory, wait-free writes, mergeable across
+// processes.
+type Histogram struct {
+	bounds []time.Duration // upper bounds, strictly increasing; implicit +Inf after
+	counts []atomic.Int64  // len(bounds)+1; counts[i] <= bounds[i], last is overflow
+	sum    atomic.Int64    // nanoseconds, for averages and Prometheus _sum
+	total  atomic.Int64
+}
+
+// DefaultLatencyBounds covers 100µs..30s in roughly-doubling steps — wide
+// enough for an in-process search (tens of µs) and a heavily queued
+// networked one (seconds) to both resolve.
+func DefaultLatencyBounds() []time.Duration {
+	return []time.Duration{
+		100 * time.Microsecond, 200 * time.Microsecond, 500 * time.Microsecond,
+		time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+		10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+		100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
+		time.Second, 2 * time.Second, 5 * time.Second, 10 * time.Second,
+		30 * time.Second,
+	}
+}
+
+// NewHistogram creates a histogram over the given upper bounds, which must
+// be strictly increasing and non-empty. nil bounds pick
+// DefaultLatencyBounds.
+func NewHistogram(bounds []time.Duration) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBounds()
+	}
+	if len(bounds) == 0 {
+		panic("stats: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must be strictly increasing")
+		}
+	}
+	h := &Histogram{bounds: make([]time.Duration, len(bounds))}
+	copy(h.bounds, bounds)
+	h.counts = make([]atomic.Int64, len(bounds)+1)
+	return h
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[h.bucket(d)].Add(1)
+	h.sum.Add(int64(d))
+	h.total.Add(1)
+}
+
+// bucket returns the index of the first bucket whose bound is >= d (binary
+// search; the overflow bucket when d exceeds every bound).
+func (h *Histogram) bucket(d time.Duration) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Sum returns the sum of all observed durations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Mean returns the average observed duration (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// within the selected bucket. An empty histogram returns 0; observations in
+// the overflow bucket report the largest bound (the estimate saturates —
+// it never invents durations beyond what the buckets can resolve).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if seen+c >= rank {
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := time.Duration(0)
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			upper := h.bounds[i]
+			frac := float64(rank-seen) / float64(c)
+			return lower + time.Duration(frac*float64(upper-lower))
+		}
+		seen += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Bucket is one cumulative histogram bucket for export: Count observations
+// at or below UpperBound (Prometheus `le` semantics).
+type Bucket struct {
+	UpperBound time.Duration
+	Count      int64
+}
+
+// Buckets returns the cumulative bucket counts in bound order. The +Inf
+// bucket is not included — its cumulative count is Count().
+func (h *Histogram) Buckets() []Bucket {
+	out := make([]Bucket, len(h.bounds))
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		out[i] = Bucket{UpperBound: b, Count: cum}
+	}
+	return out
+}
+
+// Reset zeroes every counter. Not atomic with respect to concurrent
+// Observe calls — reset between measurement windows, not during one.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.sum.Store(0)
+	h.total.Store(0)
+}

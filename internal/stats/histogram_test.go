@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(nil)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	for range 100 {
+		h.Observe(3 * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", h.Count())
+	}
+	if h.Sum() != 300*time.Millisecond {
+		t.Fatalf("Sum = %v, want 300ms", h.Sum())
+	}
+	if h.Mean() != 3*time.Millisecond {
+		t.Fatalf("Mean = %v, want 3ms", h.Mean())
+	}
+	// All observations sit in the (2ms, 5ms] bucket: every quantile must
+	// land inside it.
+	for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+		got := h.Quantile(q)
+		if got <= 2*time.Millisecond || got > 5*time.Millisecond {
+			t.Fatalf("Quantile(%g) = %v, want within (2ms, 5ms]", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	h := NewHistogram(nil)
+	// A spread of latencies: quantiles must be monotone in q and bracket
+	// the true values to within one bucket.
+	for i := range 1000 {
+		h.Observe(time.Duration(i+1) * time.Millisecond / 10) // 0.1ms .. 100ms
+	}
+	p50 := h.Quantile(0.50)
+	p99 := h.Quantile(0.99)
+	p999 := h.Quantile(0.999)
+	if !(p50 <= p99 && p99 <= p999) {
+		t.Fatalf("quantiles out of order: p50=%v p99=%v p999=%v", p50, p99, p999)
+	}
+	// True p50 = 50ms, inside the (20ms, 50ms] bucket.
+	if p50 <= 20*time.Millisecond || p50 > 50*time.Millisecond {
+		t.Fatalf("p50 = %v, want within (20ms, 50ms]", p50)
+	}
+	// True p99 = 99ms, inside the (50ms, 100ms] bucket.
+	if p99 <= 50*time.Millisecond || p99 > 100*time.Millisecond {
+		t.Fatalf("p99 = %v, want within (50ms, 100ms]", p99)
+	}
+}
+
+func TestHistogramOverflowSaturates(t *testing.T) {
+	h := NewHistogram([]time.Duration{time.Millisecond, 2 * time.Millisecond})
+	h.Observe(time.Hour)
+	if got := h.Quantile(0.5); got != 2*time.Millisecond {
+		t.Fatalf("overflow quantile = %v, want saturation at 2ms", got)
+	}
+	bs := h.Buckets()
+	if len(bs) != 2 || bs[0].Count != 0 || bs[1].Count != 0 {
+		t.Fatalf("overflow observation leaked into bounded buckets: %+v", bs)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", h.Count())
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	h := NewHistogram([]time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond})
+	h.Observe(500 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(50 * time.Millisecond)
+	bs := h.Buckets()
+	want := []int64{1, 3, 4}
+	for i, b := range bs {
+		if b.Count != want[i] {
+			t.Fatalf("bucket %d (le %v) = %d, want %d", i, b.UpperBound, b.Count, want[i])
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(nil)
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range per {
+				h.Observe(time.Duration(i%100) * time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Observe(time.Millisecond)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("reset left state behind: count=%d sum=%v", h.Count(), h.Sum())
+	}
+}

@@ -61,6 +61,20 @@ type (
 	Coordinator = cluster.Coordinator
 	// CoordinatorOptions configures a Coordinator.
 	CoordinatorOptions = cluster.Options
+	// Stats is the unified operational view of one Searcher backend:
+	// engine population, tree shape, cache counters and lease-pool depth
+	// behind one JSON-encodable facade (see CollectStats). The gateway's
+	// /metrics endpoint and simbench consume exactly this shape.
+	Stats = core.Stats
+	// EngineStats is the Stats section describing index entry population.
+	EngineStats = core.EngineStats
+	// TreeStats is the Stats section describing the cell-tree shape.
+	TreeStats = core.TreeStats
+	// CacheStats is the Stats section with the disk bucket-cache counters.
+	CacheStats = core.CacheStats
+	// PoolStats is the Stats section with the connection-lease-pool depth
+	// and lifetime dial/discard counters of a networked client.
+	PoolStats = core.PoolStats
 )
 
 // Storage backends for Config.Storage.
@@ -257,6 +271,13 @@ func DialPlainContext(ctx context.Context, addr string) (*PlainClient, error) {
 func NewDirectClient(cfg Config, key *Key, opts ClientOptions) (*DirectClient, error) {
 	return core.NewDirect(cfg, key, opts)
 }
+
+// CollectStats gathers the unified operational stats a Searcher backend
+// can report: engine/tree/cache sections when the backend holds the engine
+// in-process (DirectClient), lease-pool depth when it is networked
+// (EncryptedClient, PlainClient). Collection never fails — backends that
+// cannot report a section leave it zero.
+func CollectStats(s Searcher) Stats { return core.CollectStats(s) }
 
 // Recall returns |result ∩ exact| / |exact| in percent.
 func Recall(result, exact []uint64) float64 { return stats.Recall(result, exact) }
