@@ -23,6 +23,14 @@
 // element over the live nodes; queries fan out to every node and combine
 // by the same merge order a single sharded server uses, so a 1-node
 // cluster behaves exactly like that node served directly.
+//
+// With -replicas R > 1 every entry is stored on R nodes: writes fan to all
+// owners (journaling for nodes that are down), reads fail over to a live
+// replica, and the cluster keeps answering exactly while any R-1 replicas
+// of a cell are down. Down nodes are re-dialed every -reprobe interval and
+// re-admitted after a shape check and re-sync of the writes they missed;
+// pair the nodes with -wal-dir so a restarted node recovers its pre-crash
+// state.
 package main
 
 import (
@@ -43,6 +51,8 @@ func main() {
 		nodes       = flag.String("nodes", "", "comma-separated addresses of the simserver nodes to federate (required)")
 		dialTimeout = flag.Duration("dial-timeout", 5*time.Second, "per-node dial+hello timeout at startup")
 		nodeTimeout = flag.Duration("node-timeout", 0, "per-request node timeout; a node exceeding it is treated as failed (0 waits indefinitely)")
+		replicas    = flag.Int("replicas", 1, "copies kept of every entry (R); must not exceed the node count")
+		reprobe     = flag.Duration("reprobe", 10*time.Second, "how often down nodes are re-dialed and re-admitted after re-sync (0 disables)")
 	)
 	flag.Parse()
 
@@ -58,8 +68,10 @@ func main() {
 	}
 
 	coord, err := cluster.New(addrs, cluster.Options{
-		DialTimeout: *dialTimeout,
-		NodeTimeout: *nodeTimeout,
+		DialTimeout:     *dialTimeout,
+		NodeTimeout:     *nodeTimeout,
+		Replicas:        *replicas,
+		ReprobeInterval: *reprobe,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simcoord: %v\n", err)
@@ -70,8 +82,8 @@ func main() {
 		os.Exit(1)
 	}
 	info := coord.Info()
-	fmt.Printf("simcoord: coordinating %d nodes on %s (pivots=%d maxLevel=%d bucket=%d ranking=%d)\n",
-		coord.NumNodes(), coord.Addr(), info.NumPivots, info.MaxLevel, info.BucketCapacity, info.Ranking)
+	fmt.Printf("simcoord: coordinating %d nodes on %s (replicas=%d pivots=%d maxLevel=%d bucket=%d ranking=%d)\n",
+		coord.NumNodes(), coord.Addr(), *replicas, info.NumPivots, info.MaxLevel, info.BucketCapacity, info.Ranking)
 	for _, n := range coord.LiveNodes() {
 		fmt.Printf("simcoord:   node %s\n", n)
 	}

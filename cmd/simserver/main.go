@@ -17,6 +17,13 @@
 // Nodes of a multi-node cluster must run with -eager-root-split (or
 // -shards > 1, which implies it) so their promise values stay comparable
 // in the coordinator's cross-node merge.
+//
+// With -wal-dir every acknowledged mutation is appended to a write-ahead
+// log before the acknowledgment leaves the server, and a restart replays
+// the log — a killed node recovers its pre-crash state, which a replicated
+// simcoord cluster (-replicas > 1) relies on when re-admitting it. The log
+// composes with -snapshot: a successful shutdown snapshot truncates the
+// log, so recovery is snapshot restore plus replay of the tail.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"simcloud/internal/mindex"
 	"simcloud/internal/secret"
 	"simcloud/internal/server"
+	"simcloud/internal/wal"
 )
 
 func main() {
@@ -48,6 +56,8 @@ func main() {
 		shards   = flag.Int("shards", 1, "index shard count (encrypted mode): >1 partitions the M-Index across independently locked shards")
 		autoComp = flag.Float64("auto-compact", 0, "compact a shard when its tombstoned fraction reaches this value in [0,1); 0 leaves compaction to restarts")
 		eager    = flag.Bool("eager-root-split", false, "split the root cell on the first insert; required when this server joins a multi-node simcoord cluster (implied by -shards > 1)")
+		walDir   = flag.String("wal-dir", "", "write-ahead log directory (encrypted mode): every mutation is logged before it is acknowledged, and a restart replays the log")
+		walSync  = flag.String("wal-sync", "always", "WAL durability: always (fsync each append) or never (OS page cache)")
 	)
 	flag.Parse()
 
@@ -88,6 +98,15 @@ func main() {
 
 	if *snapshot != "" && (*mode != "encrypted" || cfg.Storage != mindex.StorageDisk) {
 		fmt.Fprintln(os.Stderr, "simserver: -snapshot requires -mode encrypted and -storage disk")
+		os.Exit(2)
+	}
+	if *walDir != "" && *mode != "encrypted" {
+		fmt.Fprintln(os.Stderr, "simserver: -wal-dir requires -mode encrypted")
+		os.Exit(2)
+	}
+	walPolicy, perr := wal.ParseSyncPolicy(*walSync)
+	if perr != nil {
+		fmt.Fprintf(os.Stderr, "simserver: %v\n", perr)
 		os.Exit(2)
 	}
 
@@ -146,6 +165,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "simserver: %v\n", err)
 		os.Exit(1)
 	}
+	var mlog *wal.Log
+	if *walDir != "" {
+		l, recs, werr := wal.Open(*walDir, walPolicy)
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "simserver: %v\n", werr)
+			os.Exit(1)
+		}
+		// With -snapshot, surviving records are the post-snapshot tail (a
+		// successful snapshot save truncates the log below).
+		if rerr := wal.Replay(recs, srv.Index()); rerr != nil {
+			fmt.Fprintf(os.Stderr, "simserver: %v\n", rerr)
+			os.Exit(1)
+		}
+		if len(recs) > 0 {
+			fmt.Printf("simserver: replayed %d WAL records from %s (%d entries indexed)\n",
+				len(recs), l.Path(), srv.Index().Size())
+		}
+		srv.AttachWAL(l)
+		mlog = l
+	}
 	if err := srv.Start(*addr); err != nil {
 		fmt.Fprintf(os.Stderr, "simserver: %v\n", err)
 		os.Exit(1)
@@ -173,11 +212,25 @@ func main() {
 			exitCode = 1
 		} else {
 			fmt.Printf("simserver: saved %d entries to %s\n", srv.Index().Size(), *snapshot)
+			// Snapshot-plus-truncate compaction: the snapshot now covers
+			// every logged mutation, so the log restarts empty.
+			if mlog != nil {
+				if err := mlog.Reset(); err != nil {
+					fmt.Fprintf(os.Stderr, "simserver: truncating WAL: %v\n", err)
+					exitCode = 1
+				}
+			}
 		}
 	}
 	if err := srv.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "simserver: close: %v\n", err)
 		exitCode = 1
+	}
+	if mlog != nil {
+		if err := mlog.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "simserver: closing WAL: %v\n", err)
+			exitCode = 1
+		}
 	}
 	os.Exit(exitCode)
 }

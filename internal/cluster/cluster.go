@@ -21,7 +21,16 @@
 // one pivot set are garbage under another). Node failure at runtime is
 // handled with retry-with-exclusion: a node whose connection fails is
 // marked down, and the failed portion of the operation is re-routed over
-// the surviving nodes.
+// the surviving nodes. Down nodes are periodically re-probed
+// (Options.ReprobeInterval, or ProbeDownNodes directly) and re-admitted
+// after a fresh shape check.
+//
+// With Options.Replicas R > 1 every entry is stored on R nodes chosen by
+// its first-level cell (see replicate.go): writes fan to all owners with
+// missed writes journaled for re-admission replay, and reads assign each
+// cell to one live owner via pivot-filtered queries — so the cluster keeps
+// answering exactly, with byte-identical candidate lists, while any R-1 of
+// a cell's owners are down.
 package cluster
 
 import (
@@ -47,6 +56,15 @@ type Options struct {
 	// exceeds it is treated as failed (marked down, operation re-routed).
 	// 0 (the default) waits indefinitely.
 	NodeTimeout time.Duration
+	// Replicas is the number of nodes storing each entry (R). Must be at
+	// most the node count; 0 or 1 keeps one copy per entry (the
+	// unreplicated placement). See replicate.go for the R > 1 semantics.
+	Replicas int
+	// ReprobeInterval is how often down nodes are re-dialed and, if healthy
+	// and shape-compatible, re-admitted (after journal replay when
+	// replicated). 0 disables the background loop; ProbeDownNodes still
+	// probes on demand.
+	ReprobeInterval time.Duration
 	// Logf receives connection-level failures; defaults to log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -54,6 +72,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.DialTimeout == 0 {
 		o.DialTimeout = 5 * time.Second
+	}
+	if o.Replicas == 0 {
+		o.Replicas = 1
 	}
 	if o.Logf == nil {
 		o.Logf = log.Printf
@@ -64,10 +85,22 @@ func (o Options) withDefaults() Options {
 // Coordinator federates N encrypted simserver nodes behind one listening
 // address speaking the standard wire protocol.
 type Coordinator struct {
-	opts  Options
-	nodes []*node
-	info  wire.HelloResp // the agreed index shape (validated across nodes)
-	pool  *fanout.Pool
+	opts     Options
+	nodes    []*node
+	info     wire.HelloResp // the agreed index shape (validated across nodes)
+	pool     *fanout.Pool
+	replicas int
+
+	// journalMu guards the per-node re-sync journals and serializes the
+	// down→live transition of re-admission against concurrent replica
+	// writes (see deliverOrJournal / readmit in replicate.go).
+	journalMu sync.Mutex
+	journals  [][]wire.ResyncOp
+
+	// mixed records that an unreplicated cluster re-admitted a node, mixing
+	// placement epochs: deletes must broadcast from then on even when every
+	// node is live.
+	mixed atomic.Bool
 
 	// ctx is the coordinator's lifetime context: Close cancels it, which
 	// aborts fan-out retry loops between waves and interrupts node round
@@ -88,8 +121,9 @@ type Coordinator struct {
 
 // node is one federated simserver: its address, its (mutex-serialized)
 // coordinator connection, and its liveness flag. A node marked down stays
-// down for the life of the coordinator — rejoining requires a restart, so
-// an operator decides when a recovered node's data is trustworthy again.
+// down until a probe re-dials it and re-admission succeeds — including the
+// shape re-check and (when replicated) the journal replay that brings its
+// data back in sync.
 type node struct {
 	id   int
 	addr string
@@ -106,6 +140,16 @@ func (n *node) getConn() net.Conn {
 	n.connMu.Lock()
 	defer n.connMu.Unlock()
 	return n.conn
+}
+
+// setConn installs a fresh connection (re-admission), closing any stale one.
+func (n *node) setConn(conn net.Conn) {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	if n.conn != nil {
+		n.conn.Close()
+	}
+	n.conn = conn
 }
 
 // closeConn closes and clears the connection; safe to call concurrently
@@ -152,7 +196,14 @@ func New(addrs []string, opts Options) (*Coordinator, error) {
 		return nil, errors.New("cluster: at least one node address is required")
 	}
 	o := opts.withDefaults()
-	c := &Coordinator{opts: o}
+	if o.Replicas < 0 || o.Replicas > len(addrs) {
+		return nil, fmt.Errorf("cluster: %d replicas need %d nodes, got %d", o.Replicas, o.Replicas, len(addrs))
+	}
+	c := &Coordinator{
+		opts:     o,
+		replicas: o.Replicas,
+		journals: make([][]wire.ResyncOp, len(addrs)),
+	}
 	c.ctx, c.cancel = context.WithCancel(context.Background())
 	ok := false
 	defer func() {
@@ -177,6 +228,10 @@ func New(addrs []string, opts Options) (*Coordinator, error) {
 		}
 	}
 	c.pool = fanout.New(min(len(c.nodes), max(2, runtime.GOMAXPROCS(0))))
+	if o.ReprobeInterval > 0 {
+		c.wg.Add(1)
+		go c.probeLoop(o.ReprobeInterval)
+	}
 	ok = true
 	return c, nil
 }
@@ -198,7 +253,17 @@ func (c *Coordinator) hello(n *node) (wire.HelloResp, error) {
 // admit checks node i's hello against the cluster's agreed shape (set by
 // node 0) and rejects any mismatch.
 func (c *Coordinator) admit(i int, info wire.HelloResp) error {
-	addr := c.nodes[i].addr
+	if i == 0 {
+		c.info = info
+	}
+	return c.checkShape(c.nodes[i].addr, info)
+}
+
+// checkShape validates one node's hello against the cluster's agreed index
+// shape — at assembly and again at every re-admission, because a node
+// restarted with different parameters would not crash the cluster, it
+// would silently return wrong candidate sets.
+func (c *Coordinator) checkShape(addr string, info wire.HelloResp) error {
 	if info.Mode != wire.HelloModeEncrypted {
 		return fmt.Errorf("cluster: node %s runs the plain deployment; the coordinator federates encrypted nodes only", addr)
 	}
@@ -206,10 +271,6 @@ func (c *Coordinator) admit(i int, info wire.HelloResp) error {
 		return fmt.Errorf("cluster: node %s does not split its root cell eagerly; "+
 			"multi-node clusters require it (start simserver with -eager-root-split or -shards > 1) "+
 			"so per-node promise values stay comparable in the cross-node merge", addr)
-	}
-	if i == 0 {
-		c.info = info
-		return nil
 	}
 	ref := c.info
 	if info.NumPivots != ref.NumPivots || info.MaxLevel != ref.MaxLevel ||
@@ -383,6 +444,10 @@ func (c *Coordinator) Close() error {
 	// shutdown.
 	c.closeNodes()
 	c.wg.Wait()
+	// A probe racing the first closeNodes may have installed a fresh node
+	// connection before observing the cancelled context; now that every
+	// goroutine has exited, close whatever is left.
+	c.closeNodes()
 	if c.pool != nil {
 		c.pool.Close()
 	}

@@ -46,7 +46,11 @@ func (c *Coordinator) handle(typ wire.MsgType, payload []byte, start time.Time) 
 		if err != nil {
 			return 0, nil, err
 		}
-		if err := c.insertEntries(c.ctx, req.Entries); err != nil {
+		insert := c.insertEntries
+		if c.replicated() {
+			insert = c.insertReplicated
+		}
+		if err := insert(c.ctx, req.Entries); err != nil {
 			return 0, nil, err
 		}
 		return wire.MsgAck, wire.AckResp{ServerNanos: c.serverNanos(start)}.Encode(), nil
@@ -56,7 +60,11 @@ func (c *Coordinator) handle(typ wire.MsgType, payload []byte, start time.Time) 
 		if err != nil {
 			return 0, nil, err
 		}
-		deleted, err := c.deleteRefs(c.ctx, req.Refs)
+		del := c.deleteRefs
+		if c.replicated() {
+			del = c.deleteReplicated
+		}
+		deleted, err := del(c.ctx, req.Refs)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -141,15 +149,11 @@ func (c *Coordinator) singleQuery(q wire.BatchQuery, start time.Time) (wire.MsgT
 // routeNode maps an entry permutation onto one of the given live nodes:
 // closest pivot modulo the live-node count — the cross-process mirror of
 // engine.ShardedIndex routing, so a 1-node cluster places every entry
-// exactly where a bare server would. The first element is validated here:
-// entries arrive straight off the wire, and a hostile element must become
-// an error response, not a negative slice index.
+// exactly where a bare server would (the replicated path routes statically
+// instead; see replicate.go).
 func (c *Coordinator) routeNode(perm []int32, targets []*node) (*node, error) {
-	if len(perm) == 0 {
-		return nil, fmt.Errorf("cluster: entry permutation is empty")
-	}
-	if perm[0] < 0 || uint32(perm[0]) >= c.info.NumPivots {
-		return nil, fmt.Errorf("cluster: permutation element %d out of range [0,%d)", perm[0], c.info.NumPivots)
+	if err := c.validatePerm(perm); err != nil {
+		return nil, err
 	}
 	return targets[int(perm[0])%len(targets)], nil
 }
@@ -231,11 +235,12 @@ func (c *Coordinator) insertEntries(ctx context.Context, entries []mindex.Entry)
 
 // deleteRefs routes delete references like inserts (the permutation prefix
 // carries the routing pivot) while every node is live, summing the
-// per-node deleted counts. On a degraded cluster routing is no longer
-// reconstructible — entries placed before a death sit at Perm[0] mod N
-// while re-routed ones sit at Perm[0] mod |live| — so each ref is instead
-// broadcast to every live node, where non-owners skip the unknown ID; a
-// mid-operation death retries the affected refs the same way.
+// per-node deleted counts. On a degraded cluster — or one that has ever
+// re-admitted a node (c.mixed) — routing is no longer reconstructible:
+// entries placed before a death sit at Perm[0] mod N while re-routed ones
+// sit at Perm[0] mod |live| — so each ref is instead broadcast to every
+// live node, where non-owners skip the unknown ID; a mid-operation death
+// retries the affected refs the same way.
 func (c *Coordinator) deleteRefs(ctx context.Context, refs []mindex.Entry) (uint32, error) {
 	var deleted atomic.Uint32
 	remaining := refs
@@ -248,7 +253,7 @@ func (c *Coordinator) deleteRefs(ctx context.Context, refs []mindex.Entry) (uint
 			return deleted.Load(), errNoLiveNodes
 		}
 		var groups [][]mindex.Entry
-		if len(targets) == len(c.nodes) {
+		if len(targets) == len(c.nodes) && !c.mixed.Load() {
 			var err error
 			if groups, err = c.group(remaining, targets); err != nil {
 				return deleted.Load(), err
@@ -353,7 +358,11 @@ func (c *Coordinator) broadcast(ctx context.Context, t wire.MsgType, payload []b
 // node order — the cross-node form of the engine's per-shard range
 // concatenation, exact because every first-level cell lives on one node.
 func (c *Coordinator) concatCandidates(ctx context.Context, t wire.MsgType, payload []byte) ([]mindex.Entry, error) {
-	replies, err := c.broadcast(ctx, t, payload)
+	fan := c.broadcast
+	if c.replicated() {
+		fan = c.filteredFan // each cell answered by exactly one replica
+	}
+	replies, err := fan(ctx, t, payload)
 	if err != nil {
 		return nil, err
 	}
@@ -379,7 +388,11 @@ func (c *Coordinator) concatCandidates(ctx context.Context, t wire.MsgType, payl
 // — each the exact cross-node counterpart of what engine.ShardedIndex does
 // across shards, via the same internal/merge implementation.
 func (c *Coordinator) rankedFan(ctx context.Context, req wire.BatchQueryReq) ([][]mindex.Entry, error) {
-	replies, err := c.broadcast(ctx, wire.MsgBatchRanked, req.Encode())
+	fan := c.broadcast
+	if c.replicated() {
+		fan = c.filteredFan // each cell answered by exactly one replica
+	}
+	replies, err := fan(ctx, wire.MsgBatchRanked, req.Encode())
 	if err != nil {
 		return nil, err
 	}

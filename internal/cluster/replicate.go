@@ -1,0 +1,391 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"simcloud/internal/mindex"
+	"simcloud/internal/wire"
+)
+
+// Replicated operation (Options.Replicas R > 1). Ownership is static: the
+// entry permutation's first pivot p places its R copies on nodes
+// (p mod N + j) mod N for j < R, over the CONFIGURED node list — never the
+// live subset, so ownership is reconstructible across node deaths and
+// re-admissions. Writes fan to every owner; an owner that is down (or dies
+// mid-delivery) has the operation journaled in arrival order and replayed
+// during re-admission, before the node is marked live again. Reads assign
+// every first-level cell to its first live owner and fan out as
+// pivot-filtered queries, so each entry is served by exactly one node no
+// matter how many replicas store it (see DESIGN.md §Replication).
+
+// replicated reports whether the coordinator keeps multiple copies per
+// entry (and therefore must filter reads and journal missed writes).
+func (c *Coordinator) replicated() bool { return c.replicas > 1 }
+
+// validatePerm rejects entry permutations that cannot be routed. Entries
+// arrive straight off the wire, so a hostile first element must become an
+// error response, not a negative slice index.
+func (c *Coordinator) validatePerm(perm []int32) error {
+	if len(perm) == 0 {
+		return fmt.Errorf("cluster: entry permutation is empty")
+	}
+	if perm[0] < 0 || uint32(perm[0]) >= c.info.NumPivots {
+		return fmt.Errorf("cluster: permutation element %d out of range [0,%d)", perm[0], c.info.NumPivots)
+	}
+	return nil
+}
+
+// owners returns first-level cell p's static replica set in preference
+// order: the first element is the cell's home node, the rest its backups.
+func (c *Coordinator) owners(p int32) []*node {
+	out := make([]*node, c.replicas)
+	base := int(p) % len(c.nodes)
+	for j := range out {
+		out[j] = c.nodes[(base+j)%len(c.nodes)]
+	}
+	return out
+}
+
+// liveOwner returns the first live owner of cell p, or an error naming the
+// cell when every replica is down.
+func (c *Coordinator) liveOwner(p int32) (*node, error) {
+	for _, n := range c.owners(p) {
+		if !n.down.Load() {
+			return n, nil
+		}
+	}
+	return nil, fmt.Errorf("cluster: no live replica for pivot %d: %w", p, errNoLiveNodes)
+}
+
+// deliverOrJournal delivers one write operation to a replica, or journals
+// it for re-admission replay if the replica is down. The down check happens
+// under journalMu — the same lock readmit holds when it drains the journal
+// and marks the node live — so an operation is either journaled while the
+// node is still down (the drain loop picks it up) or sent to a node whose
+// journal is already empty; it can never fall between.
+func (c *Coordinator) deliverOrJournal(ctx context.Context, n *node, op wire.ResyncOp) error {
+	var t, want wire.MsgType
+	var payload []byte
+	switch op.Op {
+	case wire.ResyncInsert:
+		t, want = wire.MsgInsertEntries, wire.MsgAck
+		payload = wire.InsertEntriesReq{Entries: op.Entries}.Encode()
+	case wire.ResyncDelete:
+		t, want = wire.MsgDeleteEntries, wire.MsgDeleteAck
+		payload = wire.DeleteEntriesReq{Refs: op.Entries}.Encode()
+	default:
+		return fmt.Errorf("cluster: unknown journal op %d", op.Op)
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("cluster: replica delivery aborted: %w", err)
+		}
+		c.journalMu.Lock()
+		if n.down.Load() {
+			c.journals[n.id] = append(c.journals[n.id], op)
+			c.journalMu.Unlock()
+			return nil
+		}
+		c.journalMu.Unlock()
+		respType, _, err := n.roundTrip(ctx, t, payload, c.opts.NodeTimeout)
+		if err != nil {
+			if isNodeDown(err) {
+				c.opts.Logf("simcoord: %v; journaling %d entries for re-sync", err, len(op.Entries))
+				continue // the down check now journals
+			}
+			return err
+		}
+		if respType != want {
+			return fmt.Errorf("cluster: node %s: unexpected replica write response %v", n.addr, respType)
+		}
+		return nil
+	}
+}
+
+// insertReplicated fans each entry to all R owners of its first-level cell:
+// live owners synchronously, down owners via the re-sync journal. The batch
+// is rejected up front if any entry has no live owner at all — an
+// acknowledgment must always be backed by at least one applied-and-logged
+// copy, not by journal entries alone.
+func (c *Coordinator) insertReplicated(ctx context.Context, entries []mindex.Entry) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("cluster: insert aborted: %w", err)
+	}
+	groups := make([][]mindex.Entry, len(c.nodes))
+	for _, e := range entries {
+		if err := c.validatePerm(e.Perm); err != nil {
+			return err
+		}
+		if _, err := c.liveOwner(e.Perm[0]); err != nil {
+			return err
+		}
+		for _, n := range c.owners(e.Perm[0]) {
+			groups[n.id] = append(groups[n.id], e)
+		}
+	}
+	return c.pool.Run(len(c.nodes), func(i int) error {
+		if len(groups[i]) == 0 {
+			return nil
+		}
+		return c.deliverOrJournal(ctx, c.nodes[i], wire.ResyncOp{Op: wire.ResyncInsert, Entries: groups[i]})
+	})
+}
+
+// deleteReplicated removes each reference from all R owners in two waves
+// per retry round. Wave one deletes from each reference's primary (first
+// live owner) only and sums the acknowledged counts; wave two propagates to
+// the remaining owners via deliverOrJournal, but only for references whose
+// primary acknowledged. A reference whose primary died mid-wave retries the
+// whole round instead: its replica copies are untouched, so the retry's new
+// primary still holds the entry and the count stays exact — propagating
+// eagerly would let the retry land on an owner that already deleted its
+// copy and report zero.
+func (c *Coordinator) deleteReplicated(ctx context.Context, refs []mindex.Entry) (uint32, error) {
+	var deleted atomic.Uint32
+	remaining := refs
+	for len(remaining) > 0 {
+		if err := ctx.Err(); err != nil {
+			return deleted.Load(), fmt.Errorf("cluster: delete aborted: %w", err)
+		}
+		primGroups := make([][]mindex.Entry, len(c.nodes))
+		for _, e := range remaining {
+			if err := c.validatePerm(e.Perm); err != nil {
+				return deleted.Load(), err
+			}
+			prim, err := c.liveOwner(e.Perm[0])
+			if err != nil {
+				return deleted.Load(), err
+			}
+			primGroups[prim.id] = append(primGroups[prim.id], e)
+		}
+		failed := make([][]mindex.Entry, len(c.nodes))
+		acked := make([][]mindex.Entry, len(c.nodes))
+		err := c.pool.Run(len(c.nodes), func(i int) error {
+			g := primGroups[i]
+			if len(g) == 0 {
+				return nil
+			}
+			respType, resp, err := c.nodes[i].roundTrip(ctx, wire.MsgDeleteEntries,
+				wire.DeleteEntriesReq{Refs: g}.Encode(), c.opts.NodeTimeout)
+			if err != nil {
+				if isNodeDown(err) {
+					c.opts.Logf("simcoord: %v; retrying %d delete refs", err, len(g))
+					failed[i] = g
+					return nil
+				}
+				return err
+			}
+			if respType != wire.MsgDeleteAck {
+				return fmt.Errorf("cluster: node %s: unexpected delete response %v", c.nodes[i].addr, respType)
+			}
+			ack, aerr := wire.DecodeDeleteAckResp(resp)
+			if aerr != nil {
+				return aerr
+			}
+			deleted.Add(ack.Deleted)
+			acked[i] = g
+			return nil
+		})
+		if err != nil {
+			return deleted.Load(), err
+		}
+		repGroups := make([][]mindex.Entry, len(c.nodes))
+		for pi, g := range acked {
+			for _, e := range g {
+				for _, n := range c.owners(e.Perm[0]) {
+					if n.id != pi {
+						repGroups[n.id] = append(repGroups[n.id], e)
+					}
+				}
+			}
+		}
+		err = c.pool.Run(len(c.nodes), func(i int) error {
+			if len(repGroups[i]) == 0 {
+				return nil
+			}
+			return c.deliverOrJournal(ctx, c.nodes[i], wire.ResyncOp{Op: wire.ResyncDelete, Entries: repGroups[i]})
+		})
+		if err != nil {
+			return deleted.Load(), err
+		}
+		remaining = remaining[:0:0]
+		for _, g := range failed {
+			remaining = append(remaining, g...)
+		}
+	}
+	return deleted.Load(), nil
+}
+
+// assignReadOwners maps every first-level cell onto its first live owner,
+// returning one allowed-cell list per node (empty for nodes serving no
+// cells this wave). It fails when some cell has every replica down — the
+// cluster cannot answer exactly and must say so rather than return a
+// silently short result.
+func (c *Coordinator) assignReadOwners() ([][]int32, error) {
+	allow := make([][]int32, len(c.nodes))
+	for p := int32(0); uint32(p) < c.info.NumPivots; p++ {
+		n, err := c.liveOwner(p)
+		if err != nil {
+			return nil, err
+		}
+		allow[n.id] = append(allow[n.id], p)
+	}
+	return allow, nil
+}
+
+// filteredFan is the replicated read fan-out: every first-level cell is
+// assigned to one live owner and each owning node receives the request
+// wrapped in a MsgFilteredQuery envelope restricted to its cells, so the
+// union of the per-node answers covers every cell exactly once. A node
+// death mid-wave reassigns its cells to surviving owners and resends the
+// whole wave. Replies come back compacted in node-id order — the
+// deterministic source order the ranked merge and range concatenation
+// require.
+func (c *Coordinator) filteredFan(ctx context.Context, inner wire.MsgType, payload []byte) ([]nodeReply, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("cluster: fan-out aborted: %w", err)
+		}
+		allow, err := c.assignReadOwners()
+		if err != nil {
+			return nil, err
+		}
+		replies := make([]nodeReply, len(c.nodes))
+		var anyDown atomic.Bool
+		err = c.pool.Run(len(c.nodes), func(i int) error {
+			if len(allow[i]) == 0 {
+				return nil
+			}
+			req := wire.FilteredReq{Allow: allow[i], Inner: inner, Payload: payload}
+			respType, resp, err := c.nodes[i].roundTrip(ctx, wire.MsgFilteredQuery, req.Encode(), c.opts.NodeTimeout)
+			if err != nil {
+				if isNodeDown(err) {
+					c.opts.Logf("simcoord: %v; reassigning read owners", err)
+					anyDown.Store(true)
+					return nil
+				}
+				return err
+			}
+			replies[i] = nodeReply{typ: respType, payload: resp}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if anyDown.Load() {
+			continue
+		}
+		out := replies[:0]
+		for _, r := range replies {
+			if r.typ != 0 {
+				out = append(out, r)
+			}
+		}
+		return out, nil
+	}
+}
+
+// ProbeDownNodes attempts to re-admit every node currently marked down and
+// returns how many came back. Re-admission re-dials the node, re-validates
+// its index shape via the hello handshake, replays the journaled writes it
+// missed, and only then marks it live. The background loop (Options.
+// ReprobeInterval) calls this periodically; tests call it directly for a
+// deterministic probe.
+func (c *Coordinator) ProbeDownNodes(ctx context.Context) int {
+	readmitted := 0
+	for _, n := range c.nodes {
+		if !n.down.Load() {
+			continue
+		}
+		if err := c.readmit(ctx, n); err != nil {
+			c.opts.Logf("simcoord: node %s stays down: %v", n.addr, err)
+			continue
+		}
+		c.opts.Logf("simcoord: node %s re-admitted", n.addr)
+		readmitted++
+	}
+	return readmitted
+}
+
+// readmit brings one down node back: dial, shape-check, journal replay,
+// then (under journalMu, with the journal observed empty) the live mark.
+// Writes racing the replay serialize on journalMu: they either journal
+// while the node is still down — the drain loop picks them up — or run
+// after the node is live and deliver directly.
+func (c *Coordinator) readmit(ctx context.Context, n *node) error {
+	d := net.Dialer{Timeout: c.opts.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", n.addr)
+	if err != nil {
+		return err
+	}
+	n.setConn(conn)
+	ok := false
+	defer func() {
+		if !ok {
+			n.closeConn()
+		}
+	}()
+	info, err := c.hello(n)
+	if err != nil {
+		return err
+	}
+	if err := c.checkShape(n.addr, info); err != nil {
+		return err
+	}
+	if !c.replicated() {
+		// Unreplicated placement is mod the live-node count, so entries
+		// inserted during the outage live where this node's cells "should"
+		// be. From here on cell-to-node placement is mixed and deletes must
+		// broadcast even with every node live.
+		c.mixed.Store(true)
+		n.down.Store(false)
+		ok = true
+		return nil
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("cluster: re-sync aborted: %w", err)
+		}
+		c.journalMu.Lock()
+		ops := c.journals[n.id]
+		if len(ops) == 0 {
+			n.down.Store(false)
+			c.journalMu.Unlock()
+			ok = true
+			return nil
+		}
+		c.journals[n.id] = nil
+		c.journalMu.Unlock()
+		respType, _, err := n.roundTrip(ctx, wire.MsgResyncOps, wire.ResyncReq{Ops: ops}.Encode(), c.opts.NodeTimeout)
+		if err == nil && respType != wire.MsgAck {
+			err = fmt.Errorf("cluster: node %s: unexpected re-sync response %v", n.addr, respType)
+		}
+		if err != nil {
+			// Not applied (or not provably applied): put the batch back at
+			// the journal head so the next probe replays it in order.
+			c.journalMu.Lock()
+			c.journals[n.id] = append(ops, c.journals[n.id]...)
+			c.journalMu.Unlock()
+			return err
+		}
+	}
+}
+
+// probeLoop periodically retries down nodes until the coordinator closes.
+func (c *Coordinator) probeLoop(interval time.Duration) {
+	defer c.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-t.C:
+			c.ProbeDownNodes(c.ctx)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"slices"
+
+	"simcloud/internal/merge"
+	"simcloud/internal/mindex"
+)
+
+// Pivot-filtered read variants: each mirrors its unfiltered sibling with a
+// mindex.PivotFilter pushed into every shard traversal. Shards partition
+// entries by Perm[0], so handing the same filter to every shard restricts
+// each to the allowed slice of the cells it owns; the merge discipline is
+// untouched, which keeps the filtered stream byte-identical to what an
+// engine holding only the allowed cells would return (the replicated
+// coordinator's read contract — see mindex.PivotFilter). A nil filter
+// delegates to the unfiltered implementation.
+
+// RangeByDistsFiltered is RangeByDists restricted to the filter's
+// first-level cells.
+func (s *ShardedIndex) RangeByDistsFiltered(qDists []float64, r float64, filter mindex.PivotFilter) ([]mindex.Entry, error) {
+	if filter == nil {
+		return s.RangeByDists(qDists, r)
+	}
+	if len(s.shards) == 1 {
+		if s.closed.Load() {
+			return nil, errClosed
+		}
+		return s.shards[0].RangeByDistsFiltered(qDists, r, filter)
+	}
+	perp := s.entriesScratch.get(len(s.shards))
+	defer s.entriesScratch.put(perp)
+	per := *perp
+	err := s.fanOutRead(func(i int) error {
+		out, err := s.shards[i].RangeByDistsFiltered(qDists, r, filter)
+		per[i] = out
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return slices.Concat(per...), nil
+}
+
+// ApproxCandidatesRankedFiltered is ApproxCandidatesRanked restricted to
+// the filter's first-level cells.
+func (s *ShardedIndex) ApproxCandidatesRankedFiltered(q mindex.ApproxQuery, candSize int, filter mindex.PivotFilter) ([]mindex.RankedCandidate, error) {
+	if filter == nil {
+		return s.ApproxCandidatesRanked(q, candSize)
+	}
+	if len(s.shards) == 1 {
+		if s.closed.Load() {
+			return nil, errClosed
+		}
+		return s.shards[0].ApproxCandidatesRankedFiltered(q, candSize, filter)
+	}
+	perp := s.rankedScratch.get(len(s.shards))
+	defer s.rankedScratch.put(perp)
+	per := *perp
+	err := s.fanOutRead(func(i int) error {
+		out, err := s.shards[i].ApproxCandidatesRankedFiltered(q, candSize, filter)
+		per[i] = out
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := merge.Ranked(per)
+	if len(merged) > candSize {
+		merged = merged[:candSize]
+	}
+	return merged, nil
+}
+
+// FirstCellRankedFiltered is FirstCellRanked restricted to the filter's
+// first-level cells.
+func (s *ShardedIndex) FirstCellRankedFiltered(q mindex.ApproxQuery, filter mindex.PivotFilter) ([]mindex.Entry, float64, []int32, error) {
+	if filter == nil {
+		return s.FirstCellRanked(q)
+	}
+	if len(s.shards) == 1 {
+		if s.closed.Load() {
+			return nil, 0, nil, errClosed
+		}
+		return s.shards[0].FirstCellRankedFiltered(q, filter)
+	}
+	perp := s.cellScratch.get(len(s.shards))
+	defer s.cellScratch.put(perp)
+	per := *perp
+	err := s.fanOutRead(func(i int) error {
+		entries, promise, prefix, err := s.shards[i].FirstCellRankedFiltered(q, filter)
+		per[i] = merge.Cell{Entries: entries, Promise: promise, Prefix: prefix}
+		return err
+	})
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	best := merge.BestCell(per)
+	if best < 0 {
+		return nil, 0, nil, nil
+	}
+	return per[best].Entries, per[best].Promise, per[best].Prefix, nil
+}
+
+// AllEntriesFiltered is AllEntries restricted to the filter's first-level
+// cells, in the same shard-by-shard order.
+func (s *ShardedIndex) AllEntriesFiltered(filter mindex.PivotFilter) ([]mindex.Entry, error) {
+	if filter == nil {
+		return s.AllEntries()
+	}
+	if s.closed.Load() {
+		return nil, errClosed
+	}
+	per := make([][]mindex.Entry, len(s.shards))
+	for i, sh := range s.shards {
+		out, err := sh.AllEntriesFiltered(filter)
+		if err != nil {
+			return nil, err
+		}
+		per[i] = out
+	}
+	return slices.Concat(per...), nil
+}

@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"simcloud/internal/mindex"
+)
+
+// TestFilteredShardedEquivalence: every pivot-filtered read over a full
+// sharded engine must return exactly what the unfiltered read returns over
+// an engine holding only the allowed first-level cells — the contract the
+// replicated coordinator's per-owner read assignment depends on.
+func TestFilteredShardedEquivalence(t *testing.T) {
+	w := newWorld(t, 31, 1500, 20)
+	allowed := []int32{0, 1, 4, 7, 9, 11}
+	filter, err := mindex.NewPivotFilter(testPivots, allowed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 4} {
+		cfg := testCfg(shards)
+		// Shards=1 must also pass: a federated single-shard node runs with
+		// the eager root split, matching the subset engine's shape.
+		cfg.EagerRootSplit = true
+		full, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer full.Close()
+		subset, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer subset.Close()
+
+		var subsetEntries []mindex.Entry
+		for _, e := range w.entries {
+			if len(e.Perm) > 0 && filter.Allows(e.Perm[0]) {
+				subsetEntries = append(subsetEntries, e)
+			}
+		}
+		if err := full.InsertBulk(w.entries); err != nil {
+			t.Fatal(err)
+		}
+		if err := subset.InsertBulk(subsetEntries); err != nil {
+			t.Fatal(err)
+		}
+
+		for qi, q := range w.queries {
+			qDists, aq := w.query(q)
+
+			gotR, err := full.RangeByDistsFiltered(qDists, 2.0, filter)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantR, err := subset.RangeByDists(qDists, 2.0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalIDs(ids(gotR), ids(wantR)) {
+				t.Fatalf("shards=%d query %d: filtered range differs (%d vs %d entries)",
+					shards, qi, len(gotR), len(wantR))
+			}
+
+			gotA, err := full.ApproxCandidatesRankedFiltered(aq, 200, filter)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantA, err := subset.ApproxCandidatesRanked(aq, 200)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotA, wantA) {
+				t.Fatalf("shards=%d query %d: filtered approx differs (%d vs %d candidates)",
+					shards, qi, len(gotA), len(wantA))
+			}
+
+			gotF, gotP, gotPre, err := full.FirstCellRankedFiltered(aq, filter)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantF, wantP, wantPre, err := subset.FirstCellRanked(aq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotP != wantP || !reflect.DeepEqual(gotPre, wantPre) || !equalIDs(ids(gotF), ids(wantF)) {
+				t.Fatalf("shards=%d query %d: filtered first cell differs", shards, qi)
+			}
+		}
+
+		gotAll, err := full.AllEntriesFiltered(filter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantAll, err := subset.AllEntries()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalIDs(sortedIDs(gotAll), sortedIDs(wantAll)) {
+			t.Fatalf("shards=%d: filtered download differs (%d vs %d entries)",
+				shards, len(gotAll), len(wantAll))
+		}
+
+		// Nil filter must be the identity.
+		base, err := full.ApproxCandidatesRanked(w.mustApprox(t, w.queries[0]), 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same, err := full.ApproxCandidatesRankedFiltered(w.mustApprox(t, w.queries[0]), 50, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, same) {
+			t.Fatalf("shards=%d: nil filter changed the approx result", shards)
+		}
+	}
+}
+
+func (w *testWorld) mustApprox(t *testing.T, q []float32) mindex.ApproxQuery {
+	t.Helper()
+	_, aq := w.query(q)
+	return aq
+}

@@ -1,0 +1,292 @@
+// Package faultnet is a deterministic fault-injection harness for the
+// cluster tests: a TCP proxy that sits between the coordinator and one
+// simserver node and misbehaves on command. Each accepted connection gets a
+// Rule from a Schedule — keyed by the connection's accept index, so a seeded
+// schedule reproduces the same faults run after run — and the proxy as a
+// whole can be severed, partitioned, or re-pointed at a restarted backend.
+//
+// The proxy's front address is stable across backend restarts: tests hand
+// the coordinator proxy addresses, kill and restart the real server on a
+// fresh port, and re-point the proxy with SetBackend — no port-rebind races,
+// and the coordinator's re-dial lands on the recovered node deterministically.
+//
+// Faults per connection (Rule): drop at accept, fixed per-chunk forwarding
+// delay, sever after N client→backend bytes, half-close the backend→client
+// direction after N bytes. Faults per proxy: Sever (kill every live
+// connection now), Partition (sever and refuse new connections until
+// healed).
+package faultnet
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Rule is the fault plan for one proxied connection. The zero Rule forwards
+// faithfully.
+type Rule struct {
+	// Drop closes the connection immediately at accept: the dialer sees a
+	// connection that dies before any byte moves.
+	Drop bool
+	// Delay is added before forwarding each chunk, in both directions —
+	// latency injection. It reorders nothing and corrupts nothing, so
+	// query results must be invariant under any Delay schedule.
+	Delay time.Duration
+	// SeverAfterBytes kills both directions after that many client→backend
+	// bytes have been forwarded (0 = never): a mid-request connection loss.
+	SeverAfterBytes int64
+	// HalfCloseAfterBytes closes only the backend→client direction after
+	// that many backend→client bytes (0 = never): the client's reads see
+	// EOF while its writes still reach the backend — the classic
+	// half-open connection.
+	HalfCloseAfterBytes int64
+}
+
+// Schedule assigns a Rule to each connection by accept index (0-based,
+// per proxy).
+type Schedule interface {
+	RuleFor(conn int) Rule
+}
+
+type ruleFunc func(conn int) Rule
+
+func (f ruleFunc) RuleFor(conn int) Rule { return f(conn) }
+
+// Clean is the no-fault schedule: every connection forwards faithfully.
+func Clean() Schedule { return ruleFunc(func(int) Rule { return Rule{} }) }
+
+// Scripted applies rules[i] to connection i and forwards faithfully beyond
+// the script's end.
+func Scripted(rules ...Rule) Schedule {
+	return ruleFunc(func(conn int) Rule {
+		if conn < len(rules) {
+			return rules[conn]
+		}
+		return Rule{}
+	})
+}
+
+// Seeded is a deterministic delay-only schedule: a pseudo-random quarter of
+// connections get a small fixed forwarding delay (1–3ms), derived from seed
+// and the connection index alone. Delays shake out timing-dependent bugs
+// without ever changing results, so it is safe under equivalence assertions;
+// combine it with explicit Sever/Partition calls for the destructive faults.
+func Seeded(seed int64) Schedule {
+	return ruleFunc(func(conn int) Rule {
+		x := splitmix64(uint64(seed) + uint64(conn)*0x9E3779B97F4A7C15)
+		if x%4 == 0 {
+			return Rule{Delay: time.Duration(1+(x>>32)%3) * time.Millisecond}
+		}
+		return Rule{}
+	})
+}
+
+// splitmix64 is the SplitMix64 mixer — deterministic, dependency-free
+// pseudo-randomness for schedules.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Proxy is one fault-injecting TCP proxy in front of one backend.
+type Proxy struct {
+	ln    net.Listener
+	sched Schedule
+
+	mu          sync.Mutex
+	backend     string
+	partitioned bool
+	closed      bool
+	nconn       int
+	conns       map[net.Conn]struct{}
+
+	wg sync.WaitGroup
+}
+
+// Listen starts a proxy on addr (use "127.0.0.1:0" for an ephemeral port)
+// forwarding to backend under the given schedule.
+func Listen(addr, backend string, sched Schedule) (*Proxy, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if sched == nil {
+		sched = Clean()
+	}
+	p := &Proxy{
+		ln:      ln,
+		sched:   sched,
+		backend: backend,
+		conns:   make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's stable front address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetBackend re-points the proxy at a new backend address — the restarted
+// node's fresh port. Existing connections keep their old backend; new ones
+// dial the new address.
+func (p *Proxy) SetBackend(addr string) {
+	p.mu.Lock()
+	p.backend = addr
+	p.mu.Unlock()
+}
+
+// Sever kills every live proxied connection immediately. New connections
+// are still accepted — this is a transient blip, not a partition.
+func (p *Proxy) Sever() {
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+// Partition turns the network partition on or off. While partitioned, live
+// connections are severed and new connections are accepted then immediately
+// closed (the dialer sees a dead peer, not a refused port).
+func (p *Proxy) Partition(on bool) {
+	p.mu.Lock()
+	p.partitioned = on
+	if on {
+		for c := range p.conns {
+			c.Close()
+		}
+	}
+	p.mu.Unlock()
+}
+
+// Close shuts the proxy down: stops accepting, severs everything, and waits
+// for the forwarding goroutines to drain.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		rule := p.sched.RuleFor(p.nconn)
+		p.nconn++
+		reject := p.closed || p.partitioned || rule.Drop
+		backend := p.backend
+		p.mu.Unlock()
+		if reject {
+			client.Close()
+			continue
+		}
+		server, err := net.DialTimeout("tcp", backend, 5*time.Second)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed || p.partitioned {
+			p.mu.Unlock()
+			client.Close()
+			server.Close()
+			continue
+		}
+		p.conns[client] = struct{}{}
+		p.conns[server] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(2)
+		go p.pump(server, client, rule, rule.SeverAfterBytes, p.severBoth(client, server))
+		go p.pump(client, server, rule, rule.HalfCloseAfterBytes, p.halfClose(client))
+	}
+}
+
+// severBoth returns the limit action for the client→backend direction:
+// a full connection loss.
+func (p *Proxy) severBoth(client, server net.Conn) func() {
+	return func() {
+		client.Close()
+		server.Close()
+	}
+}
+
+// halfClose returns the limit action for the backend→client direction:
+// only the client's read side dies; its writes still flow.
+func (p *Proxy) halfClose(client net.Conn) func() {
+	return func() {
+		if tc, ok := client.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		} else {
+			client.Close()
+		}
+	}
+}
+
+// pump forwards src→dst applying the rule's delay, firing onLimit once
+// after limit forwarded bytes (0 = no limit). A natural stream end (EOF or
+// error on either side) tears down both directions — the wire protocol
+// never relies on one-way shutdown, only the injected half-close does, and
+// that path leaves the paired pump running.
+func (p *Proxy) pump(dst, src net.Conn, rule Rule, limit int64, onLimit func()) {
+	defer p.wg.Done()
+	teardown := true
+	defer func() {
+		if teardown {
+			p.mu.Lock()
+			delete(p.conns, src)
+			delete(p.conns, dst)
+			p.mu.Unlock()
+			src.Close()
+			dst.Close()
+		}
+	}()
+	buf := make([]byte, 32<<10)
+	var forwarded int64
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if rule.Delay > 0 {
+				time.Sleep(rule.Delay)
+			}
+			chunk := buf[:n]
+			if limit > 0 && forwarded+int64(n) >= limit {
+				// Forward exactly up to the limit, then inject the fault.
+				chunk = chunk[:limit-forwarded]
+			}
+			if len(chunk) > 0 {
+				if _, werr := dst.Write(chunk); werr != nil {
+					return
+				}
+				forwarded += int64(len(chunk))
+			}
+			if limit > 0 && forwarded >= limit {
+				onLimit()
+				// The injected fault decides what stays open; don't tear
+				// down the paired direction from here.
+				teardown = false
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

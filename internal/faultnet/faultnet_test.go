@@ -1,0 +1,270 @@
+package faultnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes every byte back until EOF.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				io.Copy(c, c)
+				c.Close()
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+func startProxy(t *testing.T, backend string, sched Schedule) *Proxy {
+	t.Helper()
+	p, err := Listen("127.0.0.1:0", backend, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func echoOnce(t *testing.T, c net.Conn, msg []byte) error {
+	t.Helper()
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Write(msg); err != nil {
+		return err
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		return err
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo mismatch: got %q want %q", got, msg)
+	}
+	return nil
+}
+
+func TestPassThrough(t *testing.T) {
+	be := echoServer(t)
+	p := startProxy(t, be.Addr().String(), Clean())
+	c := dialProxy(t, p)
+	if err := echoOnce(t, c, []byte("hello through the proxy")); err != nil {
+		t.Fatalf("clean echo failed: %v", err)
+	}
+}
+
+func TestDropRule(t *testing.T) {
+	be := echoServer(t)
+	// Connection 0 is dropped at accept; connection 1 is clean.
+	p := startProxy(t, be.Addr().String(), Scripted(Rule{Drop: true}))
+	c := dialProxy(t, p)
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+	// The dropped connection dies before any byte: the first read fails.
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read on dropped connection succeeded")
+	}
+	c2 := dialProxy(t, p)
+	if err := echoOnce(t, c2, []byte("second conn is clean")); err != nil {
+		t.Fatalf("connection after the dropped one failed: %v", err)
+	}
+}
+
+func TestDelayRule(t *testing.T) {
+	be := echoServer(t)
+	const d = 30 * time.Millisecond
+	p := startProxy(t, be.Addr().String(), Scripted(Rule{Delay: d}))
+	c := dialProxy(t, p)
+	start := time.Now()
+	if err := echoOnce(t, c, []byte("delayed")); err != nil {
+		t.Fatalf("delayed echo failed: %v", err)
+	}
+	// Both directions delay, so a round trip takes at least 2d.
+	if elapsed := time.Since(start); elapsed < 2*d {
+		t.Fatalf("round trip took %v, want >= %v", elapsed, 2*d)
+	}
+}
+
+func TestSeverAfterBytes(t *testing.T) {
+	be := echoServer(t)
+	p := startProxy(t, be.Addr().String(), Scripted(Rule{SeverAfterBytes: 8}))
+	c := dialProxy(t, p)
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Write(make([]byte, 64)); err != nil {
+		// The write may race the sever; either outcome is a dead conn.
+		return
+	}
+	// Only 8 bytes crossed; the echo can never complete.
+	buf := make([]byte, 64)
+	n, err := io.ReadFull(c, buf)
+	if err == nil {
+		t.Fatalf("read %d echoed bytes through a severed connection", n)
+	}
+	if n > 8 {
+		t.Fatalf("%d bytes crossed a connection severed after 8", n)
+	}
+}
+
+func TestHalfCloseAfterBytes(t *testing.T) {
+	// Backend: immediately sends 16 bytes, then echoes whatever arrives
+	// into a side channel so the test can observe client→backend liveness.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	received := make(chan []byte, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		c.Write(bytes.Repeat([]byte{0xEE}, 16))
+		buf := make([]byte, 64)
+		n, _ := c.Read(buf)
+		received <- buf[:n]
+	}()
+
+	p := startProxy(t, ln.Addr().String(), Scripted(Rule{HalfCloseAfterBytes: 8}))
+	c := dialProxy(t, p)
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+
+	// Reads deliver exactly the 8 bytes before the half-close, then EOF.
+	got, err := io.ReadAll(c)
+	if err != nil {
+		t.Fatalf("reading half-closed stream: %v", err)
+	}
+	if len(got) != 8 {
+		t.Fatalf("read %d bytes before EOF, want 8", len(got))
+	}
+	// The other direction is still alive: a write must reach the backend.
+	if _, err := c.Write([]byte("still alive")); err != nil {
+		t.Fatalf("write after half-close failed: %v", err)
+	}
+	select {
+	case msg := <-received:
+		if string(msg) != "still alive" {
+			t.Fatalf("backend received %q", msg)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("backend never received the post-half-close write")
+	}
+}
+
+func TestSeverAndPartition(t *testing.T) {
+	be := echoServer(t)
+	p := startProxy(t, be.Addr().String(), Clean())
+	c := dialProxy(t, p)
+	if err := echoOnce(t, c, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	p.Sever()
+	if err := echoOnce(t, c, []byte("after-sever")); err == nil {
+		t.Fatal("echo succeeded over a severed connection")
+	}
+	// Sever is transient: a fresh connection works.
+	c2 := dialProxy(t, p)
+	if err := echoOnce(t, c2, []byte("reconnect")); err != nil {
+		t.Fatalf("reconnect after sever failed: %v", err)
+	}
+
+	p.Partition(true)
+	if err := echoOnce(t, c2, []byte("partitioned")); err == nil {
+		t.Fatal("echo succeeded across a partition")
+	}
+	c3 := dialProxy(t, p)
+	c3.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c3.Read(make([]byte, 1)); err == nil {
+		t.Fatal("new connection stayed alive across a partition")
+	}
+	p.Partition(false)
+	c4 := dialProxy(t, p)
+	if err := echoOnce(t, c4, []byte("healed")); err != nil {
+		t.Fatalf("echo after healing failed: %v", err)
+	}
+}
+
+func TestSetBackend(t *testing.T) {
+	be1 := echoServer(t)
+	// Backend 2 answers every connection with a fixed banner instead of an
+	// echo, so the test can tell the two apart.
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+	go func() {
+		for {
+			c, err := ln2.Accept()
+			if err != nil {
+				return
+			}
+			c.Write([]byte("backend2"))
+			c.Close()
+		}
+	}()
+
+	p := startProxy(t, be1.Addr().String(), Clean())
+	c := dialProxy(t, p)
+	if err := echoOnce(t, c, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	p.SetBackend(ln2.Addr().String())
+	c2 := dialProxy(t, p)
+	c2.SetDeadline(time.Now().Add(5 * time.Second))
+	banner, _ := io.ReadAll(c2)
+	if string(banner) != "backend2" {
+		t.Fatalf("after SetBackend got %q, want backend2 banner", banner)
+	}
+}
+
+func TestSeededScheduleIsDeterministic(t *testing.T) {
+	a, b := Seeded(42), Seeded(42)
+	other := Seeded(43)
+	same := true
+	var delayed int
+	for i := range 256 {
+		ra, rb := a.RuleFor(i), b.RuleFor(i)
+		if ra != rb {
+			t.Fatalf("seed 42 disagrees with itself at conn %d: %+v vs %+v", i, ra, rb)
+		}
+		if ra != other.RuleFor(i) {
+			same = false
+		}
+		if ra.Delay > 0 {
+			delayed++
+		}
+		if ra.Drop || ra.SeverAfterBytes != 0 || ra.HalfCloseAfterBytes != 0 {
+			t.Fatalf("seeded schedule produced a destructive fault at conn %d: %+v", i, ra)
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical schedules")
+	}
+	if delayed == 0 {
+		t.Fatal("seeded schedule delayed nothing in 256 connections")
+	}
+}

@@ -1,0 +1,174 @@
+package mindex
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"simcloud/internal/dataset"
+	"simcloud/internal/metric"
+	"simcloud/internal/pivot"
+)
+
+func TestPivotFilterValidation(t *testing.T) {
+	if _, err := NewPivotFilter(0, nil); err == nil {
+		t.Error("zero pivot count accepted")
+	}
+	if _, err := NewPivotFilter(8, []int32{8}); err == nil {
+		t.Error("out-of-range pivot accepted")
+	}
+	if _, err := NewPivotFilter(8, []int32{-1}); err == nil {
+		t.Error("negative pivot accepted")
+	}
+	f, err := NewPivotFilter(8, []int32{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Allows(0) || !f.Allows(3) || f.Allows(1) || f.Allows(7) {
+		t.Errorf("filter %v misclassifies", f)
+	}
+	var nilFilter PivotFilter
+	if !nilFilter.Allows(5) {
+		t.Error("nil filter rejected a pivot")
+	}
+}
+
+// TestFilteredEquivalence is the correctness contract the replicated
+// coordinator rests on: every filtered search over the full index returns
+// exactly what the unfiltered search returns over an index holding only the
+// allowed first-level cells — same entries, same order, same promise
+// annotations. Both indexes use the eager root split (as every federated
+// node does), so their per-cell subtree shapes are identical by
+// construction.
+func TestFilteredEquivalence(t *testing.T) {
+	const nPivots = 8
+	ds := dataset.Clustered(21, 1200, 6, 9, metric.L2{})
+	rng := rand.New(rand.NewPCG(21, 99))
+	pv := pivot.SelectRandom(rng, ds.Dist, ds.Objects, nPivots)
+
+	cfg := testConfig(nPivots)
+	cfg.EagerRootSplit = true
+
+	full, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	subset, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subset.Close()
+
+	allowed := []int32{0, 2, 5, 7}
+	filter, err := NewPivotFilter(nPivots, allowed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var fullEntries, subsetEntries []Entry
+	for i, o := range ds.Objects {
+		dists := pv.Distances(o.Vec)
+		perm := pivot.Permutation(dists)
+		e := Entry{ID: uint64(i + 1), Perm: perm, Dists: dists}
+		fullEntries = append(fullEntries, e)
+		if filter.allowsEntry(e) {
+			subsetEntries = append(subsetEntries, e)
+		}
+	}
+	if err := full.InsertBulk(fullEntries); err != nil {
+		t.Fatal(err)
+	}
+	if err := subset.InsertBulk(subsetEntries); err != nil {
+		t.Fatal(err)
+	}
+	if len(subsetEntries) == 0 || len(subsetEntries) == len(fullEntries) {
+		t.Fatalf("degenerate split: %d of %d entries allowed", len(subsetEntries), len(fullEntries))
+	}
+
+	for qi := 0; qi < 25; qi++ {
+		q := ds.Objects[qi*37%len(ds.Objects)].Vec
+		qd := pv.Distances(q)
+		aq := ApproxQuery{Ranks: pivot.Ranks(pivot.Permutation(qd)), Dists: qd}
+
+		gotR, err := full.RangeByDistsFiltered(qd, 2.5, filter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantR, err := subset.RangeByDists(qd, 2.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameEntries(gotR, wantR) {
+			t.Fatalf("query %d: filtered range %d entries != subset range %d entries",
+				qi, len(gotR), len(wantR))
+		}
+
+		for _, cs := range []int{1, 40, 300} {
+			gotA, err := full.ApproxCandidatesRankedFiltered(aq, cs, filter)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantA, err := subset.ApproxCandidatesRanked(aq, cs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotA, wantA) {
+				t.Fatalf("query %d candSize %d: filtered approx differs from subset approx (%d vs %d)",
+					qi, cs, len(gotA), len(wantA))
+			}
+		}
+
+		gotF, gotP, gotPre, err := full.FirstCellRankedFiltered(aq, filter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantF, wantP, wantPre, err := subset.FirstCellRanked(aq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotP != wantP || !reflect.DeepEqual(gotPre, wantPre) || !sameEntries(gotF, wantF) {
+			t.Fatalf("query %d: filtered first cell (%v, %v, %d entries) != subset (%v, %v, %d entries)",
+				qi, gotP, gotPre, len(gotF), wantP, wantPre, len(wantF))
+		}
+	}
+
+	gotAll, err := full.AllEntriesFiltered(filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAll, err := subset.AllEntries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameEntries(gotAll, wantAll) {
+		t.Fatalf("filtered download %d entries != subset download %d", len(gotAll), len(wantAll))
+	}
+
+	// A nil filter must change nothing anywhere.
+	un, err := full.RangeByDistsFiltered(qdOf(pv, ds.Objects[0].Vec), 2.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := full.RangeByDists(qdOf(pv, ds.Objects[0].Vec), 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameEntries(un, base) {
+		t.Fatal("nil filter changed the range result")
+	}
+}
+
+func qdOf(pv *pivot.Set, v metric.Vector) []float64 { return pv.Distances(v) }
+
+func sameEntries(a, b []Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -20,6 +20,10 @@ import (
 // authorized client in the encrypted one. Like every search, the traversal
 // runs lock-free against the last published snapshot.
 func (ix *Index) RangeByDists(qDists []float64, r float64) ([]Entry, error) {
+	return ix.rangeByDists(qDists, r, nil)
+}
+
+func (ix *Index) rangeByDists(qDists []float64, r float64, filter PivotFilter) ([]Entry, error) {
 	if len(qDists) != ix.cfg.NumPivots {
 		return nil, fmt.Errorf("mindex: query has %d pivot distances, want %d", len(qDists), ix.cfg.NumPivots)
 	}
@@ -42,6 +46,11 @@ func (ix *Index) RangeByDists(qDists []float64, r float64) ([]Entry, error) {
 				if _, gone := st.tombstones[e.ID]; gone {
 					continue
 				}
+				// Only an unsplit root leaf mixes first-level cells; deeper
+				// leaves were filtered at the root's child table.
+				if filter != nil && len(n.prefix) == 0 && !filter.allowsEntry(e) {
+					continue
+				}
 				// Pivot filtering (Algorithm 3, lines 5–7): discard when the
 				// triangle-inequality lower bound exceeds the radius.
 				if e.Dists != nil && pivot.LowerBound(qDists, e.Dists) > r {
@@ -55,6 +64,10 @@ func (ix *Index) RangeByDists(qDists []float64, r float64) ([]Entry, error) {
 		// deterministic.
 		for i := range n.kids {
 			k := n.kids[i]
+			// A root child's key is its subtree's first-level cell.
+			if filter != nil && len(n.prefix) == 0 && !filter.Allows(k.key) {
+				continue
+			}
 			if ix.pruneCell(k.n, k.key, n, qDists, r) {
 				continue
 			}
@@ -372,9 +385,11 @@ func (p *promiser) emitPromise(item rankedNode) float64 {
 // approxCollect visits leaf cells in promise order and emits their live
 // entries (with the source cell's promise and prefix) until at least
 // candSize have been emitted — the traversal shared by ApproxCandidates and
-// ApproxCandidatesRanked. The emitted slice may be a read-only snapshot
-// view: callers copy out, never mutate or retain it.
-func (ix *Index) approxCollect(q ApproxQuery, candSize int,
+// ApproxCandidatesRanked. A non-nil filter restricts the visit to its
+// first-level cells before any counting, so the filtered stream is what an
+// index holding only those cells would emit. The emitted slice may be a
+// read-only snapshot view: callers copy out, never mutate or retain it.
+func (ix *Index) approxCollect(q ApproxQuery, candSize int, filter PivotFilter,
 	emit func(entries []Entry, promise float64, prefix []int32)) error {
 	st := ix.state.Load()
 	pr := ix.newPromiser(q)
@@ -392,6 +407,14 @@ func (ix *Index) approxCollect(q ApproxQuery, candSize int,
 				return err
 			}
 			entries = st.liveOnly(entries)
+			// Only an unsplit root leaf mixes first-level cells; deeper
+			// leaves were filtered when the root's children were queued.
+			if len(item.n.prefix) == 0 {
+				entries = filter.filterEntries(entries)
+			}
+			if len(entries) == 0 {
+				continue
+			}
 			emit(entries, pr.emitPromise(item), item.n.prefix)
 			emitted += len(entries)
 			continue
@@ -399,6 +422,9 @@ func (ix *Index) approxCollect(q ApproxQuery, candSize int,
 		level := item.n.level()
 		for i := range item.n.kids {
 			k := item.n.kids[i]
+			if filter != nil && level == 0 && !filter.Allows(k.key) {
+				continue
+			}
 			pq.push(pr.childItem(item, k.n, level, k.key))
 		}
 	}
@@ -437,7 +463,7 @@ func (ix *Index) ApproxCandidates(q ApproxQuery, candSize int) ([]Entry, error) 
 		return nil, err
 	}
 	out := make([]Entry, 0, candSize)
-	err := ix.approxCollect(q, candSize, func(entries []Entry, _ float64, _ []int32) {
+	err := ix.approxCollect(q, candSize, nil, func(entries []Entry, _ float64, _ []int32) {
 		out = append(out, entries...)
 	})
 	if err != nil {
@@ -471,7 +497,7 @@ func (ix *Index) ApproxCandidatesRanked(q ApproxQuery, candSize int) ([]RankedCa
 		return nil, err
 	}
 	out := make([]RankedCandidate, 0, candSize)
-	err := ix.approxCollect(q, candSize, func(entries []Entry, promise float64, prefix []int32) {
+	err := ix.approxCollect(q, candSize, nil, func(entries []Entry, promise float64, prefix []int32) {
 		for _, e := range entries {
 			out = append(out, RankedCandidate{Entry: e, Promise: promise, Prefix: prefix})
 		}
@@ -513,6 +539,10 @@ func (ix *Index) FirstCellCandidates(q ApproxQuery) ([]Entry, error) {
 // a sharded engine can pick the globally most promising first cell among
 // the per-shard winners. An empty index yields nil entries.
 func (ix *Index) FirstCellRanked(q ApproxQuery) ([]Entry, float64, []int32, error) {
+	return ix.firstCellRanked(q, nil)
+}
+
+func (ix *Index) firstCellRanked(q ApproxQuery, filter PivotFilter) ([]Entry, float64, []int32, error) {
 	// Validate like every other promise-ranked traversal: a query missing
 	// what the configured ranking needs (ranks for footrule, distances for
 	// distance-sum) must become an error, not an index-out-of-range panic
@@ -541,13 +571,24 @@ func (ix *Index) FirstCellRanked(q ApproxQuery) ([]Entry, float64, []int32, erro
 				if _, gone := st.tombstones[e.ID]; gone {
 					continue
 				}
+				// Only an unsplit root leaf mixes first-level cells (see
+				// approxCollect).
+				if filter != nil && len(item.n.prefix) == 0 && !filter.allowsEntry(e) {
+					continue
+				}
 				out = append(out, e)
+			}
+			if filter != nil && len(out) == 0 {
+				continue // the cell's allowed slice is empty; keep looking
 			}
 			return out, pr.emitPromise(item), item.n.prefix, nil
 		}
 		level := item.n.level()
 		for i := range item.n.kids {
 			k := item.n.kids[i]
+			if filter != nil && level == 0 && !filter.Allows(k.key) {
+				continue
+			}
 			pq.push(pr.childItem(item, k.n, level, k.key))
 		}
 	}

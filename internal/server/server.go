@@ -27,6 +27,7 @@ import (
 	"simcloud/internal/metric"
 	"simcloud/internal/mindex"
 	"simcloud/internal/pivot"
+	"simcloud/internal/wal"
 	"simcloud/internal/wire"
 )
 
@@ -56,6 +57,7 @@ type Server struct {
 	enc   *engine.ShardedIndex
 	plain *mindex.Plain
 	timed *metric.Timed // instruments the plain server's distance function
+	wal   *wal.Log      // optional mutation log; see AttachWAL
 
 	mu       sync.Mutex
 	ehiRoot  uint64
@@ -128,6 +130,24 @@ func NewPlain(cfg mindex.Config, pivots *pivot.Set) (*Server, error) {
 		raw:      make(map[uint64][]byte),
 		Logf:     log.Printf,
 	}, nil
+}
+
+// AttachWAL attaches a write-ahead log to an encrypted-deployment server:
+// every acknowledged entry-store mutation (insert, delete, applied re-sync
+// operation) is appended to l after the engine accepts it and before the
+// acknowledgment is sent. Attach before Start; the caller keeps ownership of
+// l and closes it after the server shuts down. Typically the log was just
+// Opened and its recovered records Replayed into the engine this server
+// wraps.
+func (s *Server) AttachWAL(l *wal.Log) { s.wal = l }
+
+// walAppend logs one applied mutation; a no-op without an attached log or
+// with nothing applied.
+func (s *Server) walAppend(op wal.Op, entries []mindex.Entry) error {
+	if s.wal == nil || len(entries) == 0 {
+		return nil
+	}
+	return s.wal.Append(wal.Record{Op: op, Entries: entries})
 }
 
 // Mode returns the deployment mode.
@@ -321,6 +341,9 @@ func (s *Server) handle(typ wire.MsgType, payload []byte, start time.Time, distB
 		if err := s.enc.InsertBulk(req.Entries); err != nil {
 			return 0, nil, err
 		}
+		if err := s.walAppend(wal.OpInsert, req.Entries); err != nil {
+			return 0, nil, err
+		}
 		return wire.MsgAck, wire.AckResp{ServerNanos: s.serverNanos(start)}.Encode(), nil
 
 	case wire.MsgInsertObjects:
@@ -352,6 +375,12 @@ func (s *Server) handle(typ wire.MsgType, payload []byte, start time.Time, distB
 		// misrouted tombstone.
 		deleted, err := s.enc.Delete(req.Refs)
 		if err != nil {
+			return 0, nil, err
+		}
+		// Log the full reference set: replaying a delete of an absent ID is
+		// a no-op in the engine, so over-logging is harmless and keeps the
+		// record identical to the acknowledged request.
+		if err := s.walAppend(wal.OpDelete, req.Refs); err != nil {
 			return 0, nil, err
 		}
 		return wire.MsgDeleteAck, wire.DeleteAckResp{
@@ -466,7 +495,7 @@ func (s *Server) handle(typ wire.MsgType, payload []byte, start time.Time, distB
 		}
 		results := make([][]mindex.RankedCandidate, len(req.Queries))
 		for i, q := range req.Queries {
-			results[i], err = s.evalBatchRanked(q)
+			results[i], err = s.evalBatchRanked(q, nil)
 			if err != nil {
 				return 0, nil, fmt.Errorf("server: batch query %d: %w", i, err)
 			}
@@ -665,8 +694,114 @@ func (s *Server) handle(typ wire.MsgType, payload []byte, start time.Time, distB
 		return wire.MsgCandidates, wire.CandidatesResp{
 			ServerNanos: s.serverNanos(start), Entries: entries,
 		}.Encode(), nil
+
+	case wire.MsgFilteredQuery:
+		if s.enc == nil {
+			return 0, nil, errNeedEncrypted
+		}
+		req, err := wire.DecodeFilteredReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		filter, err := mindex.NewPivotFilter(s.enc.Config().NumPivots, req.Allow)
+		if err != nil {
+			return 0, nil, err
+		}
+		return s.handleFiltered(req, filter, start, buf)
+
+	case wire.MsgResyncOps:
+		if s.enc == nil {
+			return 0, nil, errNeedEncrypted
+		}
+		req, err := wire.DecodeResyncReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		for i, op := range req.Ops {
+			if err := s.applyResyncOp(op); err != nil {
+				return 0, nil, fmt.Errorf("server: resync op %d: %w", i, err)
+			}
+		}
+		return wire.MsgAck, wire.AckResp{ServerNanos: s.serverNanos(start)}.Encode(), nil
 	}
 	return 0, nil, fmt.Errorf("server: unsupported request type %v", typ)
+}
+
+// handleFiltered evaluates the inner request of a MsgFilteredQuery envelope
+// restricted to the filter's first-level cells, answering with the inner
+// request's natural response type.
+func (s *Server) handleFiltered(req wire.FilteredReq, filter mindex.PivotFilter, start time.Time, buf *wire.Buffer) (wire.MsgType, []byte, error) {
+	switch req.Inner {
+	case wire.MsgBatchRanked:
+		inner, err := wire.DecodeBatchQueryReq(req.Payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		results := make([][]mindex.RankedCandidate, len(inner.Queries))
+		for i, q := range inner.Queries {
+			results[i], err = s.evalBatchRanked(q, filter)
+			if err != nil {
+				return 0, nil, fmt.Errorf("server: filtered batch query %d: %w", i, err)
+			}
+		}
+		buf.Reset()
+		wire.BatchRankedResp{
+			ServerNanos: s.serverNanos(start), Results: results,
+		}.AppendTo(buf)
+		return wire.MsgBatchRankedCandidates, buf.B, nil
+
+	case wire.MsgRangeDists:
+		inner, err := wire.DecodeRangeDistsReq(req.Payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		cands, err := s.enc.RangeByDistsFiltered(inner.Dists, inner.Radius, filter)
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgCandidates, candidates(buf, wire.CandidatesResp{
+			ServerNanos: s.serverNanos(start), Entries: cands,
+		}), nil
+
+	case wire.MsgDownloadAll:
+		entries, err := s.enc.AllEntriesFiltered(filter)
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgCandidates, candidates(buf, wire.CandidatesResp{
+			ServerNanos: s.serverNanos(start), Entries: entries,
+		}), nil
+	}
+	return 0, nil, fmt.Errorf("server: filtered query cannot wrap %v", req.Inner)
+}
+
+// applyResyncOp applies one missed write from the coordinator's re-admission
+// journal. Inserts are applied entry by entry, skipping IDs already present
+// — a crash can lose the acknowledgment but keep the write — and only the
+// entries actually applied are logged, keeping the WAL replayable into a
+// fresh engine without duplicate-ID errors.
+func (s *Server) applyResyncOp(op wire.ResyncOp) error {
+	switch op.Op {
+	case wire.ResyncInsert:
+		applied := make([]mindex.Entry, 0, len(op.Entries))
+		for _, e := range op.Entries {
+			switch err := s.enc.InsertBulk([]mindex.Entry{e}); {
+			case err == nil:
+				applied = append(applied, e)
+			case errors.Is(err, mindex.ErrDuplicateID):
+				// Already delivered before the crash; keep it.
+			default:
+				return err
+			}
+		}
+		return s.walAppend(wal.OpInsert, applied)
+	case wire.ResyncDelete:
+		if _, err := s.enc.Delete(op.Entries); err != nil {
+			return err
+		}
+		return s.walAppend(wal.OpDelete, op.Entries)
+	}
+	return fmt.Errorf("unknown resync op %d", op.Op)
 }
 
 // evalBatchQuery evaluates one query of a batched request against the index
@@ -722,11 +857,13 @@ func firstCellQuery(perm []int32, dists []float64, numPivots int) (mindex.Approx
 // merge per-node candidate streams exactly like the engine merges shards.
 // Range queries are exact and carry no ranking: their candidates return
 // with promise 0 and a nil prefix (the coordinator concatenates them
-// instead of merging).
-func (s *Server) evalBatchRanked(q wire.BatchQuery) ([]mindex.RankedCandidate, error) {
+// instead of merging). A non-nil filter restricts the evaluation to the
+// allowed first-level cells (the MsgFilteredQuery envelope); nil evaluates
+// the whole index.
+func (s *Server) evalBatchRanked(q wire.BatchQuery, filter mindex.PivotFilter) ([]mindex.RankedCandidate, error) {
 	switch q.Kind {
 	case wire.BatchRange:
-		entries, err := s.enc.RangeByDists(q.Dists, q.Radius)
+		entries, err := s.enc.RangeByDistsFiltered(q.Dists, q.Radius, filter)
 		if err != nil {
 			return nil, err
 		}
@@ -740,20 +877,20 @@ func (s *Server) evalBatchRanked(q wire.BatchQuery) ([]mindex.RankedCandidate, e
 			return nil, fmt.Errorf("request permutation is not a permutation of %d pivots",
 				s.enc.Config().NumPivots)
 		}
-		return s.enc.ApproxCandidatesRanked(
-			mindex.ApproxQuery{Ranks: pivot.Ranks(q.Perm)}, int(q.CandSize))
+		return s.enc.ApproxCandidatesRankedFiltered(
+			mindex.ApproxQuery{Ranks: pivot.Ranks(q.Perm)}, int(q.CandSize), filter)
 	case wire.BatchApproxDists:
-		return s.enc.ApproxCandidatesRanked(
+		return s.enc.ApproxCandidatesRankedFiltered(
 			mindex.ApproxQuery{
 				Dists: q.Dists,
 				Ranks: pivot.Ranks(pivot.Permutation(q.Dists)),
-			}, int(q.CandSize))
+			}, int(q.CandSize), filter)
 	case wire.BatchFirstCell:
 		aq, err := firstCellQuery(q.Perm, q.Dists, s.enc.Config().NumPivots)
 		if err != nil {
 			return nil, err
 		}
-		entries, promise, prefix, err := s.enc.FirstCellRanked(aq)
+		entries, promise, prefix, err := s.enc.FirstCellRankedFiltered(aq, filter)
 		if err != nil {
 			return nil, err
 		}

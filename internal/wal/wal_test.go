@@ -1,0 +1,247 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"simcloud/internal/mindex"
+)
+
+func testEntry(id uint64) mindex.Entry {
+	return mindex.Entry{
+		ID:      id,
+		Perm:    []int32{int32(id % 8), int32((id + 3) % 8), int32((id + 5) % 8)},
+		Dists:   []float64{float64(id) * 0.25, float64(id) * 0.5},
+		Payload: []byte{byte(id), byte(id >> 8), 0xAB},
+		Vec:     []float32{float32(id), float32(id) + 0.5},
+	}
+}
+
+func deleteRef(id uint64) mindex.Entry {
+	return mindex.Entry{ID: id, Perm: []int32{int32(id % 8)}}
+}
+
+func testRecords() []Record {
+	return []Record{
+		{Op: OpInsert, Entries: []mindex.Entry{testEntry(1), testEntry(2), testEntry(3)}},
+		{Op: OpInsert, Entries: []mindex.Entry{testEntry(4)}},
+		{Op: OpDelete, Entries: []mindex.Entry{deleteRef(2), deleteRef(4)}},
+	}
+}
+
+func mustOpen(t *testing.T, dir string, policy SyncPolicy) (*Log, []Record) {
+	t.Helper()
+	l, recs, err := Open(dir, policy)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return l, recs
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, recs := mustOpen(t, dir, SyncAlways)
+	if len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(recs))
+	}
+	want := testRecords()
+	for _, rec := range want {
+		if err := l.Append(rec); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	size := l.Size()
+	if size == 0 {
+		t.Fatal("Size() == 0 after appends")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, got := mustOpen(t, dir, SyncAlways)
+	defer l2.Close()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if l2.Size() != size {
+		t.Fatalf("reopened size %d, want %d", l2.Size(), size)
+	}
+	// Appends after reopen extend, not clobber.
+	extra := Record{Op: OpInsert, Entries: []mindex.Entry{testEntry(9)}}
+	if err := l2.Append(extra); err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+	l2.Close()
+	l3, got3 := mustOpen(t, dir, SyncAlways)
+	defer l3.Close()
+	if !reflect.DeepEqual(got3, append(want, extra)) {
+		t.Fatalf("replay after reopen-append mismatch: got %d records", len(got3))
+	}
+}
+
+// TestTornTailRecovery truncates the log at every byte offset of the final
+// record (header byte 1 through last payload byte) and asserts replay
+// recovers exactly the fully-written prefix — the crash-mid-append
+// guarantee — under both fsync policies.
+func TestTornTailRecovery(t *testing.T) {
+	for _, policy := range []SyncPolicy{SyncAlways, SyncNever} {
+		name := "always"
+		if policy == SyncNever {
+			name = "never"
+		}
+		t.Run(name, func(t *testing.T) {
+			master := t.TempDir()
+			l, _ := mustOpen(t, master, policy)
+			recs := testRecords()
+			prefix := recs[:len(recs)-1]
+			for _, rec := range prefix {
+				if err := l.Append(rec); err != nil {
+					t.Fatalf("Append: %v", err)
+				}
+			}
+			lastStart := l.Size()
+			if err := l.Append(recs[len(recs)-1]); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			full := l.Size()
+			l.Close()
+			data, err := os.ReadFile(filepath.Join(master, FileName))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int64(len(data)) != full {
+				t.Fatalf("file is %d bytes, Size() said %d", len(data), full)
+			}
+
+			for cut := lastStart; cut < full; cut++ {
+				dir := t.TempDir()
+				if err := os.WriteFile(filepath.Join(dir, FileName), data[:cut], 0o644); err != nil {
+					t.Fatal(err)
+				}
+				l2, got := mustOpen(t, dir, policy)
+				if !reflect.DeepEqual(got, prefix) {
+					t.Fatalf("cut at byte %d: recovered %d records, want the %d-record prefix",
+						cut, len(got), len(prefix))
+				}
+				// The torn tail must be gone from disk so the next append
+				// starts at a record boundary.
+				st, err := os.Stat(filepath.Join(dir, FileName))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st.Size() != lastStart {
+					t.Fatalf("cut at byte %d: file not truncated to %d (got %d)",
+						cut, lastStart, st.Size())
+				}
+				if err := l2.Append(recs[len(recs)-1]); err != nil {
+					t.Fatalf("cut at byte %d: append after recovery: %v", cut, err)
+				}
+				l2.Close()
+				_, again := mustOpen(t, dir, policy)
+				if !reflect.DeepEqual(again, recs) {
+					t.Fatalf("cut at byte %d: re-append then replay mismatch", cut)
+				}
+			}
+		})
+	}
+}
+
+// A flipped payload byte in a non-final record makes everything from that
+// record on a torn tail: replay keeps only the records before it.
+func TestCorruptMiddleRecord(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, SyncNever)
+	recs := testRecords()
+	var offsets []int64
+	for _, rec := range recs {
+		offsets = append(offsets, l.Size())
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	path := filepath.Join(dir, FileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[offsets[1]+8] ^= 0xFF // first payload byte of record 1
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, got := mustOpen(t, dir, SyncNever)
+	defer l2.Close()
+	if !reflect.DeepEqual(got, recs[:1]) {
+		t.Fatalf("recovered %d records after mid-log corruption, want 1", len(got))
+	}
+}
+
+func TestReset(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, SyncAlways)
+	for _, rec := range testRecords() {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if l.Size() != 0 {
+		t.Fatalf("Size() == %d after Reset", l.Size())
+	}
+	post := Record{Op: OpInsert, Entries: []mindex.Entry{testEntry(7)}}
+	if err := l.Append(post); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, got := mustOpen(t, dir, SyncAlways)
+	defer l2.Close()
+	if !reflect.DeepEqual(got, []Record{post}) {
+		t.Fatalf("replay after Reset: got %d records, want 1 (the post-Reset append)", len(got))
+	}
+}
+
+type fakeApplier struct {
+	inserted []mindex.Entry
+	deleted  []uint64
+}
+
+func (a *fakeApplier) InsertBulk(entries []mindex.Entry) error {
+	a.inserted = append(a.inserted, entries...)
+	return nil
+}
+
+func (a *fakeApplier) Delete(refs []mindex.Entry) (int, error) {
+	for _, r := range refs {
+		a.deleted = append(a.deleted, r.ID)
+	}
+	return len(refs), nil
+}
+
+func TestReplay(t *testing.T) {
+	var a fakeApplier
+	if err := Replay(testRecords(), &a); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(a.inserted) != 4 {
+		t.Fatalf("replayed %d inserts, want 4", len(a.inserted))
+	}
+	if !reflect.DeepEqual(a.deleted, []uint64{2, 4}) {
+		t.Fatalf("replayed deletes %v, want [2 4]", a.deleted)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	if p, err := ParseSyncPolicy("always"); err != nil || p != SyncAlways {
+		t.Fatalf("always: %v %v", p, err)
+	}
+	if p, err := ParseSyncPolicy("never"); err != nil || p != SyncNever {
+		t.Fatalf("never: %v %v", p, err)
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}

@@ -118,6 +118,20 @@ const (
 	// fully server-side (plain deployment), the non-encrypted counterpart
 	// of MsgFirstCell; answered with MsgResults.
 	MsgFirstCellPlain
+
+	// MsgFilteredQuery wraps an inner read request (MsgBatchRanked,
+	// MsgRangeDists or MsgDownloadAll) with a first-level pivot restriction:
+	// the server evaluates the inner request as if its index held only the
+	// entries whose Perm[0] is in the allowed set, and answers with the
+	// inner request's natural response type. A replicated coordinator uses
+	// it to assign each first-level Voronoi cell to exactly one live owner,
+	// so every entry is counted once no matter how many replicas hold it.
+	MsgFilteredQuery
+	// MsgResyncOps re-delivers the ordered write operations a node missed
+	// while it was down (coordinator re-admission). The node applies them
+	// idempotently — inserts of IDs it already holds are skipped — and
+	// answers MsgAck when its state has caught up.
+	MsgResyncOps
 )
 
 var msgNames = map[MsgType]string{
@@ -133,6 +147,7 @@ var msgNames = map[MsgType]string{
 	MsgHello: "hello", MsgHelloAck: "hello-ack",
 	MsgBatchRanked: "batch-ranked", MsgBatchRankedCandidates: "batch-ranked-candidates",
 	MsgDeleteObjects: "delete-objects", MsgFirstCellPlain: "first-cell-plain",
+	MsgFilteredQuery: "filtered-query", MsgResyncOps: "resync-ops",
 }
 
 // String implements fmt.Stringer.

@@ -80,6 +80,12 @@ func FuzzDecodeRequests(f *testing.F) {
 	}}}.Encode())
 	f.Add(DeleteObjectsReq{IDs: []uint64{1, 2, 3}}.Encode())
 	f.Add(FirstCellPlainReq{Q: metric.Vector{1, 2}, K: 4}.Encode())
+	f.Add(FilteredReq{Allow: []int32{0, 3, 5}, Inner: MsgBatchRanked,
+		Payload: BatchQueryReq{Queries: []BatchQuery{{Kind: BatchRange, Dists: []float64{1}, Radius: 2}}}.Encode()}.Encode())
+	f.Add(ResyncReq{Ops: []ResyncOp{
+		{Op: ResyncInsert, Entries: []mindex.Entry{{ID: 1, Perm: []int32{0, 1}, Payload: []byte{9}}}},
+		{Op: ResyncDelete, Entries: []mindex.Entry{{ID: 2, Perm: []int32{1}}}},
+	}}.Encode())
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// None of these may panic; errors are fine.
@@ -109,5 +115,7 @@ func FuzzDecodeRequests(f *testing.F) {
 		_, _ = DecodeBatchRankedResp(data)
 		_, _ = DecodeDeleteObjectsReq(data)
 		_, _ = DecodeFirstCellPlainReq(data)
+		_, _ = DecodeFilteredReq(data)
+		_, _ = DecodeResyncReq(data)
 	})
 }
