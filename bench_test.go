@@ -25,11 +25,13 @@ import (
 	"simcloud/internal/core"
 	"simcloud/internal/dataset"
 	"simcloud/internal/engine"
+	"simcloud/internal/metric"
 	"simcloud/internal/mindex"
 	"simcloud/internal/pivot"
 	"simcloud/internal/secret"
 	"simcloud/internal/server"
 	"simcloud/internal/stats"
+	"simcloud/internal/wal"
 )
 
 func newRNG(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, 0xBE7C)) }
@@ -351,6 +353,8 @@ var (
 	shardBenchEntries []mindex.Entry
 	shardBenchQueries []mindex.ApproxQuery
 	shardBenchDists   [][]float64
+	shardBenchObjects []metric.Object
+	shardBenchPivots  *pivot.Set
 )
 
 func shardBenchSetup() {
@@ -359,6 +363,8 @@ func shardBenchSetup() {
 		ds := dataset.Clustered(2024, 20000, 8, 12, L2())
 		rng := newRNG(2024)
 		pv := pivot.SelectRandom(rng, ds.Dist, ds.Objects, pivots)
+		shardBenchObjects = ds.Objects
+		shardBenchPivots = pv
 		for _, o := range ds.Objects {
 			dists := pv.Distances(o.Vec)
 			shardBenchEntries = append(shardBenchEntries, mindex.Entry{
@@ -451,6 +457,133 @@ func BenchmarkShardedVsSingle(b *testing.B) {
 					}
 				}
 			})
+		})
+	}
+}
+
+// BenchmarkBulkLoad measures bulk-ingest throughput at two layers.
+//
+// The engine group is in-core: the bottom-up builder (one InsertBulk call,
+// every shard group crosses the builder threshold) against the incremental
+// per-entry path (chunks below the threshold — the pre-PR InsertBulk
+// algorithm, kept as the builder's reference implementation). Both produce
+// byte-identical snapshots (TestBulkBuildShardEquivalence).
+//
+// The pipeline group is end to end over loopback TCP with a WAL attached:
+// "batch" is the pre-PR ingest pipeline — stop-and-wait InsertContext
+// chunks of the paper's bulk size with -wal-sync always, one fsync per
+// chunk — while "stream" is the new one — pipelined ingest-chunk frames
+// under windowed acks with WAL group commit, one fsync per window plus the
+// end-of-stream flush, so both runs end with the same durability. The
+// stream/batch ratio at shards=1 is the PR's ingest speedup, gated in CI
+// by cmd/benchgate -speedup-min. Shard counts beyond 1 add the parallel
+// per-shard builds; with -cpu 4,8 on a multi-core host they overlap, on
+// one core the numbers bound the fan-out overhead instead.
+func BenchmarkBulkLoad(b *testing.B) {
+	shardBenchSetup()
+	load := func(b *testing.B, storage mindex.StorageKind, shards, chunk int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cfg := shardBenchConfig(shards)
+			cfg.Storage = storage
+			if storage == mindex.StorageDisk {
+				cfg.DiskPath = b.TempDir()
+			}
+			b.StartTimer()
+			eng, err := engine.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for off := 0; off < len(shardBenchEntries); off += chunk {
+				end := min(off+chunk, len(shardBenchEntries))
+				if err := eng.InsertBulk(shardBenchEntries[off:end]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if eng.Size() != len(shardBenchEntries) {
+				b.Fatal("lost entries")
+			}
+			eng.Close()
+		}
+		b.ReportMetric(float64(len(shardBenchEntries))*float64(b.N)/b.Elapsed().Seconds(), "entries/s")
+	}
+	for _, storage := range []mindex.StorageKind{mindex.StorageMemory, mindex.StorageDisk} {
+		// Chunks of 15 stay below mindex's builder threshold, so every entry
+		// takes the per-entry append/split path — the pre-builder baseline.
+		b.Run(fmt.Sprintf("engine/%s/incremental/shards=1", storage), func(b *testing.B) {
+			load(b, storage, 1, 15)
+		})
+		for _, shards := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("engine/%s/builder/shards=%d", storage, shards), func(b *testing.B) {
+				load(b, storage, shards, len(shardBenchEntries))
+			})
+		}
+	}
+
+	key, err := secret.Generate(shardBenchPivots, secret.ModeCTRHMAC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipeline := func(b *testing.B, shards int, policy wal.SyncPolicy, stream bool) {
+		objs := shardBenchObjects
+		opts := core.Options{MaxLevel: 6, Ranking: mindex.RankFootrule}
+		if stream {
+			// The streamed mode ships construction-bulk-sized frames (the
+			// paper's bulk size) under the ack window; the batch mode keeps
+			// the pre-PR default of 64-entry pipelined frames, each of which
+			// the server WAL-appends (and, under -wal-sync always, fsyncs).
+			opts.BatchChunk = 1000
+		}
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			srv, err := server.NewEncrypted(shardBenchConfig(shards))
+			if err != nil {
+				b.Fatal(err)
+			}
+			l, _, err := wal.Open(b.TempDir(), policy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv.AttachWAL(l)
+			if err := srv.Start("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			client, err := core.DialEncrypted(srv.Addr(), key, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if stream {
+				if _, err := client.InsertStream(objs); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				const bulk = 1000 // the paper's construction bulk size
+				for off := 0; off < len(objs); off += bulk {
+					end := min(off+bulk, len(objs))
+					if _, err := client.Insert(objs[off:end]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			if got := srv.Index().Size(); got != len(objs) {
+				b.Fatalf("server holds %d entries, want %d", got, len(objs))
+			}
+			client.Close()
+			srv.Close()
+			l.Close()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(len(shardBenchObjects))*float64(b.N)/b.Elapsed().Seconds(), "objs/s")
+	}
+	b.Run("pipeline/batch/shards=1", func(b *testing.B) {
+		pipeline(b, 1, wal.SyncAlways, false)
+	})
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("pipeline/stream/shards=%d", shards), func(b *testing.B) {
+			pipeline(b, shards, wal.SyncGroup, true)
 		})
 	}
 }

@@ -38,6 +38,17 @@
 //     a baseline recorded elsewhere; CI leaves it off and relies on
 //     -scale-limit.
 //
+//   - -speedup-min F (needs -speedup-base and -speedup-new): within the
+//     CURRENT run, the median ns/op pooled over benchmarks matching
+//     -speedup-base must be at least F x the median pooled over those
+//     matching -speedup-new. This gates an in-run A/B pair — e.g. the
+//     bulk builder against the incremental ingest baseline measured in
+//     the same BenchmarkBulkLoad invocation — so, like -scale-limit, it
+//     holds on any machine without a cross-machine baseline. Pick F below
+//     the committed headline ratio: both sides jitter on loaded CI
+//     runners, and the gate is for catching the optimization rotting
+//     away, not for re-proving the paper number every push.
+//
 // A gate that finds nothing to check fails: an empty run means the bench
 // regex or the baseline rotted, and a gate that silently checks nothing is
 // worse than no gate.
@@ -75,6 +86,9 @@ func main() {
 		allocSlack   = flag.Float64("alloc-slack", 0, "max allocs/op as a multiple of baseline (0 = off)")
 		allocExclude = flag.String("alloc-exclude", "", "regexp of benchmark names to skip in the alloc gate")
 		nsRatio      = flag.Float64("ns-ratio", 0, "max ns/op as a multiple of baseline — same-machine runs only (0 = off)")
+		speedupBase  = flag.String("speedup-base", "", "regexp of the slow side of the in-run speedup gate")
+		speedupNew   = flag.String("speedup-new", "", "regexp of the fast side of the in-run speedup gate")
+		speedupMin   = flag.Float64("speedup-min", 0, "min median ns/op ratio base/new within the current run (0 = off)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -82,12 +96,26 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if *scaleLimit == 0 && *allocSlack == 0 && *nsRatio == 0 {
-		fmt.Fprintln(os.Stderr, "benchgate: no gate enabled (set -scale-limit, -alloc-slack or -ns-ratio)")
+	if *scaleLimit == 0 && *allocSlack == 0 && *nsRatio == 0 && *speedupMin == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no gate enabled (set -scale-limit, -alloc-slack, -ns-ratio or -speedup-min)")
 		os.Exit(2)
 	}
 	if (*allocSlack != 0 || *nsRatio != 0) && *baseline == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -alloc-slack and -ns-ratio need -baseline")
+		os.Exit(2)
+	}
+	if *speedupMin != 0 && (*speedupBase == "" || *speedupNew == "") {
+		fmt.Fprintln(os.Stderr, "benchgate: -speedup-min needs -speedup-base and -speedup-new")
+		os.Exit(2)
+	}
+	baseRE, err := compileOptional(*speedupBase)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: -speedup-base: %v\n", err)
+		os.Exit(2)
+	}
+	newRE, err := compileOptional(*speedupNew)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: -speedup-new: %v\n", err)
 		os.Exit(2)
 	}
 	exclude, err := compileOptional(*allocExclude)
@@ -121,6 +149,9 @@ func main() {
 
 	if *scaleLimit > 0 {
 		scaleGate(current, *scaleLimit, *scaleProcs, pass, fail)
+	}
+	if *speedupMin > 0 {
+		speedupGate(current, baseRE, newRE, *speedupMin, pass, fail)
 	}
 	if *allocSlack > 0 {
 		gateAgainstBaseline(current, base, "allocs/op", exclude, func(k key, cur, b float64) {
@@ -183,6 +214,56 @@ func scaleGate(current map[key][]run, limit float64, procsFlag int, pass, fail f
 		fail("scale gate: no benchmark family measured at multiple proc counts — was -cpu 1,4,8 dropped?")
 	} else if usable == 0 {
 		fmt.Printf("note  scale gate: %d families skipped — rerun on a machine with more cores for a meaningful curve\n", families)
+	}
+}
+
+// speedupGate checks the in-run A/B ratio: median ns/op over benchmarks
+// matching baseRE divided by the median over those matching newRE must be
+// at least minRatio. Both sides come from one run on one machine, so the
+// gate carries across hardware; a side that matches nothing fails loudly.
+func speedupGate(current map[key][]run, baseRE, newRE *regexp.Regexp, minRatio float64, pass, fail func(string, ...any)) {
+	pool := func(re *regexp.Regexp) (float64, []string) {
+		var vals []float64
+		var names []string
+		for _, k := range sortedKeys(current) {
+			if !re.MatchString(k.name) {
+				continue
+			}
+			for _, r := range current[k] {
+				if v, ok := r["ns/op"]; ok {
+					vals = append(vals, v)
+				}
+			}
+			names = append(names, k.String())
+		}
+		sort.Float64s(vals)
+		n := len(vals)
+		switch {
+		case n == 0:
+			return 0, names
+		case n%2 == 1:
+			return vals[n/2], names
+		default:
+			return (vals[n/2-1] + vals[n/2]) / 2, names
+		}
+	}
+	baseNs, baseNames := pool(baseRE)
+	newNs, newNames := pool(newRE)
+	if len(baseNames) == 0 || baseNs == 0 {
+		fail("speedup gate: -speedup-base %q matched no ns/op results", baseRE)
+		return
+	}
+	if len(newNames) == 0 || newNs == 0 {
+		fail("speedup gate: -speedup-new %q matched no ns/op results", newRE)
+		return
+	}
+	ratio := baseNs / newNs
+	line := fmt.Sprintf("speedup: %s (%.0f ns/op) / %s (%.0f ns/op) = %.2fx (min %.2fx)",
+		strings.Join(baseNames, ","), baseNs, strings.Join(newNames, ","), newNs, ratio, minRatio)
+	if ratio < minRatio {
+		fail("%s — the bulk path lost its edge over the baseline", line)
+	} else {
+		pass("%s", line)
 	}
 }
 

@@ -93,6 +93,9 @@ func run() int {
 		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 		timeout = flag.Duration("timeout", 0, "per-query deadline through the context-aware Search API (0 = no deadline)")
 
+		load   = flag.Bool("load", false, "measure the bulk-ingest pipelines (batch vs stream) on -dataset instead of tables")
+		shards = flag.Int("shards", 1, "bulk load: engine shard count")
+
 		workers   = flag.Int("workers", 0, "run a closed-loop concurrent load test with this many workers instead of tables")
 		dataset   = flag.String("dataset", "YEAST", "load test data set: YEAST, HUMAN or CoPhIR")
 		duration  = flag.Duration("duration", 10*time.Second, "load test measurement window")
@@ -200,6 +203,22 @@ func run() int {
 			Seed:     *seed,
 			Log:      opts.Log,
 		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			return 1
+		}
+		rep.Render(os.Stdout)
+		if err := writeJSON(rep.JSONDocument()); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "simbench: done in %s\n", bench.Elapsed(start))
+		return 0
+	}
+
+	if *load {
+		start := time.Now()
+		rep, err := bench.BulkLoad(opts, *dataset, *shards)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
 			return 1

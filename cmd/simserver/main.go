@@ -57,7 +57,7 @@ func main() {
 		autoComp = flag.Float64("auto-compact", 0, "compact a shard when its tombstoned fraction reaches this value in [0,1); 0 leaves compaction to restarts")
 		eager    = flag.Bool("eager-root-split", false, "split the root cell on the first insert; required when this server joins a multi-node simcoord cluster (implied by -shards > 1)")
 		walDir   = flag.String("wal-dir", "", "write-ahead log directory (encrypted mode): every mutation is logged before it is acknowledged, and a restart replays the log")
-		walSync  = flag.String("wal-sync", "always", "WAL durability: always (fsync each append) or never (OS page cache)")
+		walSync  = flag.String("wal-sync", "always", "WAL durability: always (fsync each append), group (one fsync per commit window — streamed ingests flush before the final ack) or never (OS page cache)")
 	)
 	flag.Parse()
 

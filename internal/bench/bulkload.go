@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"simcloud/internal/core"
+	"simcloud/internal/secret"
+	"simcloud/internal/server"
+	"simcloud/internal/wal"
+)
+
+// BulkLoadMode is one measured ingest pipeline: the pre-streaming shape
+// (stop-and-wait Insert bulks, -wal-sync always) or the streaming one
+// (pipelined InsertStream under windowed acks, -wal-sync group).
+type BulkLoadMode struct {
+	Name    string // "batch" or "stream"
+	WALSync string // the -wal-sync policy the mode ran under
+	Objects int
+	Elapsed time.Duration
+}
+
+// Throughput is the mode's ingest rate in objects/s.
+func (m BulkLoadMode) Throughput() float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return float64(m.Objects) / m.Elapsed.Seconds()
+}
+
+// BulkLoadReport compares the two ingest pipelines end to end — encrypted
+// client over loopback TCP into a WAL-attached server — on one evaluation
+// data set. Both modes end with the same durability: every accepted entry
+// is WAL-logged and fsynced before the final ack.
+type BulkLoadReport struct {
+	Spec   string
+	Shards int
+	Bulk   int // client-side bulk/chunk size (the paper's construction bulk)
+	Modes  []BulkLoadMode
+}
+
+// Speedup is stream throughput over batch throughput (0 until both ran).
+func (r *BulkLoadReport) Speedup() float64 {
+	var batch, stream float64
+	for _, m := range r.Modes {
+		switch m.Name {
+		case "batch":
+			batch = m.Throughput()
+		case "stream":
+			stream = m.Throughput()
+		}
+	}
+	if batch == 0 {
+		return 0
+	}
+	return stream / batch
+}
+
+// Render writes the human-readable report.
+func (r *BulkLoadReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "Bulk load: %s, shards=%d, bulk=%d, encrypted deployment, WAL attached\n",
+		r.Spec, r.Shards, r.Bulk)
+	fmt.Fprintf(w, "  %-8s %-8s %10s %12s %12s\n", "mode", "wal-sync", "objects", "elapsed", "objs/s")
+	for _, m := range r.Modes {
+		fmt.Fprintf(w, "  %-8s %-8s %10d %12s %12.0f\n",
+			m.Name, m.WALSync, m.Objects, m.Elapsed.Round(time.Millisecond), m.Throughput())
+	}
+	if s := r.Speedup(); s > 0 {
+		fmt.Fprintf(w, "  stream/batch speedup: %.2fx\n", s)
+	}
+}
+
+// JSONDocument renders the report machine-readably: one result per mode
+// (objs_per_s, elapsed_ms) plus the stream/batch speedup, named so
+// cmd/benchjson history files line up across commits.
+func (r *BulkLoadReport) JSONDocument() *JSONDocument {
+	doc := newJSONDocument()
+	for _, m := range r.Modes {
+		doc.Results = append(doc.Results, JSONResult{
+			Name:       fmt.Sprintf("BulkLoad/%s/%s/shards=%d", r.Spec, m.Name, r.Shards),
+			Iterations: 1,
+			Metrics: map[string]float64{
+				"objs_per_s": m.Throughput(),
+				"elapsed_ms": float64(m.Elapsed.Milliseconds()),
+			},
+		})
+	}
+	if s := r.Speedup(); s > 0 {
+		doc.Results = append(doc.Results, JSONResult{
+			Name:       fmt.Sprintf("BulkLoad/%s/speedup/shards=%d", r.Spec, r.Shards),
+			Iterations: 1,
+			Metrics:    map[string]float64{"stream_over_batch": s},
+		})
+	}
+	return doc
+}
+
+// BulkLoad measures both ingest pipelines end to end on the named
+// evaluation data set: a fresh encrypted server (with a WAL attached) per
+// mode, the whole collection pushed through the client, wall clock around
+// the inserts only. The batch mode reproduces the pre-streaming pipeline —
+// stop-and-wait Insert bulks with -wal-sync always, one fsync per wire
+// frame — while the stream mode runs pipelined InsertStream frames under
+// windowed acks with -wal-sync group.
+func BulkLoad(o Options, specName string, shards int) (*BulkLoadReport, error) {
+	o = o.withDefaults()
+	if shards < 1 {
+		shards = 1
+	}
+	s, err := SpecByName(specName)
+	if err != nil {
+		return nil, err
+	}
+	ds := s.Load(o)
+	objs := ds.Objects
+	rep := &BulkLoadReport{Spec: ds.Name, Shards: shards, Bulk: o.BulkSize}
+
+	run := func(mode string, policy wal.SyncPolicy) error {
+		cfg := s.Cfg
+		cfg.Shards = shards
+		cfg, tmp, err := preparedCfg(cfg)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if tmp != "" {
+				os.RemoveAll(tmp)
+			}
+		}()
+		walDir, err := os.MkdirTemp("", "simcloud-wal-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(walDir)
+		pv := selectPivots(ds, cfg.NumPivots, o.Seed)
+		key, err := secret.Generate(pv, secret.ModeCTRHMAC)
+		if err != nil {
+			return err
+		}
+		srv, err := server.NewEncrypted(cfg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		l, _, err := wal.Open(walDir, policy)
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+		srv.AttachWAL(l)
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			return err
+		}
+		opts := core.Options{MaxLevel: cfg.MaxLevel, Ranking: cfg.Ranking}
+		if mode == "stream" {
+			opts.BatchChunk = o.BulkSize
+		}
+		client, err := core.DialEncrypted(srv.Addr(), key, opts)
+		if err != nil {
+			return err
+		}
+		defer client.Close()
+
+		o.logf("load: %s mode (wal-sync %s): inserting %d objects...", mode, policy, len(objs))
+		start := time.Now()
+		if mode == "stream" {
+			if _, err := client.InsertStream(objs); err != nil {
+				return err
+			}
+		} else {
+			for off := 0; off < len(objs); off += o.BulkSize {
+				end := min(off+o.BulkSize, len(objs))
+				if _, err := client.Insert(objs[off:end]); err != nil {
+					return err
+				}
+			}
+		}
+		elapsed := time.Since(start)
+		if got := srv.Index().Size(); got != len(objs) {
+			return fmt.Errorf("bench: %s load holds %d of %d objects", mode, got, len(objs))
+		}
+		rep.Modes = append(rep.Modes, BulkLoadMode{
+			Name: mode, WALSync: policy.String(), Objects: len(objs), Elapsed: elapsed,
+		})
+		return nil
+	}
+
+	if err := run("batch", wal.SyncAlways); err != nil {
+		return nil, err
+	}
+	if err := run("stream", wal.SyncGroup); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

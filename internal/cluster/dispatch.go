@@ -46,11 +46,28 @@ func (c *Coordinator) handle(typ wire.MsgType, payload []byte, start time.Time) 
 		if err != nil {
 			return 0, nil, err
 		}
-		insert := c.insertEntries
-		if c.replicated() {
-			insert = c.insertReplicated
+		if err := c.fanInsert(c.ctx, req.Entries, false); err != nil {
+			return 0, nil, err
 		}
-		if err := insert(c.ctx, req.Entries); err != nil {
+		return wire.MsgAck, wire.AckResp{ServerNanos: c.serverNanos(start)}.Encode(), nil
+
+	case wire.MsgIngestChunk:
+		req, err := wire.DecodeIngestChunkReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		if err := c.fanInsert(c.ctx, req.Entries, true); err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgIngestChunkAck, wire.IngestChunkAckResp{
+			Seq: req.Seq, ServerNanos: c.serverNanos(start),
+		}.Encode(), nil
+
+	case wire.MsgIngestEnd:
+		if _, err := wire.DecodeIngestEndReq(payload); err != nil {
+			return 0, nil, err
+		}
+		if err := c.flushIngest(c.ctx); err != nil {
 			return 0, nil, err
 		}
 		return wire.MsgAck, wire.AckResp{ServerNanos: c.serverNanos(start)}.Encode(), nil
@@ -178,13 +195,39 @@ func (c *Coordinator) group(entries []mindex.Entry, targets []*node) ([][]mindex
 	return groups, nil
 }
 
+// fanInsert routes one insert batch to the nodes, replicated or not.
+// stream selects the node-ward frame: false ships the plain bulk form
+// (MsgInsertEntries), true ships the same entries as a MsgIngestChunk —
+// so a streamed client ingest stays streamed on the node hop, where a
+// group-commit WAL amortizes fsyncs until the forwarded end-of-stream
+// flush (see flushIngest).
+func (c *Coordinator) fanInsert(ctx context.Context, entries []mindex.Entry, stream bool) error {
+	if c.replicated() {
+		return c.insertReplicated(ctx, entries, stream)
+	}
+	return c.insertEntries(ctx, entries, stream)
+}
+
+// insertFrame builds the node-ward frame of one insert delivery: request
+// type, expected ack type and payload, in the bulk or streamed form. The
+// streamed form carries sequence number 0 — node connections are shared
+// round-trip-serialized pipes multiplexing every client, so the coordinator
+// forwards each chunk as its own one-chunk stream and the nodes (by design)
+// ignore chunk numbering.
+func insertFrame(entries []mindex.Entry, stream bool) (t, want wire.MsgType, payload []byte) {
+	if stream {
+		return wire.MsgIngestChunk, wire.MsgIngestChunkAck, wire.IngestChunkReq{Entries: entries}.Encode()
+	}
+	return wire.MsgInsertEntries, wire.MsgAck, wire.InsertEntriesReq{Entries: entries}.Encode()
+}
+
 // insertEntries routes the batch over the live nodes and retries with
 // exclusion on node failure: entries whose node died mid-operation are
 // re-routed over the surviving nodes until every entry landed or no node
 // is left. A node that died after applying its group but before
 // acknowledging leaves those entries inserted twice (on the dead node and
 // on a survivor) — at-least-once semantics; see DESIGN.md §Distribution.
-func (c *Coordinator) insertEntries(ctx context.Context, entries []mindex.Entry) error {
+func (c *Coordinator) insertEntries(ctx context.Context, entries []mindex.Entry, stream bool) error {
 	remaining := entries
 	for len(remaining) > 0 {
 		// Cancellation check between re-routing waves: a shutdown (or a
@@ -206,8 +249,8 @@ func (c *Coordinator) insertEntries(ctx context.Context, entries []mindex.Entry)
 			if len(groups[i]) == 0 {
 				return nil
 			}
-			respType, resp, err := targets[i].roundTrip(ctx, wire.MsgInsertEntries,
-				wire.InsertEntriesReq{Entries: groups[i]}.Encode(), c.opts.NodeTimeout)
+			t, want, payload := insertFrame(groups[i], stream)
+			respType, resp, err := targets[i].roundTrip(ctx, t, payload, c.opts.NodeTimeout)
 			if err != nil {
 				if isNodeDown(err) {
 					c.opts.Logf("simcoord: %v; re-routing %d entries", err, len(groups[i]))
@@ -216,8 +259,12 @@ func (c *Coordinator) insertEntries(ctx context.Context, entries []mindex.Entry)
 				}
 				return err
 			}
-			if respType != wire.MsgAck {
+			if respType != want {
 				return fmt.Errorf("cluster: node %s: unexpected insert response %v", targets[i].addr, respType)
+			}
+			if stream {
+				_, aerr := wire.DecodeIngestChunkAckResp(resp)
+				return aerr
 			}
 			_, aerr := wire.DecodeAckResp(resp)
 			return aerr
@@ -228,6 +275,28 @@ func (c *Coordinator) insertEntries(ctx context.Context, entries []mindex.Entry)
 		remaining = remaining[:0:0]
 		for _, g := range failed {
 			remaining = append(remaining, g...)
+		}
+	}
+	return nil
+}
+
+// flushIngest forwards a client's end-of-stream frame to every live node,
+// so the final ack the coordinator returns carries the same durability
+// promise a single server gives: every streamed chunk applied and
+// WAL-flushed. A down node's missed chunks sit in its re-sync journal and
+// reach it during re-admission, with the node's own WAL policy governing
+// their durability — the same window the SyncNever tail already has.
+func (c *Coordinator) flushIngest(ctx context.Context) error {
+	replies, err := c.broadcast(ctx, wire.MsgIngestEnd, wire.IngestEndReq{}.Encode())
+	if err != nil {
+		return err
+	}
+	for _, rep := range replies {
+		if rep.typ != wire.MsgAck {
+			return fmt.Errorf("cluster: unexpected ingest-end response %v", rep.typ)
+		}
+		if _, err := wire.DecodeAckResp(rep.payload); err != nil {
+			return err
 		}
 	}
 	return nil

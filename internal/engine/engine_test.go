@@ -281,11 +281,17 @@ func TestConcurrentHammer(t *testing.T) {
 	}
 	// Readers: hammer searches while inserts are in flight. Results are
 	// unspecified mid-ingest; only absence of races/errors matters here.
+	// The iteration count is bounded (not run-until-stopped) so the test
+	// cannot livelock on a single-CPU machine: an unbounded query loop
+	// ping-pongs with the fan-out pool workers through channel handoffs,
+	// and the Go scheduler can keep that pair hot while the writer
+	// goroutines starve — with finite reader work, the writers always get
+	// the CPU eventually and the stop channel merely ends readers early.
 	for r := range 4 {
 		readerWg.Add(1)
 		go func() {
 			defer readerWg.Done()
-			for i := 0; ; i++ {
+			for i := 0; i < 300; i++ {
 				select {
 				case <-stop:
 					return
@@ -899,12 +905,15 @@ func TestMutationRaceHammer(t *testing.T) {
 			}
 		}()
 	}
-	// Searchers hammer all query paths while the mutators run.
+	// Searchers hammer all query paths while the mutators run. Bounded
+	// iterations, for the same single-CPU livelock reason as
+	// TestConcurrentHammer's readers: an unbounded query loop can starve
+	// the mutator goroutines forever, and stop then never closes.
 	for r := range 3 {
 		searchWg.Add(1)
 		go func() {
 			defer searchWg.Done()
-			for i := 0; ; i++ {
+			for i := 0; i < 300; i++ {
 				select {
 				case <-stop:
 					return

@@ -471,6 +471,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		`simgate_queries_total{tenant="t1"} 5`,
 		`simgate_request_seconds_count 5`,
 		`simgate_engine_live{tenant="t1"} 800`,
+		`simgate_ingest_entries_total{tenant="t1"} 800`,
 		"# TYPE simgate_request_seconds histogram",
 		`simgate_request_seconds_bucket{le="+Inf"} 5`,
 	} {

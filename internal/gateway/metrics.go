@@ -134,6 +134,12 @@ func writeBackendHeader(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE simgate_cache_hits_total counter\n")
 	fmt.Fprintf(w, "# HELP simgate_cache_misses_total Disk bucket-cache misses.\n")
 	fmt.Fprintf(w, "# TYPE simgate_cache_misses_total counter\n")
+	fmt.Fprintf(w, "# HELP simgate_ingest_entries_total Entries accepted by the backend's insert paths.\n")
+	fmt.Fprintf(w, "# TYPE simgate_ingest_entries_total counter\n")
+	fmt.Fprintf(w, "# HELP simgate_ingest_builds_total Bulk batches that took the bottom-up builder.\n")
+	fmt.Fprintf(w, "# TYPE simgate_ingest_builds_total counter\n")
+	fmt.Fprintf(w, "# HELP simgate_ingest_bytes_total Encoded bytes of accepted entries.\n")
+	fmt.Fprintf(w, "# TYPE simgate_ingest_bytes_total counter\n")
 	fmt.Fprintf(w, "# HELP simgate_pool_idle Idle connections in the tenant's lease pool.\n")
 	fmt.Fprintf(w, "# TYPE simgate_pool_idle gauge\n")
 	fmt.Fprintf(w, "# HELP simgate_pool_leased Leased (in-flight) connections in the tenant's lease pool.\n")
@@ -153,6 +159,9 @@ func writeBackendStats(w io.Writer, name string, s core.Stats) {
 	}
 	fmt.Fprintf(w, "simgate_cache_hits_total{tenant=%q} %d\n", name, s.Cache.Hits)
 	fmt.Fprintf(w, "simgate_cache_misses_total{tenant=%q} %d\n", name, s.Cache.Misses)
+	fmt.Fprintf(w, "simgate_ingest_entries_total{tenant=%q} %d\n", name, s.Ingest.Entries)
+	fmt.Fprintf(w, "simgate_ingest_builds_total{tenant=%q} %d\n", name, s.Ingest.Builds)
+	fmt.Fprintf(w, "simgate_ingest_bytes_total{tenant=%q} %d\n", name, s.Ingest.Bytes)
 	fmt.Fprintf(w, "simgate_pool_idle{tenant=%q} %d\n", name, s.Pool.Idle)
 	fmt.Fprintf(w, "simgate_pool_leased{tenant=%q} %d\n", name, s.Pool.Leased)
 	fmt.Fprintf(w, "simgate_pool_dialed_total{tenant=%q} %d\n", name, s.Pool.Dialed)

@@ -193,15 +193,26 @@ type Index struct {
 	// acquire it. The fields below are writer-private state guarded by it.
 	wmu sync.Mutex
 	// loc maps every physically stored entry (live or tombstoned) to its
-	// leaf cell prefix and arrival sequence number. nil after a snapshot
-	// restore until the first mutation rebuilds it from the buckets
-	// (queries never need it).
+	// leaf cell prefix and arrival sequence number. LoadSnapshot pre-warms
+	// it eagerly (queries never need it, but mutations do — the eager walk
+	// keeps the first post-restore mutation at steady-state latency);
+	// ensureLoc remains the backstop for any path that leaves it nil.
 	loc     map[uint64]entryLoc
 	nextSeq uint64
+	// txnGen hands out transaction ownership stamps (see txn.gen).
+	// Mutated only under wmu.
+	txnGen uint64
 	// dirty records that deletions or updates have driven the tree away
 	// from the canonical shape a fresh build of the surviving entries would
 	// have; Compact restores it.
 	dirty bool
+
+	// Ingest counters: entries accepted through the insert paths, builder-
+	// path batches, and the encoded bytes those entries occupy. Written by
+	// mutators (under wmu), read lock-free by IngestStats.
+	ingestEntries atomic.Uint64
+	ingestBuilds  atomic.Uint64
+	ingestBytes   atomic.Uint64
 
 	// pqPool recycles promise-queue backing arrays across searches so the
 	// steady-state query path allocates no traversal state (see search.go).
@@ -277,6 +288,10 @@ type node struct {
 	// keeps pruning correct (conservative) until Compact recomputes them.
 	rmin, rmax  float64
 	boundsValid bool
+
+	// gen is the ownership stamp of the transaction that created or cloned
+	// this node version (see txn.gen). Runtime-only — never serialized.
+	gen uint64
 }
 
 // live returns the number of non-tombstoned entries in the subtree.
@@ -396,7 +411,9 @@ var ErrDuplicateID = errors.New("mindex: entry ID already indexed")
 // configuration without mutating anything — the same checks Insert
 // applies. Update runs it before tombstoning the entry it replaces, so an
 // invalid replacement cannot destroy the existing record.
-func (ix *Index) CheckEntry(e Entry) error {
+func (ix *Index) CheckEntry(e Entry) error { return ix.checkEntry(&e) }
+
+func (ix *Index) checkEntry(e *Entry) error {
 	if len(e.Perm) < ix.cfg.MaxLevel {
 		return fmt.Errorf("mindex: entry permutation has %d elements, need at least MaxLevel=%d",
 			len(e.Perm), ix.cfg.MaxLevel)
@@ -428,15 +445,23 @@ func (ix *Index) CheckEntry(e Entry) error {
 //     the shared cell before touching the store, so a re-check of the pin
 //     must succeed.
 func (ix *Index) leafView(n *node) ([]Entry, error) {
+	return ix.leafViewN(n, n.count)
+}
+
+// leafViewN is leafView for an explicit entry count at most n.count. The
+// bulk builder reads a touched leaf's pre-batch content with it: the node
+// clone's count already includes the batch entries the build has routed
+// here, but the store still holds only the pre-batch prefix.
+func (ix *Index) leafViewN(n *node, count int) ([]Entry, error) {
 	if p := n.pin.v.Load(); p != nil {
-		return (*p)[:n.count], nil
+		return (*p)[:count], nil
 	}
 	v, era, err := viewVersioned(ix.store, n.bucket)
-	if err == nil && era == n.era && len(v) >= n.count {
-		return v[:n.count], nil
+	if err == nil && era == n.era && len(v) >= count {
+		return v[:count], nil
 	}
 	if p := n.pin.v.Load(); p != nil {
-		return (*p)[:n.count], nil
+		return (*p)[:count], nil
 	}
 	if err != nil {
 		return nil, err
@@ -482,6 +507,44 @@ func (ix *Index) CacheStats() (hits, misses uint64, ok bool) {
 	}
 	hits, misses, _ = cs.CacheStats()
 	return hits, misses, true
+}
+
+// IngestStats describes what the insert paths have accepted since the
+// index opened: entries admitted through Insert/InsertBulk, how many
+// batches took the bottom-up builder (see bulk.go), and the encoded bytes
+// those entries occupy in the bucket store. Counters start at zero on every
+// open — including a snapshot restore — so they measure this process's
+// ingest work, not the collection's lifetime.
+type IngestStats struct {
+	Entries uint64
+	Builds  uint64
+	Bytes   uint64
+}
+
+// IngestStats reports the ingest counters. Lock-free, like every read.
+func (ix *Index) IngestStats() IngestStats {
+	return IngestStats{
+		Entries: ix.ingestEntries.Load(),
+		Builds:  ix.ingestBuilds.Load(),
+		Bytes:   ix.ingestBytes.Load(),
+	}
+}
+
+// recordIngest credits n accepted entries (the first n of entries) to the
+// ingest counters. Callers hold wmu.
+func (ix *Index) recordIngest(entries []Entry, n int, built bool) {
+	if built {
+		ix.ingestBuilds.Add(1)
+	}
+	if n <= 0 {
+		return
+	}
+	var bytes uint64
+	for i := range n {
+		bytes += uint64(EncodedEntrySize(entries[i]))
+	}
+	ix.ingestEntries.Add(uint64(n))
+	ix.ingestBytes.Add(bytes)
 }
 
 // TreeStats walks the cell tree and reports its shape. Like every read it

@@ -30,22 +30,29 @@ type txn struct {
 	// loc is the entry-location map this transaction maintains — the
 	// writer-private ix.loc for ordinary mutations, a fresh map for the
 	// Compact rebuild.
-	loc    map[uint64]entryLoc
-	cloned map[*node]struct{}
+	loc map[uint64]entryLoc
+	// gen is this transaction's ownership stamp: a node whose gen matches
+	// was cloned or created by this transaction and may be mutated in
+	// place. Generations are handed out monotonically under wmu, so a
+	// published node (stamped by some earlier transaction) can never match
+	// — the stamp replaces a per-txn clone set and its map lookup on every
+	// path descent.
+	gen uint64
 }
 
 // begin opens a transaction over the currently published snapshot. Callers
 // hold wmu and have run ensureLoc.
 func (ix *Index) begin() *txn {
 	st := ix.state.Load()
+	ix.txnGen++
 	return &txn{
-		ix:     ix,
-		root:   st.root,
-		size:   st.size,
-		dead:   st.dead,
-		tomb:   st.tombstones,
-		loc:    ix.loc,
-		cloned: make(map[*node]struct{}),
+		ix:   ix,
+		root: st.root,
+		size: st.size,
+		dead: st.dead,
+		tomb: st.tombstones,
+		loc:  ix.loc,
+		gen:  ix.txnGen,
 	}
 }
 
@@ -73,7 +80,7 @@ func (t *txn) tombMutable() map[uint64]struct{} {
 // clone. The clone shares the pin cell with the original — they describe
 // the same bucket content era.
 func (t *txn) mutable(n *node) *node {
-	if _, ok := t.cloned[n]; ok {
+	if n.gen == t.gen {
 		return n
 	}
 	c := &node{
@@ -86,17 +93,17 @@ func (t *txn) mutable(n *node) *node {
 		rmin:        n.rmin,
 		rmax:        n.rmax,
 		boundsValid: n.boundsValid,
+		gen:         t.gen,
 	}
 	if n.kids != nil {
 		c.kids = slices.Clone(n.kids)
 	}
-	t.cloned[c] = struct{}{}
 	return c
 }
 
 // fresh registers a node created by this transaction as owned.
 func (t *txn) fresh(n *node) *node {
-	t.cloned[n] = struct{}{}
+	n.gen = t.gen
 	return n
 }
 
@@ -141,7 +148,7 @@ func (t *txn) refreshPin(n *node) {
 // updateBounds maintains the node's ball bounds from the entry's distance
 // vector; entries without distances invalidate the bounds (the cell can then
 // no longer be ball-pruned, but remains correct).
-func (n *node) updateBounds(e Entry) {
+func (n *node) updateBounds(e *Entry) {
 	p := n.lastPivot()
 	if p < 0 {
 		return
@@ -217,7 +224,7 @@ func (t *txn) insert(e Entry) error {
 	}
 	for _, pn := range path {
 		pn.count++
-		pn.updateBounds(e)
+		pn.updateBounds(&e)
 	}
 	t.refreshPin(n)
 	t.loc[e.ID] = entryLoc{prefix: n.prefix, seq: t.ix.nextSeq}
@@ -288,7 +295,7 @@ func (t *txn) split(n *node) error {
 		if _, gone := t.tomb[e.ID]; gone {
 			c.dead++
 		}
-		c.updateBounds(e)
+		c.updateBounds(&e)
 	}
 	// Point of no return: pin the old content for readers of previously
 	// published versions of this leaf (they share the cell), then retire
@@ -448,20 +455,44 @@ func (ix *Index) Insert(e Entry) error {
 	// store operation (a failed split, for instance, leaves a valid
 	// overfull leaf that the entry was appended to).
 	t.commit()
+	if err == nil {
+		ix.ingestEntries.Add(1)
+		ix.ingestBytes.Add(uint64(EncodedEntrySize(e)))
+	}
 	return err
 }
 
 // InsertBulk inserts a batch of entries under one transaction — the unit
 // the construction-phase experiments measure (bulk size 1,000 in the
 // paper). The batch is published as one snapshot, so concurrent readers see
-// it atomically; on error the entries inserted so far are published and the
-// failing entry reported.
+// it atomically.
+//
+// Batches of at least bulkMinBatch entries take the bottom-up builder path
+// (see bulk.go): the final tree is planned first and every entry is written
+// to the store exactly once, skipping the per-split re-append churn of the
+// incremental path. The published snapshot is byte-identical to the
+// incremental result for the same arrival order. Small batches — and
+// batches re-inserting tombstoned IDs, which need the purge protocol — use
+// the incremental path; on error there the entries inserted so far are
+// published and the failing entry reported, while the builder path is
+// all-or-nothing on store failure.
 func (ix *Index) InsertBulk(entries []Entry) error {
 	ix.wmu.Lock()
 	defer ix.wmu.Unlock()
 	if err := ix.ensureLoc(); err != nil {
 		return err
 	}
+	if ix.bulkEligible(entries) {
+		return ix.insertBulkBuilt(entries)
+	}
+	return ix.insertBulkIncremental(entries)
+}
+
+// insertBulkIncremental is the entry-at-a-time bulk path: every entry goes
+// through the full insert protocol (append, then split on overflow). It is
+// the reference implementation the builder path is equivalence-tested
+// against. Callers hold wmu and have run ensureLoc.
+func (ix *Index) insertBulkIncremental(entries []Entry) error {
 	t := ix.begin()
 	for i := range entries {
 		err := ix.CheckEntry(entries[i])
@@ -470,10 +501,12 @@ func (ix *Index) InsertBulk(entries []Entry) error {
 		}
 		if err != nil {
 			t.commit()
+			ix.recordIngest(entries, i, false)
 			return fmt.Errorf("mindex: bulk insert entry %d: %w", i, err)
 		}
 	}
 	t.commit()
+	ix.recordIngest(entries, len(entries), false)
 	return nil
 }
 
@@ -642,11 +675,12 @@ func (ix *Index) Compact() error {
 	if err != nil {
 		return err
 	}
+	ix.txnGen++
 	b := &txn{
-		ix:     ix,
-		tomb:   make(map[uint64]struct{}),
-		loc:    make(map[uint64]entryLoc, len(live)),
-		cloned: make(map[*node]struct{}),
+		ix:   ix,
+		tomb: make(map[uint64]struct{}),
+		loc:  make(map[uint64]entryLoc, len(live)),
+		gen:  ix.txnGen,
 	}
 	b.tombOwned = true
 	b.root = b.fresh(&node{bucket: rootBucket, pin: &pinCell{}, boundsValid: true})

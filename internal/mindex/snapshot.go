@@ -252,8 +252,7 @@ func LoadSnapshot(cfg Config, path string) (*Index, error) {
 		cfg:     cfg,
 		store:   store,
 		weights: pivot.FootruleWeights(cfg.MaxLevel),
-		// loc stays nil: the first mutation rebuilds it from the buckets.
-		dirty: dirty,
+		dirty:   dirty,
 	}
 	ix.state.Store(&readState{
 		root:       root,
@@ -261,6 +260,16 @@ func LoadSnapshot(cfg Config, path string) (*Index, error) {
 		dead:       len(tombstones),
 		tombstones: tombstones,
 	})
+	// Pre-warm the entry-location map now, while the index is still
+	// private to this goroutine: ensureLoc walks every bucket, and paying
+	// that walk here keeps the first post-restore mutation as cheap as a
+	// steady-state one (it also primes the disk store's bucket cache for
+	// early queries). Before this ran eagerly, the first mutation after a
+	// restore stalled for the whole rebuild.
+	if err := ix.ensureLoc(); err != nil {
+		store.Close()
+		return nil, err
+	}
 	return ix, nil
 }
 

@@ -4,8 +4,10 @@ import (
 	"math/rand/v2"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"simcloud/internal/dataset"
 	"simcloud/internal/metric"
@@ -363,5 +365,68 @@ func TestWriteDot(t *testing.T) {
 	}
 	if got := strings.Count(out, "->"); got != st.Leaves+st.InnerNodes-1 {
 		t.Fatalf("dot shows %d edges, want %d", got, st.Leaves+st.InnerNodes-1)
+	}
+}
+
+// TestRestorePrewarmsLocMap pins the eager loc-map rebuild during restore:
+// LoadSnapshot walks the buckets up front, so the first post-restore
+// mutation pays a steady-state insert, not a whole-index rebuild. The
+// structural half asserts the map exists (covering live and tombstoned
+// entries) before any mutation; the latency half asserts the first
+// mutation after restore is within noise of the steady-state median, with
+// a generous multiplier so scheduler jitter cannot fail it.
+func TestRestorePrewarmsLocMap(t *testing.T) {
+	const n = 4000
+	entries, _, _ := testEntries(t, 71, n+64, 8)
+	batch, extra := entries[:n], entries[n:]
+	dir := t.TempDir()
+	snap := filepath.Join(t.TempDir(), "index.snap")
+	cfg := testConfig(8)
+	cfg.Storage = StorageDisk
+	cfg.DiskPath = dir
+	ix := mustIndex(t, cfg)
+	if err := ix.InsertBulk(batch); err != nil {
+		t.Fatal(err)
+	}
+	victims := []uint64{batch[3].ID, batch[77].ID, batch[1234].ID}
+	if _, err := ix.Delete(victims); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.SaveSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ix2, err := LoadSnapshot(cfg, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix2.Close()
+	if ix2.loc == nil {
+		t.Fatal("loc map not pre-warmed by LoadSnapshot")
+	}
+	if got := len(ix2.loc); got != n {
+		t.Fatalf("pre-warmed loc holds %d entries, want %d (live+tombstoned)", got, n)
+	}
+
+	// First mutation after restore vs steady state: insert the reserved
+	// entries one at a time and compare the first latency against the
+	// median of the rest.
+	lat := make([]time.Duration, len(extra))
+	for i, e := range extra {
+		start := time.Now()
+		if err := ix2.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+		lat[i] = time.Since(start)
+	}
+	first := lat[0]
+	rest := append([]time.Duration(nil), lat[1:]...)
+	sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+	median := rest[len(rest)/2]
+	if limit := max(20*median, 5*time.Millisecond); first > limit {
+		t.Errorf("first post-restore mutation took %v, steady-state median %v (limit %v)", first, median, limit)
 	}
 }

@@ -81,6 +81,51 @@ func (s *MemStore) Append(id BucketID, e Entry) error {
 	return nil
 }
 
+// createGhost burns one bucket ID without materializing a bucket — the
+// bulk builder's allocation replay for buckets the incremental insert path
+// would have created and later freed (see bulk.go).
+func (s *MemStore) createGhost() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next++
+	return nil
+}
+
+// appendBatch appends a batch of entries under one lock acquisition.
+// All-or-nothing: a MemStore append cannot fail partway.
+func (s *MemStore) appendBatch(id BucketID, entries []Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[id]
+	if !ok {
+		return fmt.Errorf("mindex: append to unknown bucket %d", id)
+	}
+	s.buckets[id] = append(b, entries...)
+	return nil
+}
+
+// appendIndexed appends arena[idx[0]], arena[idx[1]], ... without the
+// caller materializing a contiguous batch first — the bulk builder's leaf
+// content goes arena→bucket in one copy.
+func (s *MemStore) appendIndexed(id BucketID, arena []Entry, idx []int32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[id]
+	if !ok {
+		return fmt.Errorf("mindex: append to unknown bucket %d", id)
+	}
+	if cap(b)-len(b) < len(idx) {
+		nb := make([]Entry, len(b), len(b)+len(idx))
+		copy(nb, b)
+		b = nb
+	}
+	for _, i := range idx {
+		b = append(b, arena[i])
+	}
+	s.buckets[id] = b
+	return nil
+}
+
 // Load implements BucketStore.
 func (s *MemStore) Load(id BucketID) ([]Entry, error) {
 	s.mu.RLock()
@@ -162,6 +207,13 @@ type DiskStore struct {
 	dir    string
 	next   BucketID
 	counts map[BucketID]int
+	// virgin tracks allocated buckets whose file does not exist yet: Create
+	// only reserves the ID and the count, and the file materializes on the
+	// first write (an open/close syscall pair per bucket saved — the
+	// dominant cost of a bulk build's allocation replay). A virgin bucket
+	// reads as empty, frees without touching the file system, and loses its
+	// virginity on the first Append/Replace.
+	virgin map[BucketID]struct{}
 	// eras counts content-destroying rewrites (Replace) per bucket. Bucket
 	// IDs are never reused, so a (bucket, era) pair names one content
 	// lineage that only ever grows by appends; ViewVersioned hands the era
@@ -189,6 +241,10 @@ type DiskStore struct {
 	// scratch is the entry-encoding buffer reused across Append/Replace so
 	// writes stop allocating one encoded blob per entry.
 	scratch []byte
+	// wfree recycles bufio.Writers between append handles: a bulk build
+	// opens and retires hundreds of handles, and re-allocating each 16 KiB
+	// buffer is pure GC pressure.
+	wfree []*bufio.Writer
 }
 
 type appendHandle struct {
@@ -216,6 +272,7 @@ func NewDiskStore(dir string) (*DiskStore, error) {
 	return &DiskStore{
 		dir:         dir,
 		counts:      make(map[BucketID]int),
+		virgin:      make(map[BucketID]struct{}),
 		eras:        make(map[BucketID]uint64),
 		open:        make(map[BucketID]*appendHandle),
 		handleLRU:   list.New(),
@@ -228,7 +285,9 @@ func NewDiskStore(dir string) (*DiskStore, error) {
 
 // ReopenDiskStore reattaches to an existing bucket directory after a
 // restart, using the per-bucket entry counts and allocation cursor recorded
-// in an index snapshot. Every referenced bucket file must exist.
+// in an index snapshot. Every non-empty bucket's file must exist; an empty
+// bucket may legitimately have none (Create is lazy — the file materializes
+// on the first write), in which case it reattaches as virgin.
 func ReopenDiskStore(dir string, counts map[BucketID]int, next BucketID) (*DiskStore, error) {
 	s, err := NewDiskStore(dir)
 	if err != nil {
@@ -240,8 +299,11 @@ func ReopenDiskStore(dir string, counts map[BucketID]int, next BucketID) (*DiskS
 			return nil, fmt.Errorf("mindex: bucket %d beyond allocation cursor %d", id, next)
 		}
 		if _, err := os.Stat(s.path(id)); err != nil {
-			s.Close()
-			return nil, fmt.Errorf("mindex: reattaching bucket %d: %w", id, err)
+			if !(os.IsNotExist(err) && counts[id] == 0) {
+				s.Close()
+				return nil, fmt.Errorf("mindex: reattaching bucket %d: %w", id, err)
+			}
+			s.virgin[id] = struct{}{}
 		}
 		s.counts[id] = counts[id]
 	}
@@ -300,7 +362,9 @@ func (s *DiskStore) path(id BucketID) string {
 	return filepath.Join(s.dir, fmt.Sprintf("bucket-%09d.bin", id))
 }
 
-// Create implements BucketStore.
+// Create implements BucketStore. Allocation is lazy: no file is created
+// until the bucket's first write, so a build that allocates hundreds of
+// buckets pays no per-bucket syscalls up front.
 func (s *DiskStore) Create() (BucketID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -309,15 +373,97 @@ func (s *DiskStore) Create() (BucketID, error) {
 	}
 	s.next++
 	id := s.next
-	f, err := os.Create(s.path(id))
-	if err != nil {
-		return 0, err
-	}
-	if err := f.Close(); err != nil {
-		return 0, err
-	}
 	s.counts[id] = 0
+	s.virgin[id] = struct{}{}
 	return id, nil
+}
+
+// createGhost burns one bucket ID without creating a bucket file — the
+// bulk builder's allocation replay for buckets the incremental insert path
+// would have created and later freed (see bulk.go).
+func (s *DiskStore) createGhost() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("mindex: disk store closed")
+	}
+	s.next++
+	return nil
+}
+
+// appendBatch appends a batch of entries under one lock acquisition and one
+// buffered write sequence. All-or-nothing: on a write failure the bucket
+// file is truncated back to its pre-batch length and the count stays
+// untouched, so a failed batch leaves the bucket exactly as it was.
+func (s *DiskStore) appendBatch(id BucketID, entries []Entry) error {
+	return s.appendSeq(id, len(entries), func(i int) *Entry { return &entries[i] })
+}
+
+// appendIndexed encodes arena[idx[0]], arena[idx[1]], ... straight into the
+// bucket writer — no contiguous batch materialization on the caller's side.
+func (s *DiskStore) appendIndexed(id BucketID, arena []Entry, idx []int32) error {
+	return s.appendSeq(id, len(idx), func(i int) *Entry { return &arena[idx[i]] })
+}
+
+func (s *DiskStore) appendSeq(id BucketID, n int, at func(int) *Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("mindex: disk store closed")
+	}
+	if _, ok := s.counts[id]; !ok {
+		return fmt.Errorf("mindex: append to unknown bucket %d", id)
+	}
+	_, isVirgin := s.virgin[id]
+	h, err := s.writer(id)
+	if err != nil {
+		return err
+	}
+	// The rollback point is the file length before this batch. A virgin
+	// bucket's file was just created empty, so the Stat (and the flush of
+	// buffered earlier appends it would have to see) is skipped.
+	var base int64
+	if !isVirgin {
+		// Earlier appends may still sit in the bufio buffer; flush them so
+		// the file length below is the true rollback point for this batch.
+		if h.dirty {
+			if err := h.w.Flush(); err != nil {
+				return err
+			}
+			h.dirty = false
+		}
+		fi, err := h.f.Stat()
+		if err != nil {
+			return err
+		}
+		base = fi.Size()
+	}
+	for i := 0; i < n; i++ {
+		s.scratch = AppendEntry(s.scratch[:0], *at(i))
+		if _, err := h.w.Write(s.scratch); err != nil {
+			s.rollbackAppendLocked(id, base)
+			return err
+		}
+	}
+	if err := h.w.Flush(); err != nil {
+		s.rollbackAppendLocked(id, base)
+		return err
+	}
+	s.counts[id] += n
+	s.dropCacheLocked(id)
+	return nil
+}
+
+// rollbackAppendLocked undoes a failed appendBatch: the handle is retired
+// without flushing (its buffered bytes are part of the failed batch) and the
+// file cut back to the pre-batch length.
+func (s *DiskStore) rollbackAppendLocked(id BucketID, base int64) {
+	if h, ok := s.open[id]; ok {
+		h.f.Close()
+		s.handleLRU.Remove(h.elem)
+		delete(s.open, id)
+	}
+	os.Truncate(s.path(id), base)
 }
 
 // writer returns a buffered append handle for the bucket, evicting the
@@ -333,11 +479,20 @@ func (s *DiskStore) writer(id BucketID) (*appendHandle, error) {
 			return nil, err
 		}
 	}
-	f, err := os.OpenFile(s.path(id), os.O_WRONLY|os.O_APPEND, 0)
+	f, err := os.OpenFile(s.path(id), os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	h := &appendHandle{w: bufio.NewWriterSize(f, 1<<14), f: f}
+	delete(s.virgin, id)
+	var w *bufio.Writer
+	if n := len(s.wfree); n > 0 {
+		w = s.wfree[n-1]
+		s.wfree = s.wfree[:n-1]
+		w.Reset(f)
+	} else {
+		w = bufio.NewWriterSize(f, 1<<14)
+	}
+	h := &appendHandle{w: w, f: f}
 	h.elem = s.handleLRU.PushBack(id)
 	s.open[id] = h
 	return h, nil
@@ -352,6 +507,10 @@ func (s *DiskStore) closeHandleLocked(id BucketID) error {
 	closeErr := h.f.Close()
 	s.handleLRU.Remove(h.elem)
 	delete(s.open, id)
+	if len(s.wfree) < 16 {
+		h.w.Reset(nil)
+		s.wfree = append(s.wfree, h.w)
+	}
 	if flushErr != nil {
 		return flushErr
 	}
@@ -441,6 +600,9 @@ func (s *DiskStore) readLocked(id BucketID) ([]Entry, error) {
 	count, ok := s.counts[id]
 	if !ok {
 		return nil, fmt.Errorf("mindex: load of unknown bucket %d", id)
+	}
+	if _, ok := s.virgin[id]; ok {
+		return nil, nil // allocated, never written: empty, no file yet
 	}
 	if cb, ok := s.cache[id]; ok {
 		s.hits++
@@ -568,6 +730,7 @@ func (s *DiskStore) Replace(id BucketID, entries []Entry) error {
 		os.Remove(tmp)
 		return err
 	}
+	delete(s.virgin, id)
 	// Make the rename itself durable: a purge that later stops being
 	// reflected in the tombstone set (snapshots persist after this) must
 	// not be undone by a power cut resurrecting the old bucket contents.
@@ -602,6 +765,10 @@ func (s *DiskStore) Free(id BucketID) error {
 	s.dropCacheLocked(id)
 	delete(s.counts, id)
 	delete(s.eras, id)
+	if _, ok := s.virgin[id]; ok {
+		delete(s.virgin, id)
+		return nil // never materialized; nothing on disk to remove
+	}
 	return os.Remove(s.path(id))
 }
 

@@ -723,6 +723,54 @@ func (s *Server) handle(typ wire.MsgType, payload []byte, start time.Time, distB
 			}
 		}
 		return wire.MsgAck, wire.AckResp{ServerNanos: s.serverNanos(start)}.Encode(), nil
+
+	case wire.MsgIngestChunk:
+		if s.enc == nil {
+			return 0, nil, errNeedEncrypted
+		}
+		req, err := wire.DecodeIngestChunkReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		if err := s.enc.InsertBulk(req.Entries); err != nil {
+			return 0, nil, err
+		}
+		if err := s.walAppend(wal.OpInsert, req.Entries); err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgIngestChunkAck, wire.IngestChunkAckResp{
+			Seq: req.Seq, ServerNanos: s.serverNanos(start),
+		}.Encode(), nil
+
+	case wire.MsgIngestObjChunk:
+		if s.plain == nil {
+			return 0, nil, errNeedPlain
+		}
+		req, err := wire.DecodeIngestObjChunkReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		if err := s.plain.InsertBulk(req.Objects); err != nil {
+			return 0, nil, err
+		}
+		return wire.MsgIngestChunkAck, wire.IngestChunkAckResp{
+			Seq: req.Seq, ServerNanos: s.serverNanos(start),
+		}.Encode(), nil
+
+	case wire.MsgIngestEnd:
+		if _, err := wire.DecodeIngestEndReq(payload); err != nil {
+			return 0, nil, err
+		}
+		// The end-of-stream ack promises durability for every streamed
+		// chunk: under WAL policy "group" the appends accumulated in the
+		// current commit window, which this flush closes. Without a WAL
+		// (or in plain mode) there is nothing to flush.
+		if s.wal != nil {
+			if err := s.wal.Flush(); err != nil {
+				return 0, nil, err
+			}
+		}
+		return wire.MsgAck, wire.AckResp{ServerNanos: s.serverNanos(start)}.Encode(), nil
 	}
 	return 0, nil, fmt.Errorf("server: unsupported request type %v", typ)
 }

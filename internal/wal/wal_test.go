@@ -86,10 +86,15 @@ func TestRoundTrip(t *testing.T) {
 // recovers exactly the fully-written prefix — the crash-mid-append
 // guarantee — under both fsync policies.
 func TestTornTailRecovery(t *testing.T) {
-	for _, policy := range []SyncPolicy{SyncAlways, SyncNever} {
-		name := "always"
-		if policy == SyncNever {
+	for _, policy := range []SyncPolicy{SyncAlways, SyncNever, SyncGroup} {
+		var name string
+		switch policy {
+		case SyncAlways:
+			name = "always"
+		case SyncNever:
 			name = "never"
+		case SyncGroup:
+			name = "group"
 		}
 		t.Run(name, func(t *testing.T) {
 			master := t.TempDir()
@@ -234,12 +239,131 @@ func TestReplay(t *testing.T) {
 	}
 }
 
+// TestGroupCommitTornWindow crashes a group-commit log inside an unflushed
+// window: a full window of appends plus a partial one, with the file cut at
+// every byte offset of the unflushed tail — spanning several records, not
+// just the last — and asserts recovery keeps exactly the intact record
+// prefix and truncates to a record boundary the next append extends cleanly.
+func TestGroupCommitTornWindow(t *testing.T) {
+	master := t.TempDir()
+	l, _ := mustOpen(t, master, SyncGroup)
+	// One full window (synced) plus a three-record unflushed tail.
+	var recs []Record
+	var offsets []int64 // start offset of each record
+	for i := 0; i < DefaultGroupWindow+3; i++ {
+		rec := Record{Op: OpInsert, Entries: []mindex.Entry{testEntry(uint64(i + 1))}}
+		recs = append(recs, rec)
+		offsets = append(offsets, l.Size())
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.pending != 3 {
+		t.Fatalf("pending = %d after window+3 appends, want 3", l.pending)
+	}
+	full := l.Size()
+	l.Close()
+	data, err := os.ReadFile(filepath.Join(master, FileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// boundary returns the last record boundary at or before cut, and the
+	// number of records wholly before it.
+	boundary := func(cut int64) (int64, int) {
+		for i := len(offsets) - 1; i >= 0; i-- {
+			if offsets[i] <= cut {
+				end := full
+				if i+1 < len(offsets) {
+					end = offsets[i+1]
+				}
+				if cut >= end {
+					return end, i + 1
+				}
+				return offsets[i], i
+			}
+		}
+		return 0, 0
+	}
+
+	for cut := offsets[DefaultGroupWindow]; cut < full; cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, FileName), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		wantOff, wantN := boundary(cut)
+		l2, got := mustOpen(t, dir, SyncGroup)
+		if !reflect.DeepEqual(got, recs[:wantN]) {
+			t.Fatalf("cut at byte %d: recovered %d records, want %d", cut, len(got), wantN)
+		}
+		st, err := os.Stat(filepath.Join(dir, FileName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() != wantOff {
+			t.Fatalf("cut at byte %d: truncated to %d, want boundary %d", cut, st.Size(), wantOff)
+		}
+		extra := Record{Op: OpInsert, Entries: []mindex.Entry{testEntry(999)}}
+		if err := l2.Append(extra); err != nil {
+			t.Fatalf("cut at byte %d: append after recovery: %v", cut, err)
+		}
+		if err := l2.Flush(); err != nil {
+			t.Fatalf("cut at byte %d: flush: %v", cut, err)
+		}
+		l2.Close()
+		_, again := mustOpen(t, dir, SyncGroup)
+		if !reflect.DeepEqual(again, append(recs[:wantN:wantN], extra)) {
+			t.Fatalf("cut at byte %d: re-append then replay mismatch", cut)
+		}
+	}
+}
+
+// TestFlush pins the window bookkeeping: group appends below the window
+// leave records pending, Flush closes the window, a window-crossing append
+// syncs on its own, and Flush under always is a no-op that still succeeds.
+func TestFlush(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, SyncGroup)
+	for i := 0; i < 5; i++ {
+		if err := l.Append(Record{Op: OpInsert, Entries: []mindex.Entry{testEntry(uint64(i + 1))}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.pending != 5 {
+		t.Fatalf("pending = %d, want 5", l.pending)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if l.pending != 0 {
+		t.Fatalf("pending = %d after Flush, want 0", l.pending)
+	}
+	for i := 0; i < DefaultGroupWindow; i++ {
+		if err := l.Append(Record{Op: OpInsert, Entries: []mindex.Entry{testEntry(uint64(100 + i))}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.pending != 0 {
+		t.Fatalf("pending = %d after a full window, want 0 (window sync)", l.pending)
+	}
+	l.Close()
+
+	la, _ := mustOpen(t, dir, SyncAlways)
+	defer la.Close()
+	if err := la.Flush(); err != nil {
+		t.Fatalf("Flush under SyncAlways: %v", err)
+	}
+}
+
 func TestParseSyncPolicy(t *testing.T) {
 	if p, err := ParseSyncPolicy("always"); err != nil || p != SyncAlways {
 		t.Fatalf("always: %v %v", p, err)
 	}
 	if p, err := ParseSyncPolicy("never"); err != nil || p != SyncNever {
 		t.Fatalf("never: %v %v", p, err)
+	}
+	if p, err := ParseSyncPolicy("group"); err != nil || p != SyncGroup {
+		t.Fatalf("group: %v %v", p, err)
 	}
 	if _, err := ParseSyncPolicy("sometimes"); err == nil {
 		t.Fatal("bogus policy accepted")

@@ -132,6 +132,25 @@ const (
 	// idempotently — inserts of IDs it already holds are skipped — and
 	// answers MsgAck when its state has caught up.
 	MsgResyncOps
+
+	// MsgIngestChunk streams one sequence-numbered chunk of pre-computed
+	// entries during a bulk load (encrypted deployment). The client keeps a
+	// window of unacknowledged chunks in flight, preparing the next chunk
+	// (pivot distances, encryption) while earlier ones cross the wire and
+	// build server-side; each chunk is answered by MsgIngestChunkAck.
+	MsgIngestChunk
+	// MsgIngestObjChunk is MsgIngestChunk for raw objects (plain
+	// deployment): the server computes pivot distances itself.
+	MsgIngestObjChunk
+	// MsgIngestChunkAck acknowledges one streamed chunk, echoing its
+	// sequence number. Under WAL policy "always" the ack additionally
+	// promises the chunk's log record is on stable storage; under "group"
+	// durability is deferred to the end-of-stream flush.
+	MsgIngestChunkAck
+	// MsgIngestEnd closes a streamed ingest: the server flushes its WAL
+	// (a no-op without one) and answers MsgAck, so the final ack promises
+	// every streamed chunk is applied and durable.
+	MsgIngestEnd
 )
 
 var msgNames = map[MsgType]string{
@@ -148,6 +167,8 @@ var msgNames = map[MsgType]string{
 	MsgBatchRanked: "batch-ranked", MsgBatchRankedCandidates: "batch-ranked-candidates",
 	MsgDeleteObjects: "delete-objects", MsgFirstCellPlain: "first-cell-plain",
 	MsgFilteredQuery: "filtered-query", MsgResyncOps: "resync-ops",
+	MsgIngestChunk: "ingest-chunk", MsgIngestObjChunk: "ingest-obj-chunk",
+	MsgIngestChunkAck: "ingest-chunk-ack", MsgIngestEnd: "ingest-end",
 }
 
 // String implements fmt.Stringer.

@@ -86,6 +86,10 @@ func FuzzDecodeRequests(f *testing.F) {
 		{Op: ResyncInsert, Entries: []mindex.Entry{{ID: 1, Perm: []int32{0, 1}, Payload: []byte{9}}}},
 		{Op: ResyncDelete, Entries: []mindex.Entry{{ID: 2, Perm: []int32{1}}}},
 	}}.Encode())
+	f.Add(IngestChunkReq{Seq: 1, Entries: []mindex.Entry{{ID: 4, Perm: []int32{1, 0}, Payload: []byte{8}}}}.Encode())
+	f.Add(IngestObjChunkReq{Seq: 2, Objects: []metric.Object{{ID: 5, Vec: metric.Vector{1, 2}}}}.Encode())
+	f.Add(IngestChunkAckResp{Seq: 3, ServerNanos: 77}.Encode())
+	f.Add(IngestEndReq{}.Encode())
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// None of these may panic; errors are fine.
@@ -117,5 +121,9 @@ func FuzzDecodeRequests(f *testing.F) {
 		_, _ = DecodeFirstCellPlainReq(data)
 		_, _ = DecodeFilteredReq(data)
 		_, _ = DecodeResyncReq(data)
+		_, _ = DecodeIngestChunkReq(data)
+		_, _ = DecodeIngestObjChunkReq(data)
+		_, _ = DecodeIngestChunkAckResp(data)
+		_, _ = DecodeIngestEndReq(data)
 	})
 }

@@ -72,6 +72,9 @@ type (
 	TreeStats = core.TreeStats
 	// CacheStats is the Stats section with the disk bucket-cache counters.
 	CacheStats = core.CacheStats
+	// IngestStats is the Stats section with the ingest counters (entries
+	// accepted, bulk-builder batches, encoded bytes).
+	IngestStats = core.IngestStats
 	// PoolStats is the Stats section with the connection-lease-pool depth
 	// and lifetime dial/discard counters of a networked client.
 	PoolStats = core.PoolStats
