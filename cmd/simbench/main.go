@@ -8,6 +8,15 @@
 //	simbench -table 6 -scale 1000000     # Table 6 at the paper's full scale
 //	simbench -table 5 -queries 100 -v    # verbose progress
 //
+// With -ablation it runs the routing-family ablation instead: k-NN recall
+// against the candidate-set size for both index families (M-Index pivot
+// permutations and k-means centroid cells) bracketed by the EHI and FDH
+// baselines, plus the learned candidate-size predictor against the best
+// global constant. -backend narrows the sweep to one family:
+//
+//	simbench -ablation -k 10
+//	simbench -ablation -backend kmeans -dataset clustered -queries 20 -k 10
+//
 // With -workers N it instead runs a closed-loop concurrent load test — N
 // workers issuing approximate k-NN queries back-to-back against one cloud —
 // and reports per-worker and aggregate QPS:
@@ -101,6 +110,9 @@ func run() int {
 		duration  = flag.Duration("duration", 10*time.Second, "load test measurement window")
 		candSize  = flag.Int("candsize", 0, "load test candidate set size (0 = the data set's middle evaluated size)")
 		encrypted = flag.Bool("encrypted", false, "load test the encrypted deployment instead of the plain one")
+
+		ablation = flag.Bool("ablation", false, "run the routing-family ablation (recall vs candidate size: M-Index and k-means vs the EHI/FDH brackets) instead of tables")
+		backend  = flag.String("backend", "all", "ablation: index families to sweep (all, mindex, kmeans)")
 
 		openloop = flag.Bool("openloop", false, "run an open-loop HTTP load test against a gateway instead of tables")
 		qps      = flag.Float64("qps", 100, "open loop: offered arrival rate in queries/s")
@@ -211,6 +223,30 @@ func run() int {
 		if err := writeJSON(rep.JSONDocument()); err != nil {
 			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
 			return 1
+		}
+		fmt.Fprintf(os.Stderr, "simbench: done in %s\n", bench.Elapsed(start))
+		return 0
+	}
+
+	if *ablation {
+		start := time.Now()
+		names := []string{"clustered", "embed768"}
+		if *dataset != "YEAST" && *dataset != "all" {
+			// -dataset left at its load-test default means every ablation set.
+			names = []string{*dataset}
+		}
+		for _, name := range names {
+			t, err := bench.AblationTable(opts, name, *backend)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+				return 1
+			}
+			if *format == "csv" {
+				t.RenderCSV(os.Stdout)
+			} else {
+				t.Render(os.Stdout)
+			}
+			fmt.Println()
 		}
 		fmt.Fprintf(os.Stderr, "simbench: done in %s\n", bench.Elapsed(start))
 		return 0

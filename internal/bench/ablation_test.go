@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"testing"
+
+	"simcloud/internal/dataset"
+	"simcloud/internal/metric"
+	"simcloud/internal/mindex"
+)
+
+// testAblationSpec is a laptop-second version of the clustered ablation
+// workload: same shape, smaller collection.
+func testAblationSpec() AblationSpec {
+	return AblationSpec{
+		Name: "clustered", K: 10,
+		CandSizes:    []int{40, 120, 300},
+		TargetRecall: 0.85,
+		Cfg: mindex.Config{
+			NumPivots: 10, MaxLevel: 4, BucketCapacity: 100,
+			Storage: mindex.StorageMemory, Ranking: mindex.RankFootrule,
+		},
+		Load: func(Options) *dataset.Dataset {
+			return dataset.Clustered(2040, 700, 8, 10, metric.L2{})
+		},
+	}
+}
+
+// TestAblationBaselinesBracketFamilies: the point of the ablation path —
+// on the same workload and ground truth, the exact EHI traversal bounds
+// both index families' recall from above and the FDH hashing baseline
+// bounds them from below at every swept candidate size.
+func TestAblationBaselinesBracketFamilies(t *testing.T) {
+	o := Options{Queries: 15, K: 10, Seed: 7}
+	spec := testAblationSpec()
+	r, err := Ablation(o, spec, "all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.MIndex) != len(spec.CandSizes) || len(r.KMeans) != len(spec.CandSizes) || len(r.FDH) != len(spec.CandSizes) {
+		t.Fatalf("curve lengths: mindex=%d kmeans=%d fdh=%d, want %d",
+			len(r.MIndex), len(r.KMeans), len(r.FDH), len(spec.CandSizes))
+	}
+	t.Logf("mindex=%v kmeans=%v fdh=%v ehi=%.2f (cand %.0f) pred=%.2f@%.1f best=%d",
+		r.MIndex, r.KMeans, r.FDH, r.EHIRecall, r.EHICand, r.PredRecall, r.PredCand, r.BestGlobal)
+	for i, cs := range spec.CandSizes {
+		for _, fam := range []struct {
+			name   string
+			recall float64
+		}{{"M-Index", r.MIndex[i]}, {"k-means", r.KMeans[i]}} {
+			if fam.recall > r.EHIRecall+1e-9 {
+				t.Errorf("candSize %d: %s recall %.2f above the exact EHI bracket %.2f",
+					cs, fam.name, fam.recall, r.EHIRecall)
+			}
+		}
+	}
+	// The FDH bracket holds at the top of the sweep: its Hamming-ball
+	// hashing has a recall ceiling no candidate budget lifts, while both
+	// index families converge toward exact. (Small sweep points are not
+	// budget-comparable — FDH fetches buckets whole and overshoots small
+	// targets; see FDHCand.)
+	last := len(spec.CandSizes) - 1
+	for _, fam := range []struct {
+		name   string
+		recall float64
+	}{{"M-Index", r.MIndex[last]}, {"k-means", r.KMeans[last]}} {
+		if fam.recall < r.FDH[last]-1e-9 {
+			t.Errorf("%s recall %.2f at candSize %d below the FDH bracket %.2f",
+				fam.name, fam.recall, spec.CandSizes[last], r.FDH[last])
+		}
+	}
+	// A candidate budget is a prefix of the family's ranked stream: both
+	// curves must be non-decreasing in the candidate size.
+	for i := 1; i < len(spec.CandSizes); i++ {
+		if r.MIndex[i] < r.MIndex[i-1] || r.KMeans[i] < r.KMeans[i-1] {
+			t.Errorf("recall curve decreased at candSize %d: mindex=%v kmeans=%v",
+				spec.CandSizes[i], r.MIndex, r.KMeans)
+		}
+	}
+	if r.PredCand <= 0 || r.BestGlobal <= 0 {
+		t.Fatalf("predictor summary missing: cand=%.1f best=%d", r.PredCand, r.BestGlobal)
+	}
+}
+
+// TestAblationBackendFilter: the backend filter drops the other family's
+// sweep but keeps the brackets.
+func TestAblationBackendFilter(t *testing.T) {
+	o := Options{Queries: 6, K: 5, Seed: 7}
+	spec := testAblationSpec()
+	spec.CandSizes = []int{60}
+	r, err := Ablation(o, spec, "kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MIndex != nil {
+		t.Errorf("backend kmeans still measured the M-Index: %v", r.MIndex)
+	}
+	if len(r.KMeans) != 1 || len(r.FDH) != 1 || r.EHIRecall == 0 {
+		t.Errorf("kmeans run incomplete: kmeans=%v fdh=%v ehi=%.2f", r.KMeans, r.FDH, r.EHIRecall)
+	}
+	if _, err := Ablation(o, spec, "bogus"); err == nil {
+		t.Fatal("bogus backend accepted")
+	}
+}

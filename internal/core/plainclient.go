@@ -113,7 +113,7 @@ func plainMessage(nq Query) (wire.MsgType, []byte) {
 		return wire.MsgFirstCellPlain, wire.FirstCellPlainReq{Q: nq.Vec, K: uint32(nq.K)}.Encode()
 	default: // KindApproxKNN
 		return wire.MsgApproxPlain,
-			wire.ApproxPlainReq{Q: nq.Vec, K: uint32(nq.K), CandSize: uint32(nq.CandSize)}.Encode()
+			wire.ApproxPlainReq{Q: nq.Vec, K: uint32(nq.K), CandSize: uint32(effCandSize(nq))}.Encode()
 	}
 }
 

@@ -75,12 +75,31 @@ type Query struct {
 	// refines everything. The plain backend refines server-side and
 	// ignores it.
 	RefineLimit int
+	// TargetRecall, when positive, asks the backend to choose the
+	// candidate-set size per query so the expected recall hits this level
+	// (KindApproxKNN, and the phase-1 tuning of KindKNN — where it trades
+	// phase-2 work, never correctness). It must lie in (0, 1) and excludes
+	// an explicit CandSize. Backends with a fitted candidate-size predictor
+	// (KMeansDirect, see SetPredictor) resolve it per query from the
+	// query's routing features; all others fall back to DefaultCandSize.
+	TargetRecall float64
 }
 
 // DefaultCandSize is the candidate-set size used when Query.CandSize is
 // left 0: generous enough for high recall at moderate k (the paper's
 // sweeps use 10–70 candidates per requested neighbor).
 func DefaultCandSize(k int) int { return max(20*k, 100) }
+
+// effCandSize resolves a normalized query's candidate-set size for backends
+// without a per-query predictor: the explicit CandSize when set, else the
+// global default (a TargetRecall query keeps CandSize 0 as the predictor
+// sentinel — here it degrades to the default rather than failing).
+func effCandSize(nq Query) int {
+	if nq.CandSize > 0 {
+		return nq.CandSize
+	}
+	return DefaultCandSize(nq.K)
+}
 
 // ErrBadQuery marks query-validation failures, so callers serving remote
 // users (the gateway) can separate "the request was malformed" from "the
@@ -110,6 +129,9 @@ func (q Query) normalized() (Query, error) {
 		if q.RefineLimit != 0 {
 			return q, badQuery("RefineLimit applies to approximate queries only (kind %v)", q.Kind)
 		}
+		if q.TargetRecall != 0 {
+			return q, badQuery("TargetRecall applies to candidate-set queries only (kind %v)", q.Kind)
+		}
 	case KindKNN, KindApproxKNN, KindFirstCell:
 		if q.K <= 0 {
 			return q, badQuery("k must be positive, got %d", q.K)
@@ -117,7 +139,19 @@ func (q Query) normalized() (Query, error) {
 		if q.CandSize < 0 {
 			return q, badQuery("CandSize must be non-negative, got %d", q.CandSize)
 		}
-		if q.CandSize == 0 {
+		if q.TargetRecall != 0 {
+			if q.Kind == KindFirstCell {
+				return q, badQuery("TargetRecall cannot steer the fixed 1-cell candidate set (kind %v)", q.Kind)
+			}
+			if q.TargetRecall <= 0 || q.TargetRecall >= 1 {
+				return q, badQuery("TargetRecall must lie in (0, 1), got %g", q.TargetRecall)
+			}
+			if q.CandSize != 0 {
+				return q, badQuery("CandSize and TargetRecall are mutually exclusive (set one)")
+			}
+			// CandSize stays 0: the sentinel a predictor-equipped backend
+			// resolves per query; everyone else applies effCandSize.
+		} else if q.CandSize == 0 {
 			q.CandSize = DefaultCandSize(q.K)
 		}
 		if q.RefineLimit < 0 {

@@ -52,13 +52,13 @@ func (c *coder) wireQuery(nq Query, qDists []float64) wire.BatchQuery {
 			return wire.BatchQuery{
 				Kind:     wire.BatchApproxDists,
 				Dists:    c.key.TransformDists(qDists),
-				CandSize: uint32(nq.CandSize),
+				CandSize: uint32(effCandSize(nq)),
 			}
 		}
 		return wire.BatchQuery{
 			Kind:     wire.BatchApproxPerm,
 			Perm:     pivot.Permutation(qDists),
-			CandSize: uint32(nq.CandSize),
+			CandSize: uint32(effCandSize(nq)),
 		}
 	}
 }
@@ -177,7 +177,7 @@ func knnRadius(approx []Result, k int) float64 {
 // silently diverge between them.
 func searchKNN(ctx context.Context, nq Query, costs *stats.Costs,
 	searchOne func(ctx context.Context, nq Query, costs *stats.Costs) ([]Result, error)) ([]Result, error) {
-	approxQ := Query{Kind: KindApproxKNN, Vec: nq.Vec, K: nq.K, CandSize: nq.CandSize}
+	approxQ := Query{Kind: KindApproxKNN, Vec: nq.Vec, K: nq.K, CandSize: nq.CandSize, TargetRecall: nq.TargetRecall}
 	approx, err := searchOne(ctx, approxQ, costs)
 	if err != nil {
 		return nil, err

@@ -50,6 +50,14 @@ const (
 	CoPhIRDim  = metric.CoPhIRDim
 )
 
+// Embed768 default shape: the dimensionality of today's standard sentence /
+// image embedding models, at a laptop-scale default cardinality (pass any n
+// to Embed768 for other scales).
+const (
+	Embed768Size = 100000
+	Embed768Dim  = 768
+)
+
 // clusteredMatrix generates n vectors of dimension dim with a two-level
 // cluster structure: k macro clusters (condition groups / visual themes),
 // each containing micro clusters (tightly co-expressed gene groups /
@@ -177,6 +185,45 @@ func CoPhIR(n int) *Dataset {
 	}
 }
 
+// Embed768 generates an n-object embedding-like collection: 768-dimensional
+// unit-normalized vectors under the cosine (angular) distance — the workload
+// shape of modern text/image embedding models. The two-level cluster
+// structure of the other generators carries over (topics with near-duplicate
+// micro groups); every vector is then projected onto the unit sphere, where
+// the angular distance is a true metric and the normalization the cosine
+// pseudo-metric caveat (see metric.Cosine) vanishes.
+func Embed768(n int) *Dataset {
+	if n <= 0 {
+		panic("dataset: Embed768 size must be positive")
+	}
+	rng := rand.New(rand.NewPCG(0x454d4245, 0x443736b8)) // "EMBED768"
+	// Macro centers drawn N(0,1) per coordinate are uniform on the sphere
+	// after normalization; micro spread and noise are small relative to the
+	// ~sqrt(768) center norm, giving tight angular clusters.
+	objs := clusteredMatrix(rng, n, Embed768Dim, 120, 0, 1, 0.25, 0.1, -6, 6)
+	for i := range objs {
+		v := objs[i].Vec
+		var sq float64
+		for _, x := range v {
+			sq += float64(x) * float64(x)
+		}
+		if sq == 0 {
+			v[0] = 1
+			continue
+		}
+		inv := 1 / math.Sqrt(sq)
+		for j := range v {
+			v[j] = float32(float64(v[j]) * inv)
+		}
+	}
+	return &Dataset{
+		Name:    "embed768",
+		Objects: objs,
+		Dim:     Embed768Dim,
+		Dist:    metric.Cosine{},
+	}
+}
+
 // Clustered generates a generic clustered collection for tests and examples.
 func Clustered(seed uint64, n, dim, k int, d metric.Distance) *Dataset {
 	rng := rand.New(rand.NewPCG(seed, 0xC1C1))
@@ -188,8 +235,9 @@ func Clustered(seed uint64, n, dim, k int, d metric.Distance) *Dataset {
 	}
 }
 
-// ByName returns the named paper data set ("YEAST", "HUMAN", "CoPhIR").
-// cophirScale bounds the CoPhIR cardinality (<= 0 means full paper scale).
+// ByName returns the named data set ("YEAST", "HUMAN", "CoPhIR",
+// "embed768"). cophirScale bounds the cardinality of the scalable sets
+// (CoPhIR, embed768); <= 0 means their full default scale.
 func ByName(name string, cophirScale int) (*Dataset, error) {
 	switch name {
 	case "YEAST":
@@ -201,6 +249,11 @@ func ByName(name string, cophirScale int) (*Dataset, error) {
 			cophirScale = CoPhIRSize
 		}
 		return CoPhIR(cophirScale), nil
+	case "embed768":
+		if cophirScale <= 0 {
+			cophirScale = Embed768Size
+		}
+		return Embed768(cophirScale), nil
 	}
 	return nil, fmt.Errorf("dataset: unknown data set %q", name)
 }

@@ -101,6 +101,92 @@ func TestCoPhIRPrefixStable(t *testing.T) {
 	}
 }
 
+func TestEmbed768Shape(t *testing.T) {
+	d := Embed768(300)
+	if d.Size() != 300 || d.Dim != Embed768Dim {
+		t.Fatalf("shape = %d×%d", d.Size(), d.Dim)
+	}
+	if d.Dist.Name() != "cosine" {
+		t.Fatalf("distance = %s, want cosine", d.Dist.Name())
+	}
+	for i, o := range d.Objects {
+		if o.ID != uint64(i) {
+			t.Fatalf("object %d has ID %d", i, o.ID)
+		}
+		var sq float64
+		for _, v := range o.Vec {
+			sq += float64(v) * float64(v)
+		}
+		if norm := math.Sqrt(sq); math.Abs(norm-1) > 1e-4 {
+			t.Fatalf("object %d has norm %g, want 1", i, norm)
+		}
+	}
+}
+
+func TestEmbed768Deterministic(t *testing.T) {
+	a, b := Embed768(150), Embed768(150)
+	for i := range a.Objects {
+		if !a.Objects[i].Vec.Equal(b.Objects[i].Vec) {
+			t.Fatalf("embed768 generation not deterministic at object %d", i)
+		}
+	}
+}
+
+func TestEmbed768RejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Embed768(-1)
+}
+
+func TestEmbed768IsAngularClustered(t *testing.T) {
+	// The angular nearest-neighbor distance must sit well below the average
+	// pairwise angle, mirroring TestClusteredIsClustered on the sphere.
+	d := Embed768(300)
+	objs := d.Objects
+	var pairSum, nnSum float64
+	var pairN int
+	for i := 0; i < 60; i++ {
+		nn := math.Inf(1)
+		for j := range objs {
+			if j == i {
+				continue
+			}
+			dist := d.Dist.Dist(objs[i].Vec, objs[j].Vec)
+			pairSum += dist
+			pairN++
+			if dist < nn {
+				nn = dist
+			}
+		}
+		nnSum += nn
+	}
+	avgPair := pairSum / float64(pairN)
+	avgNN := nnSum / 60
+	if avgNN > avgPair/2 {
+		t.Fatalf("embed768 not clustered: avg NN %g vs avg pair %g", avgNN, avgPair)
+	}
+}
+
+func TestEmbed768SampleQueriesExcluding(t *testing.T) {
+	d := Embed768(120)
+	qs, rest := SampleQueries(d, 20, 11, true)
+	if len(qs) != 20 || len(rest) != 100 {
+		t.Fatalf("split = %d/%d", len(qs), len(rest))
+	}
+	inRest := make(map[uint64]bool)
+	for _, o := range rest {
+		inRest[o.ID] = true
+	}
+	for _, q := range qs {
+		if inRest[q.ID] {
+			t.Fatalf("query %d not excluded from rest", q.ID)
+		}
+	}
+}
+
 func TestClusteredIsClustered(t *testing.T) {
 	// Clustered data must have average nearest-neighbor distance well below
 	// the average pairwise distance — that is what the Voronoi partitioning
@@ -145,6 +231,10 @@ func TestByName(t *testing.T) {
 	d, err := ByName("CoPhIR", 123)
 	if err != nil || d.Size() != 123 {
 		t.Fatalf("CoPhIR scaled: %v size=%d", err, d.Size())
+	}
+	e, err := ByName("embed768", 77)
+	if err != nil || e.Size() != 77 || e.Name != "embed768" {
+		t.Fatalf("embed768 scaled: %v size=%d name=%s", err, e.Size(), e.Name)
 	}
 	if _, err := ByName("nope", 0); err == nil {
 		t.Fatal("unknown data set accepted")

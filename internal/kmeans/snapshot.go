@@ -1,0 +1,231 @@
+package kmeans
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"simcloud/internal/mindex"
+)
+
+// Snapshot support: a disk-backed cell index persists its metadata to a
+// small file and reattaches to its bucket directory after a restart, the
+// direct analogue of the M-Index snapshot (the centroids themselves are
+// client-side key material and live in the model codec, never here).
+//
+// Snapshot file format (little endian):
+//
+//	magic    [8]byte "SIMKSNAP"
+//	version  uint8 (1)
+//	numCentroids uint32
+//	size     uint64  (live entries)
+//	nextBkt  uint64  (DiskStore allocation cursor)
+//	deadCount uint64 | tombstoned IDs uint64 × deadCount (ascending)
+//	per cell: bucket uint64 | count uint32 | rmin, rmax float64
+
+var snapMagic = [8]byte{'S', 'I', 'M', 'K', 'S', 'N', 'A', 'P'}
+
+// ErrSnapshot reports a malformed or mismatched snapshot file.
+var ErrSnapshot = errors.New("kmeans: invalid snapshot")
+
+// SaveSnapshot writes the index metadata to path. Only disk-backed indexes
+// can be snapshotted. The file is written to a temporary sibling, synced,
+// and renamed into place.
+func (ix *Index) SaveSnapshot(path string) error {
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
+	st := ix.st.Load()
+	ds, ok := ix.store.(*mindex.DiskStore)
+	if !ok {
+		return errors.New("kmeans: only disk-backed indexes support snapshots")
+	}
+	if err := ds.Sync(); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 64+8*len(st.tombstones)+28*len(st.cells))
+	buf = append(buf, snapMagic[:]...)
+	buf = append(buf, 1) // version
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(ix.cfg.NumCentroids))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(st.size))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(ds.NextID()))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(st.tombstones)))
+	dead := make([]uint64, 0, len(st.tombstones))
+	for id := range st.tombstones {
+		dead = append(dead, id)
+	}
+	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+	for _, id := range dead {
+		buf = binary.LittleEndian.AppendUint64(buf, id)
+	}
+	for j := range st.cells {
+		c := &st.cells[j]
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(c.bucket))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(c.count))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.rmin))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.rmax))
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if _, err := w.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		syncErr := dir.Sync()
+		dir.Close()
+		return syncErr
+	}
+	return nil
+}
+
+// LoadSnapshot reopens a disk-backed cell index from its snapshot file and
+// bucket directory. cfg must match the snapshotted centroid count and carry
+// the DiskPath. The writer-private live-ID map is rebuilt eagerly by walking
+// every bucket, so the first post-restore mutation pays no hidden rebuild.
+func LoadSnapshot(cfg Config, path string) (*Index, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Storage != mindex.StorageDisk {
+		return nil, errors.New("kmeans: snapshots require disk storage")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &snapReader{buf: raw}
+	var magic [8]byte
+	copy(magic[:], r.take(8))
+	if magic != snapMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrSnapshot)
+	}
+	if v := r.u8(); v != 1 {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrSnapshot, v)
+	}
+	numCentroids := int(r.u32())
+	size := int(r.u64())
+	next := mindex.BucketID(r.u64())
+	deadCount := int(r.u64())
+	if r.err != nil || deadCount < 0 || deadCount > len(r.buf)/8 {
+		return nil, fmt.Errorf("%w: implausible tombstone count", ErrSnapshot)
+	}
+	tombstones := make(map[uint64]struct{}, deadCount)
+	for range deadCount {
+		tombstones[r.u64()] = struct{}{}
+	}
+	if len(tombstones) != deadCount {
+		return nil, fmt.Errorf("%w: duplicate tombstone IDs", ErrSnapshot)
+	}
+	if numCentroids != cfg.NumCentroids {
+		return nil, fmt.Errorf("%w: snapshot has %d centroids, config %d", ErrSnapshot, numCentroids, cfg.NumCentroids)
+	}
+	cells := make([]cell, numCentroids)
+	counts := make(map[mindex.BucketID]int, numCentroids)
+	total := 0
+	for j := range cells {
+		c := &cells[j]
+		c.bucket = mindex.BucketID(r.u64())
+		c.count = int(r.u32())
+		c.rmin = r.f64()
+		c.rmax = r.f64()
+		if _, dup := counts[c.bucket]; dup {
+			return nil, fmt.Errorf("%w: bucket %d used by two cells", ErrSnapshot, c.bucket)
+		}
+		counts[c.bucket] = c.count
+		total += c.count
+	}
+	if r.err != nil || len(r.buf) != 0 {
+		return nil, fmt.Errorf("%w: truncated or trailing bytes", ErrSnapshot)
+	}
+	if total != size+deadCount {
+		return nil, fmt.Errorf("%w: entry counts disagree (cells store %d, header says %d live + %d dead)",
+			ErrSnapshot, total, size, deadCount)
+	}
+	store, err := mindex.ReopenDiskStore(cfg.DiskPath, counts, next)
+	if err != nil {
+		return nil, err
+	}
+	store.SetCacheBudget(cfg.DiskCacheBytes)
+	ix := &Index{cfg: cfg, store: store, live: make(map[uint64]int32, size)}
+	for j := range cells {
+		if cells[j].count == 0 {
+			continue
+		}
+		entries, err := store.View(cells[j].bucket)
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+		if len(entries) != cells[j].count {
+			store.Close()
+			return nil, fmt.Errorf("%w: bucket %d holds %d entries, snapshot says %d",
+				ErrSnapshot, cells[j].bucket, len(entries), cells[j].count)
+		}
+		for i := range entries {
+			if _, gone := tombstones[entries[i].ID]; gone {
+				continue
+			}
+			if _, dup := ix.live[entries[i].ID]; dup {
+				store.Close()
+				return nil, fmt.Errorf("%w: duplicate live ID %d", ErrSnapshot, entries[i].ID)
+			}
+			ix.live[entries[i].ID] = int32(j)
+		}
+	}
+	if len(ix.live) != size {
+		store.Close()
+		return nil, fmt.Errorf("%w: %d live entries found, header says %d", ErrSnapshot, len(ix.live), size)
+	}
+	ix.st.Store(&state{cells: cells, size: size, dead: deadCount, tombstones: tombstones})
+	return ix, nil
+}
+
+type snapReader struct {
+	buf []byte
+	err error
+}
+
+func (r *snapReader) take(n int) []byte {
+	if r.err != nil || len(r.buf) < n {
+		r.err = ErrSnapshot
+		return make([]byte, n)
+	}
+	out := r.buf[:n]
+	r.buf = r.buf[n:]
+	return out
+}
+
+func (r *snapReader) u8() uint8   { return r.take(1)[0] }
+func (r *snapReader) u32() uint32 { return binary.LittleEndian.Uint32(r.take(4)) }
+func (r *snapReader) u64() uint64 { return binary.LittleEndian.Uint64(r.take(8)) }
+func (r *snapReader) f64() float64 {
+	return math.Float64frombits(r.u64())
+}

@@ -1,0 +1,154 @@
+package kmeans
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"simcloud/internal/dataset"
+	"simcloud/internal/metric"
+	"simcloud/internal/mindex"
+)
+
+func buildDisk(t *testing.T, d *dataset.Dataset, k int) (*Index, *Model, Config) {
+	t.Helper()
+	cfg := Config{NumCentroids: k, Storage: mindex.StorageDisk, DiskPath: filepath.Join(t.TempDir(), "cells")}
+	m, err := Train(TrainConfig{K: k, Seed: 21, Dist: d.Dist}, d.Objects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := m.PivotSet()
+	entries := make([]mindex.Entry, len(d.Objects))
+	for i, o := range d.Objects {
+		j, _ := nearest(m.Dist, m.Centroids, o.Vec)
+		entries[i] = mindex.Entry{ID: o.ID, Perm: []int32{int32(j)}, Dists: ps.Distances(o.Vec), Vec: o.Vec.Clone()}
+	}
+	if err := ix.Insert(entries); err != nil {
+		t.Fatal(err)
+	}
+	return ix, m, cfg
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	d := dataset.Clustered(31, 180, 6, 4, metric.L2{})
+	ix, m, cfg := buildDisk(t, d, 4)
+	if n, err := ix.Delete([]mindex.Entry{{ID: 3}, {ID: 44}}); err != nil || n != 2 {
+		t.Fatalf("delete = %d, %v", n, err)
+	}
+	snap := filepath.Join(filepath.Dir(cfg.DiskPath), "kmeans.snap")
+	if err := ix.SaveSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	ps := m.PivotSet()
+	qDists := ps.Distances(d.Objects[9].Vec)
+	wantRange, err := ix.RangeByDists(qDists, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantApprox, err := ix.ApproxRanked(qDists, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStats := ix.Stats()
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := LoadSnapshot(cfg, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	if s := got.Stats(); s != wantStats {
+		t.Fatalf("stats after restore = %+v, want %+v", s, wantStats)
+	}
+	gotRange, err := got.RangeByDists(qDists, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotRange) != len(wantRange) {
+		t.Fatalf("range returned %d entries after restore, want %d", len(gotRange), len(wantRange))
+	}
+	for i := range wantRange {
+		if gotRange[i].ID != wantRange[i].ID {
+			t.Fatalf("range order diverged at %d", i)
+		}
+	}
+	gotApprox, err := got.ApproxRanked(qDists, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantApprox {
+		if gotApprox[i].Entry.ID != wantApprox[i].Entry.ID {
+			t.Fatalf("approx order diverged at %d", i)
+		}
+	}
+
+	// The restored index keeps working: tombstoned IDs stay rejected, fresh
+	// inserts and deletes proceed.
+	if err := got.Insert([]mindex.Entry{{ID: 3, Perm: []int32{0}, Dists: make([]float64, 4)}}); err == nil {
+		t.Fatal("tombstoned ID re-accepted after restore")
+	}
+	if err := got.Insert([]mindex.Entry{{ID: 100000, Perm: []int32{1}, Dists: make([]float64, 4)}}); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := got.Delete([]mindex.Entry{{ID: 100000}}); err != nil || n != 1 {
+		t.Fatalf("post-restore delete = %d, %v", n, err)
+	}
+}
+
+func TestSnapshotRequiresDisk(t *testing.T) {
+	ix, err := New(Config{NumCentroids: 2, Storage: mindex.StorageMemory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if err := ix.SaveSnapshot(filepath.Join(t.TempDir(), "x.snap")); err == nil {
+		t.Fatal("memory index snapshotted")
+	}
+	if _, err := LoadSnapshot(Config{NumCentroids: 2, Storage: mindex.StorageMemory}, "nope"); err == nil {
+		t.Fatal("memory config loaded a snapshot")
+	}
+}
+
+func TestSnapshotRejectsMismatchAndCorruption(t *testing.T) {
+	d := dataset.Clustered(32, 90, 5, 3, metric.L2{})
+	ix, _, cfg := buildDisk(t, d, 3)
+	snap := filepath.Join(filepath.Dir(cfg.DiskPath), "kmeans.snap")
+	if err := ix.SaveSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wrongK := cfg
+	wrongK.NumCentroids = 4
+	if _, err := LoadSnapshot(wrongK, snap); err == nil {
+		t.Fatal("centroid-count mismatch accepted")
+	}
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mut := range map[string]func([]byte) []byte{
+		"bad magic":  func(b []byte) []byte { b[0] ^= 0xff; return b },
+		"bad ver":    func(b []byte) []byte { b[8] = 9; return b },
+		"truncated":  func(b []byte) []byte { return b[:len(b)-4] },
+		"trailing":   func(b []byte) []byte { return append(b, 0) },
+		"size lie":   func(b []byte) []byte { b[13]++; return b },      // size u64 at offset 13
+		"dead bloat": func(b []byte) []byte { b[29] = 0xff; return b }, // deadCount at offset 29
+	} {
+		mutated := mut(append([]byte{}, raw...))
+		bad := snap + ".bad"
+		if err := os.WriteFile(bad, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadSnapshot(cfg, bad); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}

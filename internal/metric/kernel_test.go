@@ -54,6 +54,29 @@ func refLp(a, b Vector, p float64) float64 {
 	return math.Pow(s, 1/p)
 }
 
+func refCosine(a, b Vector) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		x, y := float64(a[i]), float64(b[i])
+		dot += x * y
+		na += x * x
+		nb += y * y
+	}
+	if na == 0 || nb == 0 {
+		if na == 0 && nb == 0 {
+			return 0
+		}
+		return math.Pi / 2
+	}
+	c := dot / math.Sqrt(na*nb)
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return math.Acos(c)
+}
+
 func refCoPhIR(a, b Vector) float64 {
 	var sum float64
 	sum += 2.0 * refL1(a[0:64], b[0:64])
@@ -103,7 +126,34 @@ func TestDistancesMatchScalarReference(t *testing.T) {
 			if got, want := (Lp{P: p}).Dist(a, b), refLp(a, b, p); !sameBits(got, want) {
 				t.Fatalf("Lp dim %d p=%g: got %x, want %x", dim, p, got, want)
 			}
+			if got, want := (Cosine{}).Dist(a, b), refCosine(a, b); !sameBits(got, want) {
+				t.Fatalf("Cosine dim %d: got %x, want %x", dim, got, want)
+			}
 		}
+	}
+}
+
+func TestCosineDegenerateInputs(t *testing.T) {
+	zero := make(Vector, 5)
+	v := Vector{1, 0, 2, 0, -3}
+	if got := (Cosine{}).Dist(zero, zero); got != 0 {
+		t.Fatalf("cosine(0,0) = %g, want 0", got)
+	}
+	if got := (Cosine{}).Dist(zero, v); got != math.Pi/2 {
+		t.Fatalf("cosine(0,v) = %g, want pi/2", got)
+	}
+	if got := (Cosine{}).Dist(v, zero); got != math.Pi/2 {
+		t.Fatalf("cosine(v,0) = %g, want pi/2", got)
+	}
+	// Identical directions must land exactly on 0 (the clamp guards the
+	// |c|>1 rounding case), and opposite directions exactly on pi.
+	w := Vector{2, 0, 4, 0, -6}
+	if got := (Cosine{}).Dist(v, w); got != 0 {
+		t.Fatalf("cosine(v,2v) = %g, want 0", got)
+	}
+	neg := Vector{-1, 0, -2, 0, 3}
+	if got := (Cosine{}).Dist(v, neg); got != math.Pi {
+		t.Fatalf("cosine(v,-v) = %g, want pi", got)
 	}
 }
 

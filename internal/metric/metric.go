@@ -129,8 +129,47 @@ func (l Lp) Dist(a, b Vector) float64 {
 	return math.Pow(simd.PowSum(a, b, l.P), 1/l.P)
 }
 
+// Cosine is the angular distance: the arc length acos(cos-similarity)
+// between the two vectors' directions, in [0, π]. On unit-normalized
+// vectors — the embedding workload this distance exists for — it is a true
+// metric (the great-circle distance on the sphere, so the triangle
+// inequality the pivot-filtering bounds rely on holds). On unnormalized
+// vectors it ignores magnitude and is only a pseudo-metric (two parallel
+// vectors of different length have distance 0); index exactness guarantees
+// then hold for the pseudo-metric, not for any magnitude-aware notion of
+// similarity.
+//
+// Degenerate inputs are made total rather than NaN: two zero vectors are at
+// distance 0, a zero vector against a non-zero one at π/2 (the "orthogonal"
+// convention — no direction information either way).
+type Cosine struct{}
+
+// Name implements Distance.
+func (Cosine) Name() string { return "cosine" }
+
+// Dist implements Distance. The three inner-product sums come from one
+// unrolled pass (simd.DotNorms), bit-for-bit equal to scalar loops.
+func (Cosine) Dist(a, b Vector) float64 {
+	dimCheck(a, b)
+	dot, na, nb := simd.DotNorms(a, b)
+	if na == 0 || nb == 0 {
+		if na == 0 && nb == 0 {
+			return 0
+		}
+		return math.Pi / 2
+	}
+	c := dot / math.Sqrt(na*nb)
+	// Rounding can push |c| a hair past 1; clamp before Acos turns it NaN.
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return math.Acos(c)
+}
+
 // ByName returns the distance function registered under name, as produced by
-// the Name methods above ("L1", "L2", "Linf", "L<p>", "cophir").
+// the Name methods above ("L1", "L2", "Linf", "L<p>", "cophir", "cosine").
 func ByName(name string) (Distance, error) {
 	switch name {
 	case "L1":
@@ -141,6 +180,8 @@ func ByName(name string) (Distance, error) {
 		return Chebyshev{}, nil
 	case "cophir":
 		return NewCoPhIR(), nil
+	case "cosine":
+		return Cosine{}, nil
 	}
 	var p float64
 	if _, err := fmt.Sscanf(name, "L%g", &p); err == nil && p >= 1 {

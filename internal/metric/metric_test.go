@@ -196,7 +196,7 @@ func TestCombinedRejectsNonPositiveWeight(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"L1", "L2", "Linf", "L3", "cophir"} {
+	for _, name := range []string{"L1", "L2", "Linf", "L3", "cophir", "cosine"} {
 		d, err := ByName(name)
 		if err != nil {
 			t.Fatalf("ByName(%q): %v", name, err)

@@ -162,6 +162,43 @@ func PowSum(a, b []float32, p float64) float64 {
 	return s
 }
 
+// DotNorms returns (Σ a[i]·b[i], Σ a[i]², Σ b[i]²) accumulated in float64 —
+// the three sums behind the cosine/angular distance, computed in one pass.
+// Each sum keeps a single accumulator and adds its per-element terms in
+// index order (the sum-kernel contract above), so the results are
+// bit-for-bit identical to three scalar reference loops; the unroll only
+// overlaps the independent multiply work of four elements.
+func DotNorms(a, b []float32) (dot, na, nb float64) {
+	n := len(a)
+	_ = b[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		a0, b0 := float64(a[i]), float64(b[i])
+		a1, b1 := float64(a[i+1]), float64(b[i+1])
+		a2, b2 := float64(a[i+2]), float64(b[i+2])
+		a3, b3 := float64(a[i+3]), float64(b[i+3])
+		dot += a0 * b0
+		dot += a1 * b1
+		dot += a2 * b2
+		dot += a3 * b3
+		na += a0 * a0
+		na += a1 * a1
+		na += a2 * a2
+		na += a3 * a3
+		nb += b0 * b0
+		nb += b1 * b1
+		nb += b2 * b2
+		nb += b3 * b3
+	}
+	for ; i < n; i++ {
+		x, y := float64(a[i]), float64(b[i])
+		dot += x * y
+		na += x * x
+		nb += y * y
+	}
+	return dot, na, nb
+}
+
 // AbsMaxDiff64 returns max|a[i]−b[i]| over the first min(len(a), len(b))
 // elements — the pivot-filtering lower bound of the paper's Algorithm 3
 // (pivot.LowerBound), which compares two float64 distance vectors.

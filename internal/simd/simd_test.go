@@ -51,6 +51,16 @@ func scalarPowSum(a, b []float32, p float64) float64 {
 	return s
 }
 
+func scalarDotNorms(a, b []float32) (dot, na, nb float64) {
+	for i := range a {
+		x, y := float64(a[i]), float64(b[i])
+		dot += x * y
+		na += x * x
+		nb += y * y
+	}
+	return dot, na, nb
+}
+
 func scalarAbsMaxDiff64(a, b []float64) float64 {
 	n := min(len(a), len(b))
 	var m float64
@@ -114,6 +124,12 @@ func TestKernelsMatchScalar(t *testing.T) {
 			p := 1 + rng.Float64()*3
 			if got, want := PowSum(a, b, p), scalarPowSum(a, b, p); !sameBits(got, want) {
 				t.Fatalf("PowSum dim %d p=%g: got %x, want %x", dim, p, got, want)
+			}
+			dot, na, nb := DotNorms(a, b)
+			wd, wa, wb := scalarDotNorms(a, b)
+			if !sameBits(dot, wd) || !sameBits(na, wa) || !sameBits(nb, wb) {
+				t.Fatalf("DotNorms dim %d: got (%x,%x,%x), want (%x,%x,%x)",
+					dim, dot, na, nb, wd, wa, wb)
 			}
 		}
 	}

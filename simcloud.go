@@ -7,6 +7,7 @@ import (
 	"simcloud/internal/cluster"
 	"simcloud/internal/core"
 	"simcloud/internal/dataset"
+	"simcloud/internal/kmeans"
 	"simcloud/internal/metric"
 	"simcloud/internal/mindex"
 	"simcloud/internal/pivot"
@@ -78,6 +79,21 @@ type (
 	// PoolStats is the Stats section with the connection-lease-pool depth
 	// and lifetime dial/discard counters of a networked client.
 	PoolStats = core.PoolStats
+	// KMeansDirect is the in-process client of the k-means routing family:
+	// centroid cells instead of pivot permutations, same Searcher contract
+	// and encrypted-bucket storage (see DESIGN.md §Routing Families).
+	KMeansDirect = core.KMeansDirect
+	// KMeansConfig parametrizes the server-side k-means cell index.
+	KMeansConfig = kmeans.Config
+	// KMeansModel is a trained set of centroids — the client secret of the
+	// k-means family, fed to GenerateKey via its PivotSet.
+	KMeansModel = kmeans.Model
+	// KMeansTrainConfig parametrizes TrainKMeans (K, seed, Lloyd iteration
+	// bound, training-sample cap, metric — spherical update under Cosine).
+	KMeansTrainConfig = kmeans.TrainConfig
+	// CandSizePredictor is the learned per-query candidate-size model
+	// selected by Query.TargetRecall (fit it with KMeansDirect.Calibrate).
+	CandSizePredictor = kmeans.Predictor
 )
 
 // Storage backends for Config.Storage.
@@ -132,6 +148,10 @@ func Lp(p float64) Distance { return metric.Lp{P: p} }
 // CoPhIR returns the weighted MPEG-7 descriptor-combination distance used
 // by the CoPhIR image collection.
 func CoPhIR() Distance { return metric.NewCoPhIR() }
+
+// Cosine returns the angular distance (1 − cosine similarity) — the
+// standard metric for normalized embedding vectors.
+func Cosine() Distance { return metric.Cosine{} }
 
 // DistanceByName resolves a distance function by its Name() string.
 func DistanceByName(name string) (Distance, error) { return metric.ByName(name) }
@@ -301,4 +321,28 @@ func CoPhIRData(n int) *Dataset { return dataset.CoPhIR(n) }
 // ClusteredData generates a generic clustered collection for experiments.
 func ClusteredData(seed uint64, n, dim, clusters int, dist Distance) *Dataset {
 	return dataset.Clustered(seed, n, dim, clusters, dist)
+}
+
+// Embed768Data generates an n-object 768-dimensional unit-normalized
+// embedding stand-in (cosine distance) — today's hottest similarity
+// workload and the high-dimensional stress test for both routing families.
+func Embed768Data(n int) *Dataset { return dataset.Embed768(n) }
+
+// TrainKMeans fits the centroid model of the k-means routing family to a
+// collection (deterministic for a given TrainConfig.Seed). The model is a
+// client secret: derive the deployment key from its PivotSet with
+// GenerateKey and persist both — a regenerated key cannot decrypt old
+// payloads.
+func TrainKMeans(cfg KMeansTrainConfig, data []Object) (*KMeansModel, error) {
+	return kmeans.Train(cfg, data)
+}
+
+// NewKMeansDirect creates an in-process client over a fresh k-means cell
+// index — the second index family behind the same Searcher interface:
+// objects route to their nearest centroid's cell, approximate queries fan
+// out to the Config.Fanout nearest centroids and merge promise-ranked,
+// range/KNN answers are equivalence-tested against the M-Index backends.
+// The key must be generated from the trained model's PivotSet.
+func NewKMeansDirect(cfg KMeansConfig, key *Key, opts ClientOptions) (*KMeansDirect, error) {
+	return core.NewKMeansDirect(cfg, key, opts)
 }
